@@ -1,0 +1,341 @@
+// Command poiesis is the command-line interface of the POIESIS ETL redesign
+// tool. It loads an ETL flow from xLM or PDI (or one of the built-in demo
+// flows), generates alternative designs by weaving Flow Component Patterns
+// into it, estimates quality measures for every alternative, and prints the
+// Pareto frontier together with the Fig. 4 scatter plot and Fig. 5
+// relative-change bars.
+//
+// Subcommands:
+//
+//	patterns                      list the pattern palette (Fig. 6)
+//	measures  -in FLOW            estimate measures for one flow
+//	plan      -in FLOW [flags]    generate alternatives, print the skyline
+//	convert   -in FLOW -out FILE  convert between xLM and .ktr
+//
+// FLOW is a path ending in .xlm or .ktr, or one of the built-in names
+// tpcds-purchases, tpcds-sales, tpch-revenue.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"poiesis"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "patterns":
+		err = cmdPatterns(os.Args[2:])
+	case "measures":
+		err = cmdMeasures(os.Args[2:])
+	case "plan":
+		err = cmdPlan(os.Args[2:])
+	case "convert":
+		err = cmdConvert(os.Args[2:])
+	case "export":
+		err = cmdExport(os.Args[2:])
+	case "session":
+		err = cmdSession(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "poiesis: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "poiesis:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: poiesis <command> [flags]
+
+commands:
+  patterns                     list the Flow Component Pattern palette
+  measures -in FLOW            estimate quality measures for a flow
+  plan     -in FLOW [flags]    generate alternatives and print the skyline
+  convert  -in FLOW -out FILE  convert between .xlm and .ktr
+  export   -in FLOW -out FILE  export to .dot (Graphviz) or .json
+  session  -in FLOW [flags]    interactive explore/select loop (stdin-driven)
+
+FLOW: a .xlm or .ktr file, or one of tpcds-purchases | tpcds-sales |
+tpcds-inventory | tpch-revenue | tpch-pricing
+`)
+}
+
+// loadFlow resolves a FLOW argument: built-in name or file path by extension.
+func loadFlow(arg string) (*poiesis.Graph, error) {
+	switch arg {
+	case "tpcds-purchases":
+		return poiesis.TPCDSPurchases(), nil
+	case "tpcds-sales":
+		return poiesis.TPCDSSales(), nil
+	case "tpcds-inventory":
+		return poiesis.TPCDSInventory(), nil
+	case "tpch-revenue":
+		return poiesis.TPCHRevenue(), nil
+	case "tpch-pricing":
+		return poiesis.TPCHPricingSummary(), nil
+	}
+	switch {
+	case strings.HasSuffix(arg, ".xlm") || strings.HasSuffix(arg, ".xml"):
+		return poiesis.LoadXLM(arg)
+	case strings.HasSuffix(arg, ".ktr"):
+		return poiesis.LoadPDI(arg)
+	default:
+		return nil, fmt.Errorf("cannot infer format of %q (want .xlm, .ktr or a built-in name)", arg)
+	}
+}
+
+func cmdPatterns(args []string) error {
+	fs := flag.NewFlagSet("patterns", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	reg := poiesis.DefaultPatterns()
+	fmt.Println("Available Flow Component Patterns (Fig. 6):")
+	fmt.Println()
+	fmt.Printf("  %-28s %-8s %s\n", "FCP", "applies", "related quality attribute")
+	fmt.Printf("  %-28s %-8s %s\n", strings.Repeat("-", 28), "-------", strings.Repeat("-", 25))
+	for _, name := range reg.Names() {
+		p, _ := reg.Get(name)
+		fmt.Printf("  %-28s %-8s %s\n", p.Name(), p.Kind(), p.Improves())
+	}
+	return nil
+}
+
+func cmdMeasures(args []string) error {
+	fs := flag.NewFlagSet("measures", flag.ExitOnError)
+	in := fs.String("in", "", "flow to analyse (.xlm/.ktr/built-in)")
+	scale := fs.Int("scale", 5000, "source cardinality for the simulation")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("measures: -in required")
+	}
+	g, err := loadFlow(*in)
+	if err != nil {
+		return err
+	}
+	report, bottlenecks, err := poiesis.EvaluateFlow(g, poiesis.AutoBinding(g, *scale, *seed), poiesis.SimConfig{})
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.String())
+	fmt.Println("\nbottleneck operations (mean over simulated runs):")
+	fmt.Printf("  %-28s %-12s %10s %10s %8s %s\n", "operation", "kind", "busy ms", "rows in", "share", "failures")
+	for i, op := range bottlenecks {
+		if i == 8 {
+			break
+		}
+		fmt.Printf("  %-28s %-12s %10.2f %10.0f %7.1f%% %8d\n",
+			op.Node, op.Kind, op.MeanTimeMs, op.MeanRowsIn, 100*op.TimeShare, op.Failures)
+	}
+	return nil
+}
+
+func cmdPlan(args []string) error {
+	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	in := fs.String("in", "", "initial flow (.xlm/.ktr/built-in)")
+	depth := fs.Int("depth", 2, "pattern-combination depth")
+	maxAlts := fs.Int("max", 2000, "cap on generated alternatives")
+	scale := fs.Int("scale", 2000, "source cardinality for the simulation")
+	seed := fs.Uint64("seed", 1, "random seed")
+	topK := fs.Int("topk", 3, "greedy policy: best points per pattern")
+	exhaustive := fs.Bool("exhaustive", false, "use the exhaustive policy")
+	palette := fs.String("palette", "", "comma-separated pattern subset (default all)")
+	configPath := fs.String("config", "", "JSON configuration document (overrides other flags)")
+	svg := fs.String("svg", "", "write the Fig. 4 scatter to this SVG file")
+	xlmOut := fs.String("select", "", "write the best-utility design to this .xlm file")
+	bars := fs.Bool("bars", true, "print Fig. 5 relative-change bars for the best design")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("plan: -in required")
+	}
+	g, err := loadFlow(*in)
+	if err != nil {
+		return err
+	}
+	var planner *poiesis.Planner
+	if *configPath != "" {
+		doc, err := poiesis.LoadConfig(*configPath)
+		if err != nil {
+			return err
+		}
+		planner, err = poiesis.PlannerFromConfig(doc)
+		if err != nil {
+			return err
+		}
+	} else {
+		opts := poiesis.Options{
+			Depth:           *depth,
+			MaxAlternatives: *maxAlts,
+		}
+		if *exhaustive {
+			opts.Policy = poiesis.ExhaustivePolicy{}
+		} else {
+			opts.Policy = poiesis.GreedyPolicy{TopK: *topK}
+		}
+		if *palette != "" {
+			opts.Palette = strings.Split(*palette, ",")
+		}
+		planner = poiesis.NewPlanner(nil, opts)
+	}
+	res, err := planner.Plan(g, poiesis.AutoBinding(g, *scale, *seed))
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("flow %q: %d nodes, %d edges\n", g.Name, g.Len(), g.EdgeCount())
+	fmt.Printf("generated %d designs (%d duplicates removed, %d evaluated, %d constraint-rejected)\n",
+		res.Stats.Generated, res.Stats.Deduped, res.Stats.Evaluated, res.Stats.ConstraintRejected)
+	fmt.Printf("skyline: %d of %d alternatives\n\n", len(res.SkylineIdx), len(res.Alternatives))
+
+	fmt.Print(poiesis.RenderScatterASCII(res, poiesis.ScatterOptions{
+		Title: "Alternative ETL flows (Fig. 4)",
+	}))
+	fmt.Println()
+
+	// Skyline table, best utility first under equal goals.
+	goals := poiesis.NewGoals(map[poiesis.Characteristic]float64{
+		poiesis.Performance: 1, poiesis.DataQuality: 1, poiesis.Reliability: 1,
+	})
+	type row struct {
+		label   string
+		utility float64
+		scores  []float64
+	}
+	var rows []row
+	for _, a := range res.Skyline() {
+		rows = append(rows, row{
+			label:   a.Label(),
+			utility: goals.Utility(a.Report),
+			scores:  a.Report.Vector(res.Dims),
+		})
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].utility > rows[j].utility })
+	fmt.Printf("%-70s %10s %10s %10s\n", "skyline design", "perf", "dq", "rel")
+	for _, r := range rows {
+		fmt.Printf("%-70s %10.4f %10.4f %10.4f\n", clip(r.label, 70), r.scores[0], r.scores[1], r.scores[2])
+	}
+
+	fmt.Println("\nwhy each design is on the frontier:")
+	for _, e := range poiesis.ExplainSkyline(res) {
+		fmt.Printf("  %s\n", e)
+	}
+
+	fmt.Println("\npattern usage (skyline presence first):")
+	for _, u := range poiesis.AnalyzePatternUsage(res) {
+		fmt.Printf("  %-26s %4d applications, %2d in skyline designs\n",
+			u.Pattern, u.Applications, u.InSkyline)
+	}
+
+	best := res.Best(goals)
+	fmt.Printf("\nbest design by equal-weight goals: %s\n", best.Label())
+	if *bars && best.Report != res.Initial.Report {
+		fmt.Println("\nrelative change vs initial flow (Fig. 5):")
+		fmt.Print(poiesis.RenderRelativeBars(best, res, map[string]bool{"*": true}))
+	}
+	if *svg != "" {
+		doc := poiesis.RenderScatterSVG(res, poiesis.ScatterOptions{Title: "Alternative ETL flows"})
+		if err := os.WriteFile(*svg, []byte(doc), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", *svg)
+	}
+	if *xlmOut != "" {
+		if err := poiesis.SaveXLM(*xlmOut, best.Graph); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *xlmOut)
+	}
+	return nil
+}
+
+func cmdConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	in := fs.String("in", "", "input flow (.xlm/.ktr/built-in)")
+	out := fs.String("out", "", "output file (.xlm or .ktr)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		return fmt.Errorf("convert: -in and -out required")
+	}
+	g, err := loadFlow(*in)
+	if err != nil {
+		return err
+	}
+	var b []byte
+	switch {
+	case strings.HasSuffix(*out, ".xlm") || strings.HasSuffix(*out, ".xml"):
+		b, err = poiesis.EncodeXLM(g)
+	case strings.HasSuffix(*out, ".ktr"):
+		b, err = poiesis.EncodePDI(g)
+	default:
+		return fmt.Errorf("convert: cannot infer format of %q", *out)
+	}
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d nodes, %d edges)\n", *out, g.Len(), g.EdgeCount())
+	return nil
+}
+
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	in := fs.String("in", "", "input flow (.xlm/.ktr/built-in)")
+	out := fs.String("out", "", "output file (.dot or .json)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		return fmt.Errorf("export: -in and -out required")
+	}
+	g, err := loadFlow(*in)
+	if err != nil {
+		return err
+	}
+	var b []byte
+	switch {
+	case strings.HasSuffix(*out, ".dot"):
+		b = []byte(poiesis.ExportDOT(g))
+	case strings.HasSuffix(*out, ".json"):
+		b, err = poiesis.EncodeJSON(g)
+	default:
+		return fmt.Errorf("export: cannot infer format of %q (want .dot or .json)", *out)
+	}
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", *out, len(b))
+	return nil
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}

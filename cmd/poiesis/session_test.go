@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"poiesis"
+)
+
+func testSession(t *testing.T) *poiesis.Session {
+	t.Helper()
+	g, err := loadFlow("tpcds-purchases")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := poiesis.SimConfig{}
+	cfg.DefaultRows = 200
+	cfg.Runs = 8
+	planner := poiesis.NewPlanner(nil, poiesis.Options{
+		Policy: poiesis.GreedyPolicy{TopK: 1},
+		Depth:  1,
+		Sim:    cfg,
+	})
+	return poiesis.NewSession(planner, g, poiesis.AutoBinding(g, 200, 1))
+}
+
+func TestRunSessionScript(t *testing.T) {
+	in := strings.NewReader("explore\nshow 0\nbars 0\nselect 0\nhistory\nquit\n")
+	var out bytes.Buffer
+	if err := runSession(testSession(t), in, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"on the skyline", "[0]", "report for", "selected", "#1", "bye",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("session output missing %q", want)
+		}
+	}
+}
+
+func TestRunSessionErrors(t *testing.T) {
+	in := strings.NewReader("show 0\nbogus\nselect 0\nexplore\nshow 99\nselect -1\nquit\n")
+	var out bytes.Buffer
+	if err := runSession(testSession(t), in, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "explore first") {
+		t.Error("show-before-explore not handled")
+	}
+	if !strings.Contains(s, `unknown command "bogus"`) {
+		t.Error("unknown command not reported")
+	}
+	if !strings.Contains(s, "out of range") {
+		t.Error("bad index not reported")
+	}
+}
+
+func TestRunSessionEOF(t *testing.T) {
+	var out bytes.Buffer
+	if err := runSession(testSession(t), strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadFlowBuiltins(t *testing.T) {
+	for _, name := range []string{
+		"tpcds-purchases", "tpcds-sales", "tpcds-inventory",
+		"tpch-revenue", "tpch-pricing",
+	} {
+		g, err := loadFlow(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if g.Len() == 0 {
+			t.Errorf("%s: empty flow", name)
+		}
+	}
+	if _, err := loadFlow("unknown-format"); err == nil {
+		t.Error("format inference should fail")
+	}
+}
+
+func TestClip(t *testing.T) {
+	if got := clip("short", 10); got != "short" {
+		t.Errorf("clip = %q", got)
+	}
+	if got := clip("averylonglabelindeed", 10); len(got) != 10 || !strings.HasSuffix(got, "...") {
+		t.Errorf("clip = %q", got)
+	}
+}

@@ -1,0 +1,91 @@
+// Import/export pipeline: build a flow with the API, persist it as xLM,
+// reload it, apply a redesign, and push the result out as PDI (.ktr),
+// Graphviz DOT and JSON — the interchange surface that lets POIESIS sit
+// between an existing ETL tool and the analyst.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"poiesis"
+	"poiesis/internal/etl"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "poiesis-io-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// 1. Build a small flow with the public builder.
+	schema := poiesis.Schema{Attrs: []poiesis.Attribute{
+		{Name: "order_id", Type: etl.TypeInt, Key: true},
+		{Name: "amount", Type: etl.TypeFloat},
+		{Name: "comment", Type: etl.TypeString, Nullable: true},
+	}}
+	flow := poiesis.NewBuilder("orders_staging").
+		Op("src", "orders_source", etl.OpExtract, schema).
+		Op("flt", "filter_positive", etl.OpFilter, schema).
+		Op("drv", "derive_tax", etl.OpDerive,
+			schema.With(poiesis.Attribute{Name: "tax", Type: etl.TypeFloat})).
+		Op("ld", "dw_orders", etl.OpLoad, poiesis.Schema{}).
+		MustBuild()
+
+	// 2. Persist as xLM and reload: the canonical fingerprint must survive.
+	xlmPath := filepath.Join(dir, "orders.xlm")
+	if err := poiesis.SaveXLM(xlmPath, flow); err != nil {
+		log.Fatal(err)
+	}
+	reloaded, err := poiesis.LoadXLM(xlmPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("xLM round trip: fingerprints match = %v\n",
+		flow.Fingerprint() == reloaded.Fingerprint())
+
+	// 3. Plan one redesign round and integrate the best design.
+	planner := poiesis.NewPlanner(nil, poiesis.Options{
+		Policy: poiesis.GreedyPolicy{TopK: 1},
+		Depth:  1,
+	})
+	res, err := planner.Plan(reloaded, poiesis.AutoBinding(reloaded, 1000, 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	best := res.Best(poiesis.NewGoals(map[poiesis.Characteristic]float64{
+		poiesis.DataQuality: 1, poiesis.Reliability: 1,
+	}))
+	fmt.Printf("selected redesign: %s\n", best.Label())
+	fmt.Printf("structural delta: %s\n", poiesis.DiffFlows(reloaded, best.Graph))
+
+	// 4. Replay the selection onto the (reloaded) production flow — this is
+	// what "integrating the corresponding patterns to the existing process"
+	// means operationally — and verify the result.
+	integrated, err := poiesis.ReplayVerified(nil, reloaded, best)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Export the integrated design to every supported format.
+	outputs := map[string]func() ([]byte, error){
+		"orders_redesigned.ktr":  func() ([]byte, error) { return poiesis.EncodePDI(integrated) },
+		"orders_redesigned.xlm":  func() ([]byte, error) { return poiesis.EncodeXLM(integrated) },
+		"orders_redesigned.json": func() ([]byte, error) { return poiesis.EncodeJSON(integrated) },
+		"orders_redesigned.dot":  func() ([]byte, error) { return []byte(poiesis.ExportDOT(integrated)), nil },
+	}
+	for name, enc := range outputs {
+		b, err := enc()
+		if err != nil {
+			log.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %-24s %6d bytes\n", name, len(b))
+	}
+}

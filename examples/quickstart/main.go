@@ -1,0 +1,51 @@
+// Quickstart: load a demo ETL flow, generate alternative designs with the
+// default pattern palette, and print the Pareto frontier with quality
+// measures — the minimal end-to-end use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"poiesis"
+)
+
+func main() {
+	// The Fig. 2 purchases flow from the TPC-DS-based demo process.
+	flow := poiesis.TPCDSPurchases()
+	fmt.Printf("initial flow %q: %d operations, %d transitions\n\n",
+		flow.Name, flow.Len(), flow.EdgeCount())
+
+	// Plan with defaults: greedy policy, depth 2, skyline over performance /
+	// data quality / reliability.
+	planner := poiesis.NewPlanner(nil, poiesis.Options{})
+	result, err := planner.Plan(flow, poiesis.TPCDSBinding(flow, 2000, 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("generated %d alternatives (%d duplicates removed); skyline has %d designs\n\n",
+		len(result.Alternatives), result.Stats.Deduped, len(result.SkylineIdx))
+
+	fmt.Print(poiesis.RenderScatterASCII(result, poiesis.ScatterOptions{
+		Title: "Alternative ETL flows — skyline highlighted (@)",
+	}))
+
+	fmt.Println("\nPareto-frontier designs:")
+	for i, alt := range result.Skyline() {
+		fmt.Printf("  [%d] %s\n", i, alt.Label())
+		fmt.Printf("      performance=%.3f data_quality=%.3f reliability=%.3f\n",
+			alt.Report.Score(poiesis.Performance),
+			alt.Report.Score(poiesis.DataQuality),
+			alt.Report.Score(poiesis.Reliability))
+	}
+
+	// Pick the best design under equal-weight goals and show the Fig. 5
+	// relative-change bars against the initial flow.
+	goals := poiesis.NewGoals(map[poiesis.Characteristic]float64{
+		poiesis.Performance: 1, poiesis.DataQuality: 1, poiesis.Reliability: 1,
+	})
+	best := result.Best(goals)
+	fmt.Printf("\nbest design: %s\n\n", best.Label())
+	fmt.Print(poiesis.RenderRelativeBars(best, result, nil))
+}

@@ -1,0 +1,81 @@
+// Iterative redesign session on the TPC-H-based demo process: the analyst
+// explores the alternative space, selects a skyline design, and iterates —
+// "new iteration cycles commence, until the user considers that the flow
+// adequately satisfies quality goals". Goals prioritise reliability; a
+// constraint keeps the cycle time within an SLA.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"poiesis"
+)
+
+func main() {
+	flow := poiesis.TPCHRevenue()
+	bind := poiesis.TPCHBinding(flow, 3000, 7)
+
+	goals := poiesis.NewGoals(map[poiesis.Characteristic]float64{
+		poiesis.Reliability: 2,
+		poiesis.DataQuality: 1,
+		poiesis.Performance: 1,
+	})
+
+	planner := poiesis.NewPlanner(nil, poiesis.Options{
+		Policy: poiesis.GoalDrivenPolicy{Goals: goals, TopK: 12},
+		Depth:  2,
+		Constraints: []poiesis.Constraint{
+			// SLA: composite performance must not collapse below 0.35 while
+			// we chase reliability.
+			poiesis.MinScore(poiesis.Performance, 0.35),
+		},
+	})
+	session := poiesis.NewSession(planner, flow, bind)
+
+	const iterations = 3
+	for it := 1; it <= iterations; it++ {
+		res, err := session.Explore()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("iteration %d: %d alternatives, %d on the skyline (%d rejected by constraints)\n",
+			it, len(res.Alternatives), len(res.SkylineIdx), res.Stats.ConstraintRejected)
+
+		if len(res.SkylineIdx) == 0 {
+			fmt.Println("no admissible designs left; stopping")
+			break
+		}
+		// Auto-select the skyline member with the best goal utility,
+		// simulating the analyst's click.
+		bestIdx, bestU := 0, -1.0
+		for i, alt := range res.Skyline() {
+			if u := goals.Utility(alt.Report); u > bestU {
+				bestIdx, bestU = i, u
+			}
+		}
+		alt, err := session.Select(bestIdx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  selected: %s (utility %.4f)\n", alt.Label(), bestU)
+		fmt.Printf("  reliability %.4f -> %.4f | flow now %d operations\n\n",
+			res.Initial.Report.Score(poiesis.Reliability),
+			alt.Report.Score(poiesis.Reliability),
+			alt.Graph.Len())
+	}
+
+	fmt.Println("session history:")
+	for _, rec := range session.History() {
+		fmt.Printf("  #%d %-60s mean skyline score %.4f -> %.4f\n",
+			rec.Iteration, rec.Label, rec.ScoreBefore, rec.ScoreAfter)
+	}
+
+	// The final design can be exported back to xLM for deployment.
+	out, err := poiesis.EncodeXLM(session.Current())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfinal design exports to %d bytes of xLM (%d operations)\n",
+		len(out), session.Current().Len())
+}

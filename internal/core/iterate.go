@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+
+	"poiesis/internal/etl"
+	"poiesis/internal/measures"
+	"poiesis/internal/sim"
+)
+
+// Session drives the iterative redesign loop of the paper: "Based on
+// measures and design, the user makes a selection decision and the tool
+// implements this decision by integrating the corresponding patterns to the
+// existing process ... Subsequently, new iteration cycles commence, until
+// the user considers that the flow adequately satisfies quality goals."
+type Session struct {
+	planner *Planner
+	bind    sim.Binding
+
+	current *etl.Graph
+	history []SelectionRecord
+	last    *Result
+}
+
+// SelectionRecord captures one accepted redesign step.
+type SelectionRecord struct {
+	Iteration int
+	Label     string
+	// ScoreBefore/After are the mean composite scores over the skyline
+	// dimensions, recording the quantitative improvement of the step.
+	ScoreBefore float64
+	ScoreAfter  float64
+}
+
+// NewSession starts an iterative redesign session on the initial flow.
+func NewSession(planner *Planner, initial *etl.Graph, bind sim.Binding) *Session {
+	return &Session{planner: planner, bind: bind, current: initial}
+}
+
+// Current returns the present process design.
+func (s *Session) Current() *etl.Graph { return s.current }
+
+// History returns the accepted steps so far.
+func (s *Session) History() []SelectionRecord {
+	return append([]SelectionRecord(nil), s.history...)
+}
+
+// LastResult returns the most recent planning result (nil before Explore).
+func (s *Session) LastResult() *Result { return s.last }
+
+// Explore runs one planning cycle on the current design and returns the
+// result whose skyline the user chooses from.
+func (s *Session) Explore() (*Result, error) {
+	res, err := s.planner.Plan(s.current, s.bind)
+	if err != nil {
+		return nil, err
+	}
+	s.last = res
+	return res, nil
+}
+
+// Select accepts the skyline alternative with the given index into
+// Result.SkylineIdx; the chosen design becomes the session's current
+// process, and the next Explore iterates from it.
+func (s *Session) Select(skyIdx int) (*Alternative, error) {
+	if s.last == nil {
+		return nil, fmt.Errorf("core: Select before Explore")
+	}
+	if skyIdx < 0 || skyIdx >= len(s.last.SkylineIdx) {
+		return nil, fmt.Errorf("core: skyline index %d out of range [0,%d)", skyIdx, len(s.last.SkylineIdx))
+	}
+	alt := &s.last.Alternatives[s.last.SkylineIdx[skyIdx]]
+	rec := SelectionRecord{
+		Iteration:   len(s.history) + 1,
+		Label:       alt.Label(),
+		ScoreBefore: meanScore(s.last.Initial.Report, s.last.Dims),
+		ScoreAfter:  meanScore(alt.Report, s.last.Dims),
+	}
+	s.history = append(s.history, rec)
+	s.current = alt.Graph
+	s.last = nil
+	return alt, nil
+}
+
+func meanScore(r *measures.Report, dims []measures.Characteristic) float64 {
+	if r == nil || len(dims) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, d := range dims {
+		sum += r.Score(d)
+	}
+	return sum / float64(len(dims))
+}

@@ -1,0 +1,380 @@
+// Package core implements the POIESIS Planner: the component that takes an
+// initial ETL flow and user-defined configurations, automatically generates
+// and applies Flow Component Patterns "in varying positions and combinations
+// ... resulting to thousands of alternative ETL flows", estimates quality
+// measures for every alternative, and returns the Pareto frontier of the
+// design space (Fig. 3).
+//
+// The Planner separates the three architecture stages:
+//
+//	Pattern Generation  — enumerate valid (pattern, point) candidates per
+//	                      deployment policy,
+//	Pattern Application — clone the flow and weave candidates in, breadth
+//	                      first over combination depth, deduplicated by
+//	                      canonical fingerprint,
+//	Measures Estimation — execute + Monte-Carlo sample every alternative on
+//	                      a bounded worker pool (substituting the paper's
+//	                      background cloud nodes) and score it.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+
+	"poiesis/internal/etl"
+	"poiesis/internal/fcp"
+	"poiesis/internal/measures"
+	"poiesis/internal/policy"
+	"poiesis/internal/sim"
+	"poiesis/internal/skyline"
+)
+
+// Options configures one planning run.
+type Options struct {
+	// Palette selects patterns by name from the registry; empty means the
+	// whole registry (demo part P2 lets the user pick a subset).
+	Palette []string
+	// Policy decides which candidate applications are explored per round.
+	// Default: Greedy{TopK: 3}.
+	Policy policy.Policy
+	// Depth is the number of pattern-addition rounds ("this process can be
+	// repeated an arbitrary number of times"). Default 2.
+	Depth int
+	// MaxAlternatives caps the generated space. Default 4096.
+	MaxAlternatives int
+	// Dims are the skyline dimensions (Fig. 4 axes). Default: performance,
+	// data quality, reliability.
+	Dims []measures.Characteristic
+	// Constraints reject alternatives violating measure bounds.
+	Constraints []policy.Constraint
+	// Workers sizes the evaluation pool. Default: GOMAXPROCS.
+	Workers int
+	// Sim configures the execution engine.
+	Sim sim.Config
+	// DisableDedup turns fingerprint deduplication off (ablation A3).
+	DisableDedup bool
+	// CustomMeasures extends the estimator with user-defined quality
+	// metrics (P3); they appear in every report of the run.
+	CustomMeasures []measures.CustomMeasure
+}
+
+func (o Options) withDefaults() Options {
+	if o.Policy == nil {
+		o.Policy = policy.Greedy{TopK: 3}
+	}
+	if o.Depth <= 0 {
+		o.Depth = 2
+	}
+	if o.MaxAlternatives <= 0 {
+		o.MaxAlternatives = 4096
+	}
+	if len(o.Dims) == 0 {
+		o.Dims = []measures.Characteristic{
+			measures.Performance, measures.DataQuality, measures.Reliability,
+		}
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Sim.Runs == 0 {
+		o.Sim = sim.DefaultConfig()
+	}
+	return o
+}
+
+// Alternative is one generated design with its provenance and estimate.
+type Alternative struct {
+	// Graph is the rewritten flow.
+	Graph *etl.Graph
+	// Applications is the deployment history relative to the initial flow.
+	Applications []fcp.Application
+	// Report holds the estimated measures (nil until evaluated).
+	Report *measures.Report
+	// Err records an evaluation failure, leaving Report nil.
+	Err error
+}
+
+// Label renders the application history, e.g.
+// "AddCheckpoint@edge:drv->ld3 + FilterNullValues@edge:src->flt".
+func (a *Alternative) Label() string {
+	if len(a.Applications) == 0 {
+		return "initial"
+	}
+	s := ""
+	for i, app := range a.Applications {
+		if i > 0 {
+			s += " + "
+		}
+		s += app.String()
+	}
+	return s
+}
+
+// Stats summarises one planning run.
+type Stats struct {
+	// CandidatesSeen counts every (pattern, point) candidate proposed.
+	CandidatesSeen int
+	// Generated counts flows produced by applications (before dedup).
+	Generated int
+	// Deduped counts flows dropped as fingerprint duplicates.
+	Deduped int
+	// Evaluated counts flows whose measures were estimated.
+	Evaluated int
+	// ConstraintRejected counts evaluated flows that violated constraints.
+	ConstraintRejected int
+	// Capped reports whether MaxAlternatives stopped generation early.
+	Capped bool
+}
+
+// Result is the outcome of one planning run.
+type Result struct {
+	// Initial is the evaluated initial flow (the Fig. 5 baseline).
+	Initial Alternative
+	// Alternatives are the evaluated, constraint-satisfying designs.
+	Alternatives []Alternative
+	// SkylineIdx indexes Alternatives: the Pareto frontier presented to the
+	// user (Fig. 4).
+	SkylineIdx []int
+	// Dims are the characteristics the skyline was computed over.
+	Dims []measures.Characteristic
+	// Stats describes the run.
+	Stats Stats
+}
+
+// Skyline returns the frontier alternatives in index order.
+func (r *Result) Skyline() []*Alternative {
+	out := make([]*Alternative, 0, len(r.SkylineIdx))
+	for _, i := range r.SkylineIdx {
+		out = append(out, &r.Alternatives[i])
+	}
+	return out
+}
+
+// Best returns the skyline alternative maximising the goals' utility; falls
+// back to the initial design when the frontier is empty.
+func (r *Result) Best(goals policy.Goals) *Alternative {
+	best := &r.Initial
+	bestU := goals.Utility(r.Initial.Report)
+	for _, a := range r.Skyline() {
+		if a.Report == nil {
+			continue
+		}
+		if u := goals.Utility(a.Report); u > bestU {
+			best, bestU = a, u
+		}
+	}
+	return best
+}
+
+// Planner generates and evaluates alternative ETL designs.
+type Planner struct {
+	reg  *fcp.Registry
+	opts Options
+}
+
+// NewPlanner builds a planner over a pattern registry. A nil registry uses
+// the default palette.
+func NewPlanner(reg *fcp.Registry, opts Options) *Planner {
+	if reg == nil {
+		reg = fcp.DefaultRegistry()
+	}
+	return &Planner{reg: reg, opts: opts.withDefaults()}
+}
+
+// Registry exposes the pattern repository (for palette listing and custom
+// pattern registration).
+func (p *Planner) Registry() *fcp.Registry { return p.reg }
+
+// Options returns the effective options after defaulting.
+func (p *Planner) Options() Options { return p.opts }
+
+// ErrInvalidFlow wraps validation failures of the input flow.
+var ErrInvalidFlow = errors.New("core: invalid initial flow")
+
+// Plan runs one full generate-apply-estimate cycle on the initial flow.
+func (p *Planner) Plan(initial *etl.Graph, bind sim.Binding) (*Result, error) {
+	if err := initial.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidFlow, err)
+	}
+	palette, err := p.reg.Palette(p.opts.Palette...)
+	if err != nil {
+		return nil, err
+	}
+	engine := sim.NewEngine(p.opts.Sim)
+
+	// Baseline evaluation anchors the measure normalisation and Fig. 5
+	// relative changes.
+	baseProfile, baseBatch, err := engine.Evaluate(initial, bind)
+	if err != nil {
+		return nil, fmt.Errorf("core: evaluating initial flow: %w", err)
+	}
+	est := measures.NewEstimator(measures.BaselineConfig(initial, baseProfile, baseBatch))
+	for _, cm := range p.opts.CustomMeasures {
+		est.WithCustomMeasure(cm)
+	}
+	res := &Result{Dims: p.opts.Dims}
+	res.Initial = Alternative{
+		Graph:  initial,
+		Report: est.Estimate(initial, baseProfile, baseBatch),
+	}
+
+	// Pattern generation + application: breadth-first over rounds.
+	alts, stats := p.generate(initial, palette)
+	res.Stats = stats
+
+	// Measures estimation on the worker pool.
+	p.evaluate(alts, bind, engine, est, &res.Stats)
+
+	// Constraint filtering.
+	kept := alts[:0]
+	for i := range alts {
+		a := alts[i]
+		if a.Err != nil || a.Report == nil {
+			continue
+		}
+		if ok, _ := policy.CheckAll(a.Report, p.opts.Constraints); !ok {
+			res.Stats.ConstraintRejected++
+			continue
+		}
+		kept = append(kept, a)
+	}
+	res.Alternatives = kept
+
+	// Skyline over the chosen dimensions.
+	vecs := make([][]float64, len(res.Alternatives))
+	for i := range res.Alternatives {
+		vecs[i] = res.Alternatives[i].Report.Vector(p.opts.Dims)
+	}
+	res.SkylineIdx = skyline.Compute(vecs)
+	return res, nil
+}
+
+// generate builds the alternative space: each round applies every proposed
+// candidate to every frontier design.
+func (p *Planner) generate(initial *etl.Graph, palette []fcp.Pattern) ([]Alternative, Stats) {
+	var stats Stats
+	seen := map[string]bool{initial.Fingerprint(): true}
+	frontier := []Alternative{{Graph: initial}}
+	var out []Alternative
+
+	for round := 0; round < p.opts.Depth; round++ {
+		var next []Alternative
+		for _, cur := range frontier {
+			cands := p.opts.Policy.Propose(cur.Graph, palette)
+			stats.CandidatesSeen += len(cands)
+			for _, c := range cands {
+				if len(out) >= p.opts.MaxAlternatives {
+					stats.Capped = true
+					return out, stats
+				}
+				clone := cur.Graph.Clone()
+				app, err := c.Pattern.Apply(clone, c.Point)
+				if err != nil {
+					// The candidate was valid at proposal time; application
+					// can only fail on programming errors, which tests catch.
+					continue
+				}
+				stats.Generated++
+				if !p.opts.DisableDedup {
+					fp := clone.Fingerprint()
+					if seen[fp] {
+						stats.Deduped++
+						continue
+					}
+					seen[fp] = true
+				}
+				alt := Alternative{
+					Graph:        clone,
+					Applications: append(append([]fcp.Application(nil), cur.Applications...), app),
+				}
+				next = append(next, alt)
+				out = append(out, alt)
+			}
+		}
+		if len(next) == 0 {
+			break
+		}
+		frontier = next
+	}
+	return out, stats
+}
+
+// evaluate estimates measures for all alternatives on a bounded worker pool
+// — the stand-in for the paper's elastic cloud evaluation nodes. Results
+// land at their input index, keeping the output deterministic regardless of
+// scheduling.
+func (p *Planner) evaluate(alts []Alternative, bind sim.Binding, engine *sim.Engine, est *measures.Estimator, stats *Stats) {
+	type job struct{ idx int }
+	jobs := make(chan job)
+	done := make(chan struct{})
+	workers := p.opts.Workers
+	if workers > len(alts) && len(alts) > 0 {
+		workers = len(alts)
+	}
+	for w := 0; w < workers; w++ {
+		go func() {
+			for j := range jobs {
+				a := &alts[j.idx]
+				profile, batch, err := engine.Evaluate(a.Graph, bind)
+				if err != nil {
+					a.Err = err
+				} else {
+					a.Report = est.Estimate(a.Graph, profile, batch)
+				}
+				done <- struct{}{}
+			}
+		}()
+	}
+	go func() {
+		for i := range alts {
+			jobs <- job{idx: i}
+		}
+		close(jobs)
+	}()
+	for range alts {
+		<-done
+	}
+	for i := range alts {
+		if alts[i].Err == nil && alts[i].Report != nil {
+			stats.Evaluated++
+		}
+	}
+}
+
+// CountApplicationPoints returns, per pattern name, how many valid
+// application points exist on the flow. Benchmark S1 uses it to reproduce
+// the "complexity ... is factorial to the size of the graph" claim.
+func CountApplicationPoints(reg *fcp.Registry, g *etl.Graph, palette ...string) (map[string]int, error) {
+	if reg == nil {
+		reg = fcp.DefaultRegistry()
+	}
+	pats, err := reg.Palette(palette...)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]int, len(pats))
+	for _, pat := range pats {
+		out[pat.Name()] = len(fcp.ApplicationPoints(pat, g))
+	}
+	return out, nil
+}
+
+// SortAlternativesByUtility orders alternatives best-first under the goals
+// (stable; ties by label).
+func SortAlternativesByUtility(alts []Alternative, goals policy.Goals) {
+	sort.SliceStable(alts, func(i, j int) bool {
+		ui, uj := 0.0, 0.0
+		if alts[i].Report != nil {
+			ui = goals.Utility(alts[i].Report)
+		}
+		if alts[j].Report != nil {
+			uj = goals.Utility(alts[j].Report)
+		}
+		if ui != uj {
+			return ui > uj
+		}
+		return alts[i].Label() < alts[j].Label()
+	})
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"poiesis/internal/etl"
+	"poiesis/internal/fcp"
+	"poiesis/internal/measures"
+)
+
+// Replay re-applies a recorded application history onto a fresh clone of
+// the initial flow: "the user makes a selection decision and the tool
+// implements this decision by integrating the corresponding patterns to the
+// existing process". Because pattern application and fresh-ID generation are
+// deterministic, replaying the history of an alternative reproduces a flow
+// with the identical canonical fingerprint — verified by ReplayVerified.
+func Replay(reg *fcp.Registry, initial *etl.Graph, apps []fcp.Application) (*etl.Graph, error) {
+	if reg == nil {
+		reg = fcp.DefaultRegistry()
+	}
+	g := initial.Clone()
+	for i, app := range apps {
+		pat, ok := reg.Get(app.Pattern)
+		if !ok {
+			return nil, fmt.Errorf("core: replay step %d: unknown pattern %q", i, app.Pattern)
+		}
+		if _, err := pat.Apply(g, app.Point); err != nil {
+			return nil, fmt.Errorf("core: replay step %d (%s): %w", i, app, err)
+		}
+	}
+	return g, nil
+}
+
+// ReplayVerified replays the history and checks the result against the
+// expected design's fingerprint, guarding against registry drift (e.g. a
+// reconfigured pattern that no longer produces the evaluated design).
+func ReplayVerified(reg *fcp.Registry, initial *etl.Graph, alt *Alternative) (*etl.Graph, error) {
+	g, err := Replay(reg, initial, alt.Applications)
+	if err != nil {
+		return nil, err
+	}
+	if got, want := g.Fingerprint(), alt.Graph.Fingerprint(); got != want {
+		return nil, fmt.Errorf("core: replay mismatch: fingerprint %s, evaluated design has %s", got, want)
+	}
+	return g, nil
+}
+
+// Explanation says why one skyline member is presented: on which dimensions
+// it leads the frontier and what it trades away, plus its structural delta
+// against the initial flow.
+type Explanation struct {
+	Label  string
+	Scores map[measures.Characteristic]float64
+	// LeadsOn lists dimensions where the design attains the frontier
+	// maximum.
+	LeadsOn []measures.Characteristic
+	// WeakestOn is the dimension where the design ranks worst within the
+	// frontier (its trade-off).
+	WeakestOn measures.Characteristic
+	// Delta summarises the structural change against the initial flow.
+	Delta etl.Diff
+}
+
+// String renders a one-line explanation.
+func (e Explanation) String() string {
+	leads := make([]string, len(e.LeadsOn))
+	for i, c := range e.LeadsOn {
+		leads[i] = string(c)
+	}
+	lead := "a balanced trade-off"
+	if len(leads) > 0 {
+		lead = "best " + strings.Join(leads, ", ")
+	}
+	return fmt.Sprintf("%s: %s; weakest on %s; changes: %s",
+		e.Label, lead, e.WeakestOn, e.Delta)
+}
+
+// ExplainSkyline produces an explanation for every frontier member of a
+// result, in skyline order.
+func ExplainSkyline(res *Result) []Explanation {
+	sky := res.Skyline()
+	if len(sky) == 0 {
+		return nil
+	}
+	// Frontier maxima per dimension.
+	maxPerDim := make([]float64, len(res.Dims))
+	for d := range res.Dims {
+		for _, a := range sky {
+			if v := a.Report.Score(res.Dims[d]); v > maxPerDim[d] {
+				maxPerDim[d] = v
+			}
+		}
+	}
+	out := make([]Explanation, 0, len(sky))
+	for _, a := range sky {
+		e := Explanation{
+			Label:  a.Label(),
+			Scores: map[measures.Characteristic]float64{},
+			Delta:  etl.DiffFlows(res.Initial.Graph, a.Graph),
+		}
+		// Rank within frontier per dimension to find the weakest.
+		worstRankDim := res.Dims[0]
+		worstRank := -1
+		for d, dim := range res.Dims {
+			v := a.Report.Score(dim)
+			e.Scores[dim] = v
+			if v >= maxPerDim[d]-1e-12 {
+				e.LeadsOn = append(e.LeadsOn, dim)
+			}
+			rank := 0
+			for _, other := range sky {
+				if other.Report.Score(dim) > v {
+					rank++
+				}
+			}
+			if rank > worstRank {
+				worstRank, worstRankDim = rank, dim
+			}
+		}
+		e.WeakestOn = worstRankDim
+		out = append(out, e)
+	}
+	return out
+}
+
+// FrontierSpread reports, per dimension, the min and max score across the
+// skyline — the extent of the trade-off space the analyst is choosing in.
+func FrontierSpread(res *Result) map[measures.Characteristic][2]float64 {
+	out := map[measures.Characteristic][2]float64{}
+	sky := res.Skyline()
+	if len(sky) == 0 {
+		return out
+	}
+	for _, dim := range res.Dims {
+		lo, hi := sky[0].Report.Score(dim), sky[0].Report.Score(dim)
+		for _, a := range sky[1:] {
+			v := a.Report.Score(dim)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		out[dim] = [2]float64{lo, hi}
+	}
+	return out
+}
+
+// PatternUsage counts, over all alternatives of a result, how often each
+// pattern appears and how often it appears in skyline members — the
+// "correlations among design choices and quality characteristics" analysis
+// the paper's introduction motivates.
+type PatternUsage struct {
+	Pattern      string
+	Applications int
+	InSkyline    int
+}
+
+// AnalyzePatternUsage aggregates pattern usage across the result.
+func AnalyzePatternUsage(res *Result) []PatternUsage {
+	counts := map[string]*PatternUsage{}
+	bump := func(name string, sky bool) {
+		u := counts[name]
+		if u == nil {
+			u = &PatternUsage{Pattern: name}
+			counts[name] = u
+		}
+		u.Applications++
+		if sky {
+			u.InSkyline++
+		}
+	}
+	inSky := map[int]bool{}
+	for _, i := range res.SkylineIdx {
+		inSky[i] = true
+	}
+	for i := range res.Alternatives {
+		for _, app := range res.Alternatives[i].Applications {
+			bump(app.Pattern, inSky[i])
+		}
+	}
+	out := make([]PatternUsage, 0, len(counts))
+	for _, u := range counts {
+		out = append(out, *u)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].InSkyline != out[j].InSkyline {
+			return out[i].InSkyline > out[j].InSkyline
+		}
+		return out[i].Pattern < out[j].Pattern
+	})
+	return out
+}

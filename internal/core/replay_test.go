@@ -1,0 +1,136 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"poiesis/internal/fcp"
+	"poiesis/internal/tpcds"
+)
+
+func TestReplayReproducesAlternatives(t *testing.T) {
+	res := plan(t, smallOptions())
+	initial := tpcds.PurchasesFlow()
+	for _, a := range res.Alternatives {
+		g, err := Replay(nil, initial, a.Applications)
+		if err != nil {
+			t.Fatalf("replay %s: %v", a.Label(), err)
+		}
+		if g.Fingerprint() != a.Graph.Fingerprint() {
+			t.Errorf("replay of %s produced a different design", a.Label())
+		}
+	}
+}
+
+func TestReplayVerified(t *testing.T) {
+	res := plan(t, smallOptions())
+	initial := tpcds.PurchasesFlow()
+	alt := &res.Alternatives[0]
+	if _, err := ReplayVerified(nil, initial, alt); err != nil {
+		t.Fatal(err)
+	}
+	// Tampering with the expected design must be caught.
+	tampered := *alt
+	tampered.Graph = initial
+	if _, err := ReplayVerified(nil, initial, &tampered); err == nil {
+		t.Error("mismatch not detected")
+	}
+}
+
+func TestReplayErrors(t *testing.T) {
+	initial := tpcds.PurchasesFlow()
+	if _, err := Replay(nil, initial, []fcp.Application{{Pattern: "nope"}}); err == nil {
+		t.Error("unknown pattern should fail")
+	}
+	if _, err := Replay(nil, initial, []fcp.Application{
+		{Pattern: fcp.NameAddCheckpoint, Point: fcp.AtEdge("a", "b")},
+	}); err == nil {
+		t.Error("invalid point should fail")
+	}
+	// Replay must not mutate the initial flow even on failure.
+	if initial.GeneratedCount() != 0 {
+		t.Error("Replay mutated the initial flow")
+	}
+}
+
+func TestExplainSkyline(t *testing.T) {
+	res := plan(t, smallOptions())
+	exps := ExplainSkyline(res)
+	if len(exps) != len(res.SkylineIdx) {
+		t.Fatalf("explanations = %d, skyline = %d", len(exps), len(res.SkylineIdx))
+	}
+	// Every frontier dimension maximum must be claimed by someone.
+	claimed := map[string]bool{}
+	for _, e := range exps {
+		for _, d := range e.LeadsOn {
+			claimed[string(d)] = true
+		}
+		if len(e.Scores) != len(res.Dims) {
+			t.Errorf("scores incomplete for %s", e.Label)
+		}
+		if e.WeakestOn == "" {
+			t.Errorf("no weakest dimension for %s", e.Label)
+		}
+		if e.Delta.IsEmpty() {
+			t.Errorf("skyline member %s has no structural delta", e.Label)
+		}
+		if s := e.String(); !strings.Contains(s, e.Label) {
+			t.Errorf("explanation string = %q", s)
+		}
+	}
+	for _, d := range res.Dims {
+		if !claimed[string(d)] {
+			t.Errorf("no skyline member leads on %s", d)
+		}
+	}
+	if got := ExplainSkyline(&Result{}); got != nil {
+		t.Error("empty result should explain to nil")
+	}
+}
+
+func TestFrontierSpread(t *testing.T) {
+	res := plan(t, smallOptions())
+	spread := FrontierSpread(res)
+	if len(spread) != len(res.Dims) {
+		t.Fatalf("spread dims = %d", len(spread))
+	}
+	for dim, mm := range spread {
+		if mm[0] > mm[1] {
+			t.Errorf("%s: min %f > max %f", dim, mm[0], mm[1])
+		}
+		if mm[1] < 0 || mm[1] > 1 {
+			t.Errorf("%s: max out of range", dim)
+		}
+	}
+	if got := FrontierSpread(&Result{}); len(got) != 0 {
+		t.Error("empty result should have empty spread")
+	}
+}
+
+func TestAnalyzePatternUsage(t *testing.T) {
+	res := plan(t, smallOptions())
+	usage := AnalyzePatternUsage(res)
+	if len(usage) == 0 {
+		t.Fatal("no pattern usage")
+	}
+	total := 0
+	for _, u := range usage {
+		if u.InSkyline > u.Applications {
+			t.Errorf("%s: skyline count exceeds applications", u.Pattern)
+		}
+		total += u.Applications
+	}
+	want := 0
+	for _, a := range res.Alternatives {
+		want += len(a.Applications)
+	}
+	if total != want {
+		t.Errorf("total applications %d != %d", total, want)
+	}
+	// Sorted best-first by skyline presence.
+	for i := 0; i+1 < len(usage); i++ {
+		if usage[i].InSkyline < usage[i+1].InSkyline {
+			t.Error("usage not sorted by skyline presence")
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package data
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"poiesis/internal/etl"
+)
+
+func spec(rows int, d Defects) SourceSpec {
+	return SourceSpec{
+		Name: "test",
+		Schema: etl.NewSchema(
+			etl.Attribute{Name: "id", Type: etl.TypeInt, Key: true},
+			etl.Attribute{Name: "qty", Type: etl.TypeInt},
+			etl.Attribute{Name: "price", Type: etl.TypeFloat},
+			etl.Attribute{Name: "note", Type: etl.TypeString, Nullable: true},
+			etl.Attribute{Name: "when", Type: etl.TypeDate},
+			etl.Attribute{Name: "flag", Type: etl.TypeBool},
+		),
+		Rows:           rows,
+		Defects:        d,
+		UpdatesPerHour: 2,
+		Seed:           77,
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	s := spec(500, Defects{NullRate: 0.1, DupRate: 0.05, ErrorRate: 0.05})
+	a, b := Generate(s), Generate(s)
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(a.Rows), len(b.Rows))
+	}
+	if !reflect.DeepEqual(a.Rows[:50], b.Rows[:50]) {
+		t.Error("same spec must generate identical data")
+	}
+	if a.Nulls != b.Nulls || a.Duplicates != b.Duplicates || a.Errors != b.Errors {
+		t.Error("defect bookkeeping not deterministic")
+	}
+}
+
+func TestGenerateCardinality(t *testing.T) {
+	s := spec(1000, Defects{})
+	rs := Generate(s)
+	if len(rs.Rows) != 1000 {
+		t.Errorf("defect-free generation should give exactly Rows rows, got %d", len(rs.Rows))
+	}
+	if rs.Nulls != 0 || rs.Duplicates != 0 || rs.Errors != 0 {
+		t.Errorf("defect-free generation injected defects: %+v", rs)
+	}
+	sd := spec(1000, Defects{DupRate: 0.2})
+	rsd := Generate(sd)
+	if len(rsd.Rows) != 1000+rsd.Duplicates {
+		t.Errorf("row count %d != logical 1000 + dups %d", len(rsd.Rows), rsd.Duplicates)
+	}
+	if rsd.Duplicates < 120 || rsd.Duplicates > 280 {
+		t.Errorf("duplicate count %d far from 20%% of 1000", rsd.Duplicates)
+	}
+}
+
+func TestGenerateKeysUniqueWithoutDups(t *testing.T) {
+	rs := Generate(spec(2000, Defects{}))
+	seen := map[int64]bool{}
+	for _, r := range rs.Rows {
+		id := r[0].(int64)
+		if seen[id] {
+			t.Fatalf("duplicate key %d without dup injection", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestGenerateDefectRates(t *testing.T) {
+	rs := Generate(spec(5000, Defects{NullRate: 0.1, ErrorRate: 0.08}))
+	// One nullable attribute -> expect ~500 nulls.
+	if rs.Nulls < 380 || rs.Nulls > 640 {
+		t.Errorf("nulls = %d, want ~500", rs.Nulls)
+	}
+	if rs.Errors < 280 || rs.Errors > 520 {
+		t.Errorf("errors = %d, want ~400", rs.Errors)
+	}
+}
+
+func TestGenerateTypes(t *testing.T) {
+	rs := Generate(spec(100, Defects{}))
+	r := rs.Rows[0]
+	if _, ok := r[0].(int64); !ok {
+		t.Errorf("id type %T", r[0])
+	}
+	if _, ok := r[2].(float64); !ok {
+		t.Errorf("price type %T", r[2])
+	}
+	if _, ok := r[3].(string); !ok {
+		t.Errorf("note type %T", r[3])
+	}
+	if _, ok := r[4].(int64); !ok {
+		t.Errorf("when type %T", r[4])
+	}
+	if _, ok := r[5].(bool); !ok {
+		t.Errorf("flag type %T", r[5])
+	}
+}
+
+func TestIsErroneous(t *testing.T) {
+	cases := []struct {
+		v    etl.Value
+		want bool
+	}{
+		{int64(5), false},
+		{int64(-1_000_001), true},
+		{int64(-1), true},
+		{float64(10), false},
+		{float64(-2e9), true},
+		{"alpha", false},
+		{ErrMarker + "zap", true},
+		{nil, false},
+		{true, false},
+	}
+	for _, c := range cases {
+		if got := IsErroneous(c.v); got != c.want {
+			t.Errorf("IsErroneous(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestMeasureAgainstInjection(t *testing.T) {
+	s := spec(3000, Defects{NullRate: 0.05, DupRate: 0.1, ErrorRate: 0.05})
+	rs := Generate(s)
+	st := Measure(s.Schema, rs.Rows)
+	if st.Rows != len(rs.Rows) {
+		t.Errorf("rows = %d", st.Rows)
+	}
+	if st.NullCells != rs.Nulls {
+		t.Errorf("measured nulls %d != injected %d", st.NullCells, rs.Nulls)
+	}
+	if st.Duplicates < rs.Duplicates {
+		// Duplicated rows share keys, so Measure must find at least the
+		// injected duplicates (random key collisions cannot occur: keys are
+		// ordinals).
+		t.Errorf("measured dups %d < injected %d", st.Duplicates, rs.Duplicates)
+	}
+	if st.Errors < rs.Errors*9/10 {
+		// Some injected errors may be masked by a NULL overwrite on the
+		// same attribute; allow a small gap.
+		t.Errorf("measured errors %d << injected %d", st.Errors, rs.Errors)
+	}
+}
+
+func TestMeasureNoKeySchema(t *testing.T) {
+	schema := etl.NewSchema(etl.Attribute{Name: "v", Type: etl.TypeInt})
+	rows := []etl.Row{{int64(1)}, {int64(1)}, {int64(2)}}
+	st := Measure(schema, rows)
+	// Without keys, duplicate detection is skipped (no key positions).
+	if st.Duplicates != 0 {
+		t.Errorf("dups = %d, want 0 for keyless schema", st.Duplicates)
+	}
+	if st.Rows != 3 {
+		t.Errorf("rows = %d", st.Rows)
+	}
+}
+
+// Property: generation is linear in the defect configuration — row count is
+// always logical rows + duplicates, and measured nulls equal injected nulls.
+func TestGenerateProperty(t *testing.T) {
+	prop := func(seed uint64, nullPct, dupPct uint8) bool {
+		s := spec(400, Defects{
+			NullRate: float64(nullPct%50) / 100,
+			DupRate:  float64(dupPct%50) / 100,
+		})
+		s.Seed = seed
+		rs := Generate(s)
+		if len(rs.Rows) != 400+rs.Duplicates {
+			return false
+		}
+		st := Measure(s.Schema, rs.Rows)
+		return st.NullCells == rs.Nulls
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkGenerate10k(b *testing.B) {
+	s := spec(10000, Defects{NullRate: 0.05, DupRate: 0.02, ErrorRate: 0.03})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Generate(s)
+	}
+}

@@ -1,0 +1,64 @@
+package etl
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"strings"
+)
+
+// Fingerprint returns a canonical hash of the flow structure and operation
+// configurations. Two alternative designs produced by applying the same
+// patterns at the same application points hash identically even when the
+// generation order (and hence node ID numbering) differs, which lets the
+// Planner deduplicate the alternative space.
+//
+// The canonical form is position-based: nodes are labelled by their
+// canonical() description plus the multiset of their predecessors' labels,
+// iterated to a fixpoint (a Weisfeiler-Leman style refinement bounded by the
+// longest path), then sorted.
+func (g *Graph) Fingerprint() string {
+	labels := make(map[NodeID]string, g.Len())
+	for _, n := range g.Nodes() {
+		labels[n.ID] = n.canonical()
+	}
+	// Refine along topological order; for a DAG one pass per depth level
+	// suffices, and LongestPath bounds the number of levels. A fixed small
+	// cap guards pathological inputs.
+	rounds := g.LongestPath()
+	if rounds > 64 {
+		rounds = 64
+	}
+	for i := 0; i < rounds; i++ {
+		next := make(map[NodeID]string, len(labels))
+		changed := false
+		for _, id := range g.order {
+			preds := make([]string, 0, len(g.pred[id]))
+			for _, p := range g.pred[id] {
+				preds = append(preds, labels[p])
+			}
+			sort.Strings(preds)
+			nl := shortHash(labels[id] + "<" + strings.Join(preds, ";"))
+			if nl != labels[id] {
+				changed = true
+			}
+			next[id] = nl
+		}
+		labels = next
+		if !changed {
+			break
+		}
+	}
+	all := make([]string, 0, len(labels))
+	for _, id := range g.order {
+		all = append(all, labels[id])
+	}
+	sort.Strings(all)
+	sum := sha256.Sum256([]byte(g.Name + "\n" + strings.Join(all, "\n")))
+	return hex.EncodeToString(sum[:16])
+}
+
+func shortHash(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:12])
+}

@@ -1,0 +1,161 @@
+package etl
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFingerprintStable(t *testing.T) {
+	g := linearFlow(t)
+	f1 := g.Fingerprint()
+	f2 := g.Fingerprint()
+	if f1 != f2 {
+		t.Error("fingerprint not stable across calls")
+	}
+	if f1 != linearFlow(t).Fingerprint() {
+		t.Error("identical construction should fingerprint identically")
+	}
+}
+
+func TestFingerprintIgnoresInsertionOrder(t *testing.T) {
+	s := NewSchema(Attribute{Name: "x", Type: TypeInt})
+	mk := func(reverse bool) *Graph {
+		g := New("f")
+		nodes := []*Node{
+			NewNode("a", "a", OpExtract, s),
+			NewNode("b", "b", OpDerive, s),
+			NewNode("c", "c", OpLoad, Schema{}),
+		}
+		if reverse {
+			for i := len(nodes) - 1; i >= 0; i-- {
+				g.MustAddNode(nodes[i])
+			}
+		} else {
+			for _, n := range nodes {
+				g.MustAddNode(n)
+			}
+		}
+		g.MustAddEdge("a", "b")
+		g.MustAddEdge("b", "c")
+		return g
+	}
+	if mk(false).Fingerprint() != mk(true).Fingerprint() {
+		t.Error("fingerprint should not depend on node insertion order")
+	}
+}
+
+func TestFingerprintIgnoresIDSpelling(t *testing.T) {
+	s := NewSchema(Attribute{Name: "x", Type: TypeInt})
+	mk := func(ids [3]NodeID) *Graph {
+		g := New("f")
+		g.MustAddNode(NewNode(ids[0], "ext", OpExtract, s))
+		g.MustAddNode(NewNode(ids[1], "drv", OpDerive, s))
+		g.MustAddNode(NewNode(ids[2], "ld", OpLoad, Schema{}))
+		g.MustAddEdge(ids[0], ids[1])
+		g.MustAddEdge(ids[1], ids[2])
+		return g
+	}
+	a := mk([3]NodeID{"a", "b", "c"})
+	b := mk([3]NodeID{"x1", "x2", "x3"})
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("fingerprint should not depend on node ID spelling")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := linearFlow(t)
+
+	// Changing a parameter changes the fingerprint.
+	g2 := base.Clone()
+	g2.Node("flt").SetParam("predicate", "amount > 10")
+	if base.Fingerprint() == g2.Fingerprint() {
+		t.Error("parameter change should change fingerprint")
+	}
+
+	// Changing parallelism changes the fingerprint.
+	g3 := base.Clone()
+	g3.Node("drv").Parallelism = 4
+	if base.Fingerprint() == g3.Fingerprint() {
+		t.Error("parallelism change should change fingerprint")
+	}
+
+	// Changing structure changes the fingerprint.
+	g4 := base.Clone()
+	n := NewNode(g4.FreshID("x"), "x", OpFilterNull, g4.Node("src").Out)
+	if err := g4.InsertOnEdge("src", "flt", n); err != nil {
+		t.Fatal(err)
+	}
+	if base.Fingerprint() == g4.Fingerprint() {
+		t.Error("structural change should change fingerprint")
+	}
+
+	// Same pattern at different positions -> different fingerprints.
+	g5 := base.Clone()
+	n5 := NewNode(g5.FreshID("x"), "x", OpFilterNull, g5.Node("flt").Out)
+	if err := g5.InsertOnEdge("flt", "drv", n5); err != nil {
+		t.Fatal(err)
+	}
+	if g4.Fingerprint() == g5.Fingerprint() {
+		t.Error("same insertion at different points should differ")
+	}
+}
+
+func TestFingerprintPositionIndependentGeneration(t *testing.T) {
+	// Apply the same two insertions in opposite orders; the resulting flows
+	// are identical designs and must deduplicate, even though FreshID
+	// numbering differs.
+	mk := func(firstEdge bool) *Graph {
+		g := linearFlow(t)
+		insert := func(from, to NodeID, name string) {
+			n := NewNode(g.FreshID("gen"), name, OpFilterNull, g.Node(from).Out)
+			if err := g.InsertOnEdge(from, to, n); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if firstEdge {
+			insert("src", "flt", "clean")
+			insert("drv", "load", "clean")
+		} else {
+			insert("drv", "load", "clean")
+			insert("src", "flt", "clean")
+		}
+		return g
+	}
+	if mk(true).Fingerprint() != mk(false).Fingerprint() {
+		t.Error("order of independent pattern applications should not matter")
+	}
+}
+
+// Property: clones always fingerprint identically; a random structural edit
+// (node insertion on an edge) always changes the fingerprint.
+func TestFingerprintCloneProperty(t *testing.T) {
+	prop := func(seed int64, size uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, int(size%25)+3)
+		c := g.Clone()
+		if g.Fingerprint() != c.Fingerprint() {
+			return false
+		}
+		edges := c.Edges()
+		e := edges[rng.Intn(len(edges))]
+		n := NewNode(c.FreshID("mut"), "mut", OpNoop, Schema{})
+		if err := c.InsertOnEdge(e.From, e.To, n); err != nil {
+			return false
+		}
+		return g.Fingerprint() != c.Fingerprint()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkFingerprint(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	g := randomDAG(rng, 60)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Fingerprint()
+	}
+}

@@ -1,0 +1,425 @@
+package etl
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Common graph construction and validation errors.
+var (
+	ErrDuplicateNode = errors.New("etl: duplicate node id")
+	ErrUnknownNode   = errors.New("etl: unknown node id")
+	ErrDuplicateEdge = errors.New("etl: duplicate edge")
+	ErrSelfLoop      = errors.New("etl: self loop")
+	ErrCycle         = errors.New("etl: graph contains a cycle")
+	ErrNotConnected  = errors.New("etl: node not connected to any sink")
+	ErrArity         = errors.New("etl: operation arity violated")
+	ErrNoSource      = errors.New("etl: graph has no source operation")
+	ErrNoSink        = errors.New("etl: graph has no sink operation")
+	ErrSchema        = errors.New("etl: schema incompatibility")
+)
+
+// Graph is an ETL process flow: a DAG whose vertices are ETL operations and
+// whose directed edges are transitions between consecutive operations.
+//
+// The zero value is not usable; create graphs with New.
+type Graph struct {
+	// Name labels the process (e.g. "tpcds_purchases").
+	Name string
+
+	nodes map[NodeID]*Node
+	succ  map[NodeID][]NodeID
+	pred  map[NodeID][]NodeID
+
+	// order preserves insertion order of nodes for deterministic iteration.
+	order []NodeID
+
+	// seq generates fresh node IDs for pattern-inserted operations.
+	seq int
+}
+
+// New creates an empty graph with the given name.
+func New(name string) *Graph {
+	return &Graph{
+		Name:  name,
+		nodes: map[NodeID]*Node{},
+		succ:  map[NodeID][]NodeID{},
+		pred:  map[NodeID][]NodeID{},
+	}
+}
+
+// Len returns the number of nodes |V|.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// EdgeCount returns the number of edges |E|.
+func (g *Graph) EdgeCount() int {
+	n := 0
+	for _, s := range g.succ {
+		n += len(s)
+	}
+	return n
+}
+
+// AddNode inserts a node. It fails if the ID is already taken.
+func (g *Graph) AddNode(n *Node) error {
+	if n == nil || n.ID == "" {
+		return fmt.Errorf("%w: empty node", ErrUnknownNode)
+	}
+	if _, ok := g.nodes[n.ID]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicateNode, n.ID)
+	}
+	g.nodes[n.ID] = n
+	g.order = append(g.order, n.ID)
+	return nil
+}
+
+// MustAddNode inserts a node and panics on error. Intended for builders of
+// fixed fixture flows where an error is a programming bug.
+func (g *Graph) MustAddNode(n *Node) *Node {
+	if err := g.AddNode(n); err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// RemoveNode deletes a node and every edge touching it.
+func (g *Graph) RemoveNode(id NodeID) error {
+	if _, ok := g.nodes[id]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, id)
+	}
+	for _, p := range append([]NodeID(nil), g.pred[id]...) {
+		g.removeEdge(p, id)
+	}
+	for _, s := range append([]NodeID(nil), g.succ[id]...) {
+		g.removeEdge(id, s)
+	}
+	delete(g.nodes, id)
+	delete(g.succ, id)
+	delete(g.pred, id)
+	for i, o := range g.order {
+		if o == id {
+			g.order = append(g.order[:i], g.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// AddEdge inserts the transition from -> to. Both endpoints must exist; self
+// loops and duplicate edges are rejected.
+func (g *Graph) AddEdge(from, to NodeID) error {
+	if from == to {
+		return fmt.Errorf("%w: %s", ErrSelfLoop, from)
+	}
+	if _, ok := g.nodes[from]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, from)
+	}
+	if _, ok := g.nodes[to]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, to)
+	}
+	for _, s := range g.succ[from] {
+		if s == to {
+			return fmt.Errorf("%w: %s->%s", ErrDuplicateEdge, from, to)
+		}
+	}
+	g.succ[from] = append(g.succ[from], to)
+	g.pred[to] = append(g.pred[to], from)
+	return nil
+}
+
+// MustAddEdge inserts an edge and panics on error.
+func (g *Graph) MustAddEdge(from, to NodeID) {
+	if err := g.AddEdge(from, to); err != nil {
+		panic(err)
+	}
+}
+
+// RemoveEdge deletes the transition from -> to.
+func (g *Graph) RemoveEdge(from, to NodeID) error {
+	for _, s := range g.succ[from] {
+		if s == to {
+			g.removeEdge(from, to)
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %s->%s", ErrUnknownNode, from, to)
+}
+
+func (g *Graph) removeEdge(from, to NodeID) {
+	g.succ[from] = removeID(g.succ[from], to)
+	g.pred[to] = removeID(g.pred[to], from)
+}
+
+func removeID(list []NodeID, id NodeID) []NodeID {
+	for i, v := range list {
+		if v == id {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
+}
+
+// HasEdge reports whether the transition from -> to exists.
+func (g *Graph) HasEdge(from, to NodeID) bool {
+	for _, s := range g.succ[from] {
+		if s == to {
+			return true
+		}
+	}
+	return false
+}
+
+// Node returns the node with the given ID, or nil.
+func (g *Graph) Node(id NodeID) *Node { return g.nodes[id] }
+
+// Nodes returns all nodes in insertion order.
+func (g *Graph) Nodes() []*Node {
+	out := make([]*Node, 0, len(g.order))
+	for _, id := range g.order {
+		out = append(out, g.nodes[id])
+	}
+	return out
+}
+
+// NodeIDs returns all node IDs in insertion order.
+func (g *Graph) NodeIDs() []NodeID {
+	return append([]NodeID(nil), g.order...)
+}
+
+// Edges returns all edges ordered by source insertion order then target
+// order, which keeps iteration deterministic.
+func (g *Graph) Edges() []Edge {
+	var out []Edge
+	for _, id := range g.order {
+		for _, s := range g.succ[id] {
+			out = append(out, Edge{From: id, To: s})
+		}
+	}
+	return out
+}
+
+// Succ returns the successors of id in insertion order of edges.
+func (g *Graph) Succ(id NodeID) []NodeID {
+	return append([]NodeID(nil), g.succ[id]...)
+}
+
+// Pred returns the predecessors of id.
+func (g *Graph) Pred(id NodeID) []NodeID {
+	return append([]NodeID(nil), g.pred[id]...)
+}
+
+// InDegree returns the number of incoming edges of id.
+func (g *Graph) InDegree(id NodeID) int { return len(g.pred[id]) }
+
+// OutDegree returns the number of outgoing edges of id.
+func (g *Graph) OutDegree(id NodeID) int { return len(g.succ[id]) }
+
+// Sources returns the nodes with no incoming edges, in insertion order.
+func (g *Graph) Sources() []*Node {
+	var out []*Node
+	for _, id := range g.order {
+		if len(g.pred[id]) == 0 {
+			out = append(out, g.nodes[id])
+		}
+	}
+	return out
+}
+
+// Sinks returns the nodes with no outgoing edges, in insertion order.
+func (g *Graph) Sinks() []*Node {
+	var out []*Node
+	for _, id := range g.order {
+		if len(g.succ[id]) == 0 {
+			out = append(out, g.nodes[id])
+		}
+	}
+	return out
+}
+
+// FreshID mints a node ID that does not collide with any existing node.
+// Pattern applications use it when weaving generated operations into a flow.
+func (g *Graph) FreshID(prefix string) NodeID {
+	for {
+		g.seq++
+		id := NodeID(fmt.Sprintf("%s_%d", prefix, g.seq))
+		if _, ok := g.nodes[id]; !ok {
+			return id
+		}
+	}
+}
+
+// Clone returns a deep copy of the graph. Node IDs are preserved.
+func (g *Graph) Clone() *Graph {
+	c := New(g.Name)
+	c.seq = g.seq
+	c.order = append([]NodeID(nil), g.order...)
+	for id, n := range g.nodes {
+		c.nodes[id] = n.Clone()
+	}
+	for id, s := range g.succ {
+		if len(s) > 0 {
+			c.succ[id] = append([]NodeID(nil), s...)
+		}
+	}
+	for id, p := range g.pred {
+		if len(p) > 0 {
+			c.pred[id] = append([]NodeID(nil), p...)
+		}
+	}
+	return c
+}
+
+// TopoSort returns the node IDs in a deterministic topological order
+// (Kahn's algorithm with insertion-order tie-breaking). It fails with
+// ErrCycle if the graph is not acyclic.
+func (g *Graph) TopoSort() ([]NodeID, error) {
+	indeg := make(map[NodeID]int, len(g.nodes))
+	for _, id := range g.order {
+		indeg[id] = len(g.pred[id])
+	}
+	// ready is kept sorted by insertion position for determinism.
+	pos := make(map[NodeID]int, len(g.order))
+	for i, id := range g.order {
+		pos[id] = i
+	}
+	var ready []NodeID
+	for _, id := range g.order {
+		if indeg[id] == 0 {
+			ready = append(ready, id)
+		}
+	}
+	var out []NodeID
+	for len(ready) > 0 {
+		sort.Slice(ready, func(i, j int) bool { return pos[ready[i]] < pos[ready[j]] })
+		id := ready[0]
+		ready = ready[1:]
+		out = append(out, id)
+		for _, s := range g.succ[id] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	if len(out) != len(g.nodes) {
+		return nil, ErrCycle
+	}
+	return out, nil
+}
+
+// Validate checks structural well-formedness: the graph is a non-empty DAG,
+// every operation respects its arity bounds, there is at least one source and
+// one sink, every node reaches a sink and is reachable from a source, and
+// every edge is schema-compatible (the producer's output can feed the
+// consumer). It returns the first problem found.
+func (g *Graph) Validate() error {
+	if len(g.nodes) == 0 {
+		return ErrNoSource
+	}
+	if _, err := g.TopoSort(); err != nil {
+		return err
+	}
+	srcs, sinks := g.Sources(), g.Sinks()
+	if len(srcs) == 0 {
+		return ErrNoSource
+	}
+	if len(sinks) == 0 {
+		return ErrNoSink
+	}
+	for _, id := range g.order {
+		n := g.nodes[id]
+		if maxIn := n.Kind.MaxInputs(); maxIn >= 0 && len(g.pred[id]) > maxIn {
+			return fmt.Errorf("%w: %s accepts at most %d inputs, has %d",
+				ErrArity, n, maxIn, len(g.pred[id]))
+		}
+		if maxOut := n.Kind.MaxOutputs(); maxOut >= 0 && len(g.succ[id]) > maxOut {
+			return fmt.Errorf("%w: %s accepts at most %d outputs, has %d",
+				ErrArity, n, maxOut, len(g.succ[id]))
+		}
+		if n.Kind.IsSource() && len(g.pred[id]) > 0 {
+			return fmt.Errorf("%w: source %s has inputs", ErrArity, n)
+		}
+		if !n.Kind.IsSource() && len(g.pred[id]) == 0 {
+			return fmt.Errorf("%w: %s has no input", ErrArity, n)
+		}
+		if n.Kind.IsSink() && len(g.succ[id]) > 0 {
+			return fmt.Errorf("%w: sink %s has outputs", ErrArity, n)
+		}
+		if !n.Kind.IsSink() && len(g.succ[id]) == 0 {
+			return fmt.Errorf("%w: %s", ErrNotConnected, n)
+		}
+	}
+	// Schema compatibility along every edge: the consumer's declared output
+	// must be derivable, which we approximate by requiring that consumers
+	// that pass attributes through see them on some input.
+	for _, e := range g.Edges() {
+		from, to := g.nodes[e.From], g.nodes[e.To]
+		if err := checkEdgeSchema(from, to); err != nil {
+			return fmt.Errorf("%w: %s -> %s: %v", ErrSchema, from, to, err)
+		}
+	}
+	return nil
+}
+
+// checkEdgeSchema validates that the consumer can be fed by the producer.
+// Pass-through operations must not invent attributes that the producer does
+// not emit; transforming operations (derive, aggregate, join...) may.
+func checkEdgeSchema(from, to *Node) error {
+	if to.Out.IsEmpty() || from.Out.IsEmpty() {
+		return nil // schemata optional on imported flows
+	}
+	switch to.Kind {
+	case OpFilter, OpFilterNull, OpDedup, OpSort, OpCheckpoint, OpEncrypt,
+		OpMerge, OpUnion, OpNoop, OpLoad, OpSplit, OpPartition, OpCrosscheck:
+		// Pure pass-through (possibly row-removing): output attributes must
+		// be a subset of the input's.
+		for _, a := range to.Out.Attrs {
+			got, ok := from.Out.Attr(a.Name)
+			if !ok {
+				return fmt.Errorf("attribute %q not produced upstream", a.Name)
+			}
+			if got.Type != a.Type {
+				return fmt.Errorf("attribute %q type mismatch: %s vs %s",
+					a.Name, got.Type, a.Type)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders a compact multi-line description of the flow, one node per
+// line with its successors: useful in CLI output and debugging.
+func (g *Graph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "flow %q: %d nodes, %d edges\n", g.Name, g.Len(), g.EdgeCount())
+	order, err := g.TopoSort()
+	if err != nil {
+		order = g.NodeIDs()
+	}
+	for _, id := range order {
+		n := g.nodes[id]
+		succs := make([]string, 0, len(g.succ[id]))
+		for _, s := range g.succ[id] {
+			succs = append(succs, string(s))
+		}
+		marker := ""
+		if n.Generated {
+			marker = " [+" + n.PatternName + "]"
+		}
+		fmt.Fprintf(&b, "  %-28s %-12s -> %s%s\n", n.ID, n.Kind, strings.Join(succs, ", "), marker)
+	}
+	return b.String()
+}
+
+// GeneratedCount returns how many nodes were introduced by patterns.
+func (g *Graph) GeneratedCount() int {
+	n := 0
+	for _, id := range g.order {
+		if g.nodes[id].Generated {
+			n++
+		}
+	}
+	return n
+}

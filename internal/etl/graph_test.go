@@ -1,0 +1,305 @@
+package etl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// linearFlow builds extract -> filter -> derive -> load over a small schema.
+func linearFlow(t testing.TB) *Graph {
+	t.Helper()
+	s := NewSchema(
+		Attribute{Name: "id", Type: TypeInt, Key: true},
+		Attribute{Name: "amount", Type: TypeFloat},
+		Attribute{Name: "note", Type: TypeString, Nullable: true},
+	)
+	return NewBuilder("linear").
+		Op("src", "S_Orders", OpExtract, s).
+		Op("flt", "filter_valid", OpFilter, s).
+		Op("drv", "derive_tax", OpDerive, s.With(Attribute{Name: "tax", Type: TypeFloat})).
+		Op("load", "DW_Orders", OpLoad, Schema{}).
+		MustBuild()
+}
+
+// diamondFlow builds a flow with a split and a merge:
+//
+//	src -> split -> a -> merge -> load
+//	            \-> b ->/
+func diamondFlow(t testing.TB) *Graph {
+	t.Helper()
+	s := NewSchema(
+		Attribute{Name: "id", Type: TypeInt, Key: true},
+		Attribute{Name: "grp", Type: TypeString},
+	)
+	g := New("diamond")
+	g.MustAddNode(NewNode("src", "S_Data", OpExtract, s))
+	g.MustAddNode(NewNode("split", "route", OpSplit, s))
+	g.MustAddNode(NewNode("a", "derive_a", OpDerive, s))
+	g.MustAddNode(NewNode("b", "derive_b", OpDerive, s))
+	g.MustAddNode(NewNode("merge", "merge", OpMerge, s))
+	g.MustAddNode(NewNode("load", "DW", OpLoad, Schema{}))
+	g.MustAddEdge("src", "split")
+	g.MustAddEdge("split", "a")
+	g.MustAddEdge("split", "b")
+	g.MustAddEdge("a", "merge")
+	g.MustAddEdge("b", "merge")
+	g.MustAddEdge("merge", "load")
+	if err := g.Validate(); err != nil {
+		t.Fatalf("diamond flow invalid: %v", err)
+	}
+	return g
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := linearFlow(t)
+	if g.Len() != 4 || g.EdgeCount() != 3 {
+		t.Fatalf("len=%d edges=%d", g.Len(), g.EdgeCount())
+	}
+	if g.Node("src") == nil || g.Node("nope") != nil {
+		t.Error("Node lookup misbehaves")
+	}
+	if !g.HasEdge("src", "flt") || g.HasEdge("flt", "src") {
+		t.Error("HasEdge misbehaves")
+	}
+	srcs, sinks := g.Sources(), g.Sinks()
+	if len(srcs) != 1 || srcs[0].ID != "src" {
+		t.Errorf("Sources = %v", srcs)
+	}
+	if len(sinks) != 1 || sinks[0].ID != "load" {
+		t.Errorf("Sinks = %v", sinks)
+	}
+	if got := g.Succ("src"); len(got) != 1 || got[0] != "flt" {
+		t.Errorf("Succ = %v", got)
+	}
+	if got := g.Pred("load"); len(got) != 1 || got[0] != "drv" {
+		t.Errorf("Pred = %v", got)
+	}
+	if g.InDegree("flt") != 1 || g.OutDegree("flt") != 1 {
+		t.Error("degree misbehaves")
+	}
+}
+
+func TestGraphErrors(t *testing.T) {
+	g := New("err")
+	n := NewNode("a", "a", OpExtract, Schema{})
+	if err := g.AddNode(n); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddNode(NewNode("a", "dup", OpLoad, Schema{})); !errors.Is(err, ErrDuplicateNode) {
+		t.Errorf("dup node: %v", err)
+	}
+	if err := g.AddEdge("a", "a"); !errors.Is(err, ErrSelfLoop) {
+		t.Errorf("self loop: %v", err)
+	}
+	if err := g.AddEdge("a", "zz"); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("unknown endpoint: %v", err)
+	}
+	g.MustAddNode(NewNode("b", "b", OpLoad, Schema{}))
+	g.MustAddEdge("a", "b")
+	if err := g.AddEdge("a", "b"); !errors.Is(err, ErrDuplicateEdge) {
+		t.Errorf("dup edge: %v", err)
+	}
+	if err := g.RemoveEdge("b", "a"); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("remove missing edge: %v", err)
+	}
+	if err := g.RemoveNode("zz"); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("remove missing node: %v", err)
+	}
+}
+
+func TestRemoveNodeCleansEdges(t *testing.T) {
+	g := diamondFlow(t)
+	if err := g.RemoveNode("a"); err != nil {
+		t.Fatal(err)
+	}
+	if g.HasEdge("split", "a") || g.HasEdge("a", "merge") {
+		t.Error("edges to removed node survive")
+	}
+	if g.Len() != 5 {
+		t.Errorf("len = %d", g.Len())
+	}
+	for _, e := range g.Edges() {
+		if e.From == "a" || e.To == "a" {
+			t.Errorf("stale edge %v", e)
+		}
+	}
+}
+
+func TestTopoSortDeterministic(t *testing.T) {
+	g := diamondFlow(t)
+	first, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		got, err := g.TopoSort()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range got {
+			if got[j] != first[j] {
+				t.Fatalf("topo order not deterministic: %v vs %v", got, first)
+			}
+		}
+	}
+	pos := map[NodeID]int{}
+	for i, id := range first {
+		pos[id] = i
+	}
+	for _, e := range g.Edges() {
+		if pos[e.From] >= pos[e.To] {
+			t.Errorf("edge %v violates topo order", e)
+		}
+	}
+}
+
+func TestTopoSortCycle(t *testing.T) {
+	g := New("cycle")
+	g.MustAddNode(NewNode("a", "a", OpDerive, Schema{}))
+	g.MustAddNode(NewNode("b", "b", OpDerive, Schema{}))
+	g.MustAddEdge("a", "b")
+	g.MustAddEdge("b", "a")
+	if _, err := g.TopoSort(); !errors.Is(err, ErrCycle) {
+		t.Errorf("want ErrCycle, got %v", err)
+	}
+	if err := g.Validate(); !errors.Is(err, ErrCycle) {
+		t.Errorf("Validate: want ErrCycle, got %v", err)
+	}
+}
+
+func TestValidateArity(t *testing.T) {
+	// A load with outgoing edge is invalid.
+	g := New("bad")
+	g.MustAddNode(NewNode("src", "s", OpExtract, Schema{}))
+	g.MustAddNode(NewNode("ld", "l", OpLoad, Schema{}))
+	g.MustAddNode(NewNode("flt", "f", OpFilter, Schema{}))
+	g.MustAddEdge("src", "ld")
+	g.MustAddEdge("ld", "flt")
+	// flt has no outgoing edge -> also invalid, but arity on ld fires first.
+	err := g.Validate()
+	if !errors.Is(err, ErrArity) {
+		t.Errorf("want ErrArity, got %v", err)
+	}
+
+	// A filter with two inputs is invalid.
+	g2 := New("bad2")
+	s := NewSchema(Attribute{Name: "x", Type: TypeInt})
+	g2.MustAddNode(NewNode("s1", "s1", OpExtract, s))
+	g2.MustAddNode(NewNode("s2", "s2", OpExtract, s))
+	g2.MustAddNode(NewNode("f", "f", OpFilter, s))
+	g2.MustAddNode(NewNode("l", "l", OpLoad, Schema{}))
+	g2.MustAddEdge("s1", "f")
+	g2.MustAddEdge("s2", "f")
+	g2.MustAddEdge("f", "l")
+	if err := g2.Validate(); !errors.Is(err, ErrArity) {
+		t.Errorf("want ErrArity, got %v", err)
+	}
+}
+
+func TestValidateEmptyAndDisconnected(t *testing.T) {
+	if err := New("empty").Validate(); !errors.Is(err, ErrNoSource) {
+		t.Errorf("empty graph: %v", err)
+	}
+	g := New("nosink")
+	g.MustAddNode(NewNode("a", "a", OpExtract, Schema{}))
+	g.MustAddNode(NewNode("b", "b", OpFilter, Schema{}))
+	g.MustAddEdge("a", "b")
+	// b is a filter with no output: not connected to any sink.
+	if err := g.Validate(); err == nil {
+		t.Error("expected validation failure for dangling filter")
+	}
+}
+
+func TestValidateSchemaMismatch(t *testing.T) {
+	s := NewSchema(Attribute{Name: "id", Type: TypeInt})
+	other := NewSchema(Attribute{Name: "ghost", Type: TypeInt})
+	g := New("schema")
+	g.MustAddNode(NewNode("src", "s", OpExtract, s))
+	// filter claims to output an attribute the source does not produce
+	g.MustAddNode(NewNode("f", "f", OpFilter, other))
+	g.MustAddNode(NewNode("l", "l", OpLoad, Schema{}))
+	g.MustAddEdge("src", "f")
+	g.MustAddEdge("f", "l")
+	if err := g.Validate(); !errors.Is(err, ErrSchema) {
+		t.Errorf("want ErrSchema, got %v", err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := linearFlow(t)
+	c := g.Clone()
+	c.Node("src").Name = "changed"
+	c.Node("src").SetParam("k", "v")
+	if g.Node("src").Name == "changed" {
+		t.Error("Clone shares node")
+	}
+	if g.Node("src").Param("k") != "" {
+		t.Error("Clone shares params map")
+	}
+	if err := c.RemoveNode("flt"); err != nil {
+		t.Fatal(err)
+	}
+	if g.Node("flt") == nil {
+		t.Error("Clone shares structure")
+	}
+	if g.Fingerprint() == c.Fingerprint() {
+		t.Error("structurally different clones should fingerprint differently")
+	}
+}
+
+func TestFreshIDNoCollision(t *testing.T) {
+	g := linearFlow(t)
+	seen := map[NodeID]bool{}
+	for _, id := range g.NodeIDs() {
+		seen[id] = true
+	}
+	for i := 0; i < 100; i++ {
+		id := g.FreshID("gen")
+		if seen[id] {
+			t.Fatalf("FreshID returned duplicate %s", id)
+		}
+		seen[id] = true
+		g.MustAddNode(NewNode(id, "x", OpNoop, Schema{}))
+	}
+}
+
+func TestGraphString(t *testing.T) {
+	g := linearFlow(t)
+	s := g.String()
+	for _, want := range []string{"linear", "src", "flt", "drv", "load", "extract"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestEdgesDeterministic(t *testing.T) {
+	g := diamondFlow(t)
+	first := g.Edges()
+	for i := 0; i < 5; i++ {
+		got := g.Edges()
+		if len(got) != len(first) {
+			t.Fatal("edge count varies")
+		}
+		for j := range got {
+			if got[j] != first[j] {
+				t.Fatalf("edge order not deterministic")
+			}
+		}
+	}
+}
+
+func TestGeneratedCount(t *testing.T) {
+	g := linearFlow(t)
+	if g.GeneratedCount() != 0 {
+		t.Fatal("fresh flow should have no generated nodes")
+	}
+	n := NewNode(g.FreshID("gen"), "x", OpFilterNull, g.Node("src").Out)
+	if err := g.InsertOnEdge("src", "flt", n); err != nil {
+		t.Fatal(err)
+	}
+	if g.GeneratedCount() != 1 {
+		t.Errorf("GeneratedCount = %d", g.GeneratedCount())
+	}
+}

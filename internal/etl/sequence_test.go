@@ -1,0 +1,95 @@
+package etl
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestRandomMutationSequences applies random valid mutation sequences
+// (edge insertions, node replacements by partition/merge subflows, swaps)
+// to random DAGs and checks the core invariants after every step: the graph
+// stays acyclic, node/edge bookkeeping stays consistent, and clones remain
+// unaffected.
+func TestRandomMutationSequences(t *testing.T) {
+	prop := func(seed int64, steps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, 8)
+		snapshot := g.Clone()
+		snapFP := snapshot.Fingerprint()
+
+		for i := 0; i < int(steps%12)+1; i++ {
+			switch rng.Intn(3) {
+			case 0: // insert a node on a random edge
+				edges := g.Edges()
+				if len(edges) == 0 {
+					continue
+				}
+				e := edges[rng.Intn(len(edges))]
+				n := NewNode(g.FreshID("ins"), "ins", OpNoop, g.Node(e.From).Out)
+				if err := g.InsertOnEdge(e.From, e.To, n); err != nil {
+					return false
+				}
+			case 1: // replace a mid node with partition -> copies -> merge
+				ids := g.NodeIDs()
+				id := ids[rng.Intn(len(ids))]
+				n := g.Node(id)
+				if n.Kind.IsSource() || n.Kind.IsSink() {
+					continue
+				}
+				in := g.InputSchema(id)
+				part := NewNode(g.FreshID("p"), "part", OpPartition, in)
+				mrg := NewNode(g.FreshID("m"), "mrg", OpMerge, n.Out)
+				c1 := n.Clone()
+				c1.ID = g.FreshID("c")
+				c2 := n.Clone()
+				c2.ID = g.FreshID("c")
+				if err := g.ReplaceNode(id, part.ID, mrg.ID, part, mrg, c1, c2); err != nil {
+					return false
+				}
+				for _, cp := range []*Node{c1, c2} {
+					if err := g.AddEdge(part.ID, cp.ID); err != nil {
+						return false
+					}
+					if err := g.AddEdge(cp.ID, mrg.ID); err != nil {
+						return false
+					}
+				}
+			case 2: // swap a single-in/single-out node with its predecessor
+				ids := g.NodeIDs()
+				id := ids[rng.Intn(len(ids))]
+				if len(g.Pred(id)) != 1 || len(g.Succ(id)) != 1 {
+					continue
+				}
+				p := g.Pred(id)[0]
+				if len(g.Pred(p)) != 1 || len(g.Succ(p)) != 1 {
+					continue
+				}
+				if err := g.SwapWithPredecessor(id); err != nil {
+					return false
+				}
+			}
+			// Invariants after every step.
+			if _, err := g.TopoSort(); err != nil {
+				return false
+			}
+			// Edge bookkeeping symmetric: every succ edge has a pred entry.
+			for _, e := range g.Edges() {
+				found := false
+				for _, p := range g.Pred(e.To) {
+					if p == e.From {
+						found = true
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		// The snapshot is untouched by all mutations.
+		return snapshot.Fingerprint() == snapFP
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,390 @@
+package fcp
+
+import (
+	"fmt"
+
+	"poiesis/internal/etl"
+	"poiesis/internal/measures"
+)
+
+// nearSourceFitness implements the cleaning-placement heuristic: "the
+// application of FCPs related to data cleaning is encouraged as close as
+// possible to the operations for inputting data sources, to prevent
+// cumulative side-effects of reduced data quality".
+func nearSourceFitness(g *etl.Graph, p Point) float64 {
+	return 1 / (1 + float64(p.UpstreamDistance(g)))
+}
+
+// afterComplexFitness implements the checkpoint-placement heuristic: "the
+// addition of a checkpoint is encouraged after the execution of the most
+// complex operations of the ETL flow, in order to avoid the repetition of
+// process-intensive tasks in case of a recovery".
+func afterComplexFitness(g *etl.Graph, id etl.NodeID) float64 {
+	max := maxComplexity(g)
+	if max <= 0 {
+		return 0
+	}
+	n := g.Node(id)
+	if n == nil {
+		return 0
+	}
+	return n.Complexity() / max
+}
+
+// ---------------------------------------------------------------------
+// FilterNullValues (P_E, improves data quality)
+
+type filterNullValues struct {
+	conds []Condition
+}
+
+// NewFilterNullValues builds the FilterNullValues pattern: "itself an ETL
+// flow consisting of only one operation — a filter that deletes entries with
+// null values from its input", interposed between two consecutive
+// operations.
+func NewFilterNullValues() Pattern {
+	return &filterNullValues{conds: []Condition{
+		SchemaHasNullable(),
+		NoAdjacentKind(etl.OpFilterNull),
+	}}
+}
+
+func (f *filterNullValues) Name() string                      { return NameFilterNullValues }
+func (f *filterNullValues) Kind() PointKind                   { return EdgePoint }
+func (f *filterNullValues) Improves() measures.Characteristic { return measures.DataQuality }
+func (f *filterNullValues) Prerequisites() []Condition        { return f.conds }
+func (f *filterNullValues) Fitness(g *etl.Graph, p Point) float64 {
+	return nearSourceFitness(g, p)
+}
+
+func (f *filterNullValues) Apply(g *etl.Graph, p Point) (Application, error) {
+	if !Applicable(f, g, p) {
+		return Application{}, fmt.Errorf("fcp: %s not applicable at %s", f.Name(), p)
+	}
+	up := p.UpstreamSchema(g)
+	n := etl.NewNode(g.FreshID("fnv"), "filter_null_values", etl.OpFilterNull, up.WithoutNullability())
+	n.PatternName = f.Name()
+	if err := g.InsertOnEdge(p.Edge.From, p.Edge.To, n); err != nil {
+		return Application{}, err
+	}
+	return Application{Pattern: f.Name(), Point: p, Added: []etl.NodeID{n.ID}}, nil
+}
+
+// ---------------------------------------------------------------------
+// RemoveDuplicateEntries (P_E, improves data quality)
+
+type removeDuplicates struct {
+	conds []Condition
+}
+
+// NewRemoveDuplicateEntries builds the RemoveDuplicateEntries pattern: a
+// key-based de-duplication operation interposed on a transition.
+func NewRemoveDuplicateEntries() Pattern {
+	return &removeDuplicates{conds: []Condition{
+		SchemaHasKey(),
+		NoAdjacentKind(etl.OpDedup),
+	}}
+}
+
+func (r *removeDuplicates) Name() string                      { return NameRemoveDuplicateEntries }
+func (r *removeDuplicates) Kind() PointKind                   { return EdgePoint }
+func (r *removeDuplicates) Improves() measures.Characteristic { return measures.DataQuality }
+func (r *removeDuplicates) Prerequisites() []Condition        { return r.conds }
+func (r *removeDuplicates) Fitness(g *etl.Graph, p Point) float64 {
+	return nearSourceFitness(g, p)
+}
+
+func (r *removeDuplicates) Apply(g *etl.Graph, p Point) (Application, error) {
+	if !Applicable(r, g, p) {
+		return Application{}, fmt.Errorf("fcp: %s not applicable at %s", r.Name(), p)
+	}
+	up := p.UpstreamSchema(g)
+	n := etl.NewNode(g.FreshID("dedup"), "remove_duplicate_entries", etl.OpDedup, up.Clone())
+	n.PatternName = r.Name()
+	if err := g.InsertOnEdge(p.Edge.From, p.Edge.To, n); err != nil {
+		return Application{}, err
+	}
+	return Application{Pattern: r.Name(), Point: p, Added: []etl.NodeID{n.ID}}, nil
+}
+
+// ---------------------------------------------------------------------
+// CrosscheckSources (P_E, improves data quality)
+
+type crosscheckSources struct {
+	conds []Condition
+}
+
+// NewCrosscheckSources builds the CrosscheckSources pattern: "the goal of
+// improved data quality ... would result in crosschecking with alternative
+// data sources". It interposes a crosscheck operation fed by an additional
+// alternative extract.
+func NewCrosscheckSources() Pattern {
+	return &crosscheckSources{conds: []Condition{
+		SchemaHasKey(),
+		UpstreamDistanceAtMost(2),
+		NoAdjacentKind(etl.OpCrosscheck),
+		EdgeEndpointsNotGenerated(),
+	}}
+}
+
+func (c *crosscheckSources) Name() string                      { return NameCrosscheckSources }
+func (c *crosscheckSources) Kind() PointKind                   { return EdgePoint }
+func (c *crosscheckSources) Improves() measures.Characteristic { return measures.DataQuality }
+func (c *crosscheckSources) Prerequisites() []Condition        { return c.conds }
+func (c *crosscheckSources) Fitness(g *etl.Graph, p Point) float64 {
+	return nearSourceFitness(g, p)
+}
+
+func (c *crosscheckSources) Apply(g *etl.Graph, p Point) (Application, error) {
+	if !Applicable(c, g, p) {
+		return Application{}, fmt.Errorf("fcp: %s not applicable at %s", c.Name(), p)
+	}
+	up := p.UpstreamSchema(g)
+	cc := etl.NewNode(g.FreshID("xchk"), "crosscheck_sources", etl.OpCrosscheck, up.Clone())
+	cc.PatternName = c.Name()
+	alt := etl.NewNode(g.FreshID("altsrc"), "alternative_source", etl.OpExtract, up.Clone())
+	alt.PatternName = c.Name()
+	alt.Generated = true
+	if err := g.InsertOnEdge(p.Edge.From, p.Edge.To, cc); err != nil {
+		return Application{}, err
+	}
+	if err := g.AddNode(alt); err != nil {
+		return Application{}, err
+	}
+	if err := g.AddEdge(alt.ID, cc.ID); err != nil {
+		return Application{}, err
+	}
+	return Application{Pattern: c.Name(), Point: p, Added: []etl.NodeID{cc.ID, alt.ID}}, nil
+}
+
+// ---------------------------------------------------------------------
+// ParallelizeTask (P_V, improves performance)
+
+type parallelizeTask struct {
+	degree int
+	conds  []Condition
+}
+
+// NewParallelizeTask builds the ParallelizeTask pattern with the given
+// degree: "a node that can be replaced by multiple copies of itself". The
+// rewrite is the Fig. 2a construction — horizontal partition, k copies of
+// the computational-intensive task, merge.
+func NewParallelizeTask(degree int) Pattern {
+	if degree < 2 {
+		degree = 2
+	}
+	return &parallelizeTask{
+		degree: degree,
+		conds: []Condition{
+			NodeKindIn(etl.OpDerive, etl.OpConvert, etl.OpSurrogate),
+			NodeNotGenerated(),
+			NodeComplexityAtLeast(0.3),
+			SchemaHasNumeric(),
+		},
+	}
+}
+
+func (t *parallelizeTask) Name() string                      { return NameParallelizeTask }
+func (t *parallelizeTask) Kind() PointKind                   { return NodePoint }
+func (t *parallelizeTask) Improves() measures.Characteristic { return measures.Performance }
+func (t *parallelizeTask) Prerequisites() []Condition        { return t.conds }
+func (t *parallelizeTask) Fitness(g *etl.Graph, p Point) float64 {
+	return afterComplexFitness(g, p.Node)
+}
+
+func (t *parallelizeTask) Apply(g *etl.Graph, p Point) (Application, error) {
+	if !Applicable(t, g, p) {
+		return Application{}, fmt.Errorf("fcp: %s not applicable at %s", t.Name(), p)
+	}
+	old := g.Node(p.Node)
+	in := g.InputSchema(p.Node)
+	part := etl.NewNode(g.FreshID("part"), "horizontal_partition", etl.OpPartition, in.Clone())
+	part.PatternName = t.Name()
+	mrg := etl.NewNode(g.FreshID("mrg"), "merge", etl.OpMerge, old.Out.Clone())
+	mrg.PatternName = t.Name()
+	copies := make([]*etl.Node, t.degree)
+	for i := range copies {
+		cp := old.Clone()
+		cp.ID = g.FreshID("par")
+		cp.Name = fmt.Sprintf("%s (copy %d)", old.Name, i+1)
+		cp.PatternName = t.Name()
+		copies[i] = cp
+	}
+	nodes := append([]*etl.Node{part, mrg}, copies...)
+	if err := g.ReplaceNode(p.Node, part.ID, mrg.ID, nodes...); err != nil {
+		return Application{}, err
+	}
+	added := []etl.NodeID{part.ID, mrg.ID}
+	for _, cp := range copies {
+		if err := g.AddEdge(part.ID, cp.ID); err != nil {
+			return Application{}, err
+		}
+		if err := g.AddEdge(cp.ID, mrg.ID); err != nil {
+			return Application{}, err
+		}
+		added = append(added, cp.ID)
+	}
+	return Application{Pattern: t.Name(), Point: p, Added: added}, nil
+}
+
+// ---------------------------------------------------------------------
+// AddCheckpoint (P_E, improves reliability)
+
+type addCheckpoint struct {
+	horizon int
+	conds   []Condition
+}
+
+// NewAddCheckpoint builds the AddCheckpoint pattern: "the goal of improving
+// reliability brings about the addition of a recovery point to the
+// sub-process" (Fig. 2b). A savepoint operation persists intermediary data
+// so a failure downstream restarts from it instead of from the sources.
+func NewAddCheckpoint(horizon int) Pattern {
+	if horizon < 1 {
+		horizon = 1
+	}
+	return &addCheckpoint{
+		horizon: horizon,
+		conds: []Condition{
+			NoCheckpointWithin(horizon),
+		},
+	}
+}
+
+func (a *addCheckpoint) Name() string                      { return NameAddCheckpoint }
+func (a *addCheckpoint) Kind() PointKind                   { return EdgePoint }
+func (a *addCheckpoint) Improves() measures.Characteristic { return measures.Reliability }
+func (a *addCheckpoint) Prerequisites() []Condition        { return a.conds }
+func (a *addCheckpoint) Fitness(g *etl.Graph, p Point) float64 {
+	// Checkpoint after the most complex operations.
+	return afterComplexFitness(g, p.Edge.From)
+}
+
+func (a *addCheckpoint) Apply(g *etl.Graph, p Point) (Application, error) {
+	if !Applicable(a, g, p) {
+		return Application{}, fmt.Errorf("fcp: %s not applicable at %s", a.Name(), p)
+	}
+	up := p.UpstreamSchema(g)
+	n := etl.NewNode(g.FreshID("sp"), "persist_intermediary_data", etl.OpCheckpoint, up.Clone())
+	n.PatternName = a.Name()
+	if err := g.InsertOnEdge(p.Edge.From, p.Edge.To, n); err != nil {
+		return Application{}, err
+	}
+	return Application{Pattern: a.Name(), Point: p, Added: []etl.NodeID{n.ID}}, nil
+}
+
+// ---------------------------------------------------------------------
+// TuneRecurrenceFrequency (P_G, improves data quality)
+
+type tuneRecurrence struct {
+	factor float64
+	conds  []Condition
+}
+
+// NewTuneRecurrenceFrequency builds the graph-wide pattern "adjusting the
+// frequency of process recurrence" (§2.2): the recurrence period is divided
+// by factor, improving freshness at the price of proportionally higher
+// resource cost.
+func NewTuneRecurrenceFrequency(factor float64) Pattern {
+	if factor <= 1 {
+		factor = 2
+	}
+	return &tuneRecurrence{
+		factor: factor,
+		conds: []Condition{
+			GraphParamAbove("schedule.period_minutes", 10, 60),
+		},
+	}
+}
+
+func (t *tuneRecurrence) Name() string                      { return NameTuneRecurrence }
+func (t *tuneRecurrence) Kind() PointKind                   { return GraphPoint }
+func (t *tuneRecurrence) Improves() measures.Characteristic { return measures.DataQuality }
+func (t *tuneRecurrence) Prerequisites() []Condition        { return t.conds }
+func (t *tuneRecurrence) Fitness(g *etl.Graph, p Point) float64 {
+	return 0.5
+}
+
+func (t *tuneRecurrence) Apply(g *etl.Graph, p Point) (Application, error) {
+	if !Applicable(t, g, p) {
+		return Application{}, fmt.Errorf("fcp: %s not applicable at %s", t.Name(), p)
+	}
+	cur := graphParam(g, "schedule.period_minutes", 60)
+	carrier := scheduleCarrier(g)
+	if carrier == nil {
+		return Application{}, fmt.Errorf("fcp: %s: flow has no nodes", t.Name())
+	}
+	carrier.SetParam("schedule.period_minutes", formatFloat(cur/t.factor))
+	return Application{Pattern: t.Name(), Point: p}, nil
+}
+
+// ---------------------------------------------------------------------
+// UpgradeResources (P_G, improves performance)
+
+type upgradeResources struct {
+	costFactor float64
+	speedup    float64
+	conds      []Condition
+}
+
+// NewUpgradeResources builds the graph-wide pattern "management of the
+// quality of Hw/Sw resources" (§2.2): every operation's processing costs are
+// scaled by speedup (<1), while the monetary resource cost factor is
+// multiplied by costFactor (>1).
+func NewUpgradeResources(costFactor, speedup float64) Pattern {
+	if costFactor <= 1 {
+		costFactor = 2
+	}
+	if speedup <= 0 || speedup >= 1 {
+		speedup = 0.6
+	}
+	return &upgradeResources{
+		costFactor: costFactor,
+		speedup:    speedup,
+		conds: []Condition{
+			GraphParamBelow("resources.cost_factor", 4, 1),
+		},
+	}
+}
+
+func (u *upgradeResources) Name() string                      { return NameUpgradeResources }
+func (u *upgradeResources) Kind() PointKind                   { return GraphPoint }
+func (u *upgradeResources) Improves() measures.Characteristic { return measures.Performance }
+func (u *upgradeResources) Prerequisites() []Condition        { return u.conds }
+func (u *upgradeResources) Fitness(g *etl.Graph, p Point) float64 {
+	return 0.5
+}
+
+func (u *upgradeResources) Apply(g *etl.Graph, p Point) (Application, error) {
+	if !Applicable(u, g, p) {
+		return Application{}, fmt.Errorf("fcp: %s not applicable at %s", u.Name(), p)
+	}
+	cur := graphParam(g, "resources.cost_factor", 1)
+	carrier := scheduleCarrier(g)
+	if carrier == nil {
+		return Application{}, fmt.Errorf("fcp: %s: flow has no nodes", u.Name())
+	}
+	for _, n := range g.Nodes() {
+		n.Cost.PerTuple *= u.speedup
+		n.Cost.Startup *= u.speedup
+	}
+	carrier.SetParam("resources.cost_factor", formatFloat(cur*u.costFactor))
+	return Application{Pattern: u.Name(), Point: p}, nil
+}
+
+// scheduleCarrier picks the deterministic node that carries graph-wide
+// parameters: the first source, falling back to the first node.
+func scheduleCarrier(g *etl.Graph) *etl.Node {
+	if srcs := g.Sources(); len(srcs) > 0 {
+		return srcs[0]
+	}
+	if ns := g.Nodes(); len(ns) > 0 {
+		return ns[0]
+	}
+	return nil
+}
+
+func formatFloat(f float64) string {
+	// Fixed 4-decimal rendering keeps params canonical for fingerprinting.
+	return fmt.Sprintf("%.4f", f)
+}

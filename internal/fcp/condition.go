@@ -1,0 +1,239 @@
+package fcp
+
+import (
+	"fmt"
+
+	"poiesis/internal/etl"
+)
+
+// Condition is one applicability prerequisite of a pattern. "Each FCP is
+// related to a particular set of prerequisites that have to be satisfied
+// conjunctively to determine a valid application point" (§3).
+type Condition interface {
+	// Name identifies the condition in diagnostics.
+	Name() string
+	// Holds evaluates the condition against a flow and a candidate point.
+	Holds(g *etl.Graph, p Point) bool
+}
+
+// condFunc adapts a function to the Condition interface.
+type condFunc struct {
+	name string
+	fn   func(g *etl.Graph, p Point) bool
+}
+
+func (c condFunc) Name() string                     { return c.name }
+func (c condFunc) Holds(g *etl.Graph, p Point) bool { return c.fn(g, p) }
+
+// Cond builds a Condition from a name and a predicate. Custom patterns (P3)
+// use it to declare their own prerequisites.
+func Cond(name string, fn func(g *etl.Graph, p Point) bool) Condition {
+	return condFunc{name: name, fn: fn}
+}
+
+// SchemaHasNullable requires the schema flowing into the point to contain at
+// least one nullable attribute (prerequisite of FilterNullValues: there must
+// be something to filter).
+func SchemaHasNullable() Condition {
+	return Cond("schema_has_nullable", func(g *etl.Graph, p Point) bool {
+		return p.UpstreamSchema(g).HasNullable()
+	})
+}
+
+// SchemaHasKey requires key attributes in the upstream schema (prerequisite
+// of duplicate removal and crosschecking, which match rows by key).
+func SchemaHasKey() Condition {
+	return Cond("schema_has_key", func(g *etl.Graph, p Point) bool {
+		return p.UpstreamSchema(g).HasKey()
+	})
+}
+
+// SchemaHasNumeric requires numeric fields in the upstream schema — the
+// paper's example prerequisite: "the presence or not of specific data types
+// in the operation schemata (e.g., numeric fields in the output schema of
+// preceding operator)".
+func SchemaHasNumeric() Condition {
+	return Cond("schema_has_numeric", func(g *etl.Graph, p Point) bool {
+		return p.UpstreamSchema(g).HasNumeric()
+	})
+}
+
+// NodeKindIn requires the point's node to be one of the given kinds.
+func NodeKindIn(kinds ...etl.OpKind) Condition {
+	set := map[etl.OpKind]bool{}
+	for _, k := range kinds {
+		set[k] = true
+	}
+	return Cond("node_kind_in", func(g *etl.Graph, p Point) bool {
+		if p.Kind != NodePoint {
+			return false
+		}
+		n := g.Node(p.Node)
+		return n != nil && set[n.Kind]
+	})
+}
+
+// NodeNotGenerated rejects nodes that a previous pattern application
+// introduced, preventing patterns from stacking onto pattern plumbing.
+func NodeNotGenerated() Condition {
+	return Cond("node_not_generated", func(g *etl.Graph, p Point) bool {
+		if p.Kind != NodePoint {
+			return false
+		}
+		n := g.Node(p.Node)
+		return n != nil && !n.Generated
+	})
+}
+
+// NodeComplexityAtLeast requires the node's static complexity to reach a
+// fraction of the flow's maximum: parallelising or checkpointing trivial
+// operations is valid but pointless, so patterns gate on it.
+func NodeComplexityAtLeast(fraction float64) Condition {
+	name := fmt.Sprintf("node_complexity_at_least_%.2f", fraction)
+	return Cond(name, func(g *etl.Graph, p Point) bool {
+		if p.Kind != NodePoint {
+			return false
+		}
+		n := g.Node(p.Node)
+		if n == nil {
+			return false
+		}
+		max := maxComplexity(g)
+		if max <= 0 {
+			return false
+		}
+		return n.Complexity() >= fraction*max
+	})
+}
+
+// NoCheckpointWithin rejects edge points that already have a savepoint
+// within the given number of hops up- or downstream, keeping checkpoints
+// from stacking.
+func NoCheckpointWithin(hops int) Condition {
+	name := fmt.Sprintf("no_checkpoint_within_%d", hops)
+	return Cond(name, func(g *etl.Graph, p Point) bool {
+		if p.Kind != EdgePoint {
+			return false
+		}
+		return g.UpstreamCheckpointFree(p.Edge.From, hops) &&
+			g.DownstreamCheckpointFree(p.Edge.From, hops) &&
+			g.DownstreamCheckpointFree(p.Edge.To, hops)
+	})
+}
+
+// UpstreamDistanceAtMost keeps a pattern near the data sources (the cleaning
+// heuristic's strict form, used by CrosscheckSources which needs access to
+// the original source).
+func UpstreamDistanceAtMost(k int) Condition {
+	name := fmt.Sprintf("upstream_distance_at_most_%d", k)
+	return Cond(name, func(g *etl.Graph, p Point) bool {
+		return p.UpstreamDistance(g) <= k
+	})
+}
+
+// NoAdjacentKind rejects edge points whose endpoints already are operations
+// of the given kind: inserting a second identical cleaner next to an
+// existing one adds cost without benefit.
+func NoAdjacentKind(kind etl.OpKind) Condition {
+	return Cond("no_adjacent_"+kind.String(), func(g *etl.Graph, p Point) bool {
+		if p.Kind != EdgePoint {
+			return false
+		}
+		return g.Node(p.Edge.From).Kind != kind && g.Node(p.Edge.To).Kind != kind
+	})
+}
+
+// EdgeEndpointsNotGenerated rejects edges that touch pattern plumbing, so
+// iterated generation grows linearly rather than recursively into generated
+// scaffolding.
+func EdgeEndpointsNotGenerated() Condition {
+	return Cond("edge_endpoints_not_generated", func(g *etl.Graph, p Point) bool {
+		if p.Kind != EdgePoint {
+			return false
+		}
+		return !g.Node(p.Edge.From).Generated && !g.Node(p.Edge.To).Generated
+	})
+}
+
+// GraphParamBelow reads a float parameter from any node (graph-wide
+// convention) and requires it below the bound; absent parameters count as
+// def.
+func GraphParamBelow(param string, bound, def float64) Condition {
+	return Cond("graph_param_below_"+param, func(g *etl.Graph, p Point) bool {
+		if p.Kind != GraphPoint {
+			return false
+		}
+		return graphParam(g, param, def) < bound
+	})
+}
+
+// GraphParamAbove mirrors GraphParamBelow.
+func GraphParamAbove(param string, bound, def float64) Condition {
+	return Cond("graph_param_above_"+param, func(g *etl.Graph, p Point) bool {
+		if p.Kind != GraphPoint {
+			return false
+		}
+		return graphParam(g, param, def) > bound
+	})
+}
+
+// graphParam scans nodes for a parameter used with graph-wide conventions.
+func graphParam(g *etl.Graph, param string, def float64) float64 {
+	for _, n := range g.Nodes() {
+		if v := n.Param(param); v != "" {
+			if f, ok := parseFloat(v); ok {
+				return f
+			}
+		}
+	}
+	return def
+}
+
+func parseFloat(s string) (float64, bool) {
+	var f, frac float64
+	seenDot := false
+	div := 1.0
+	if s == "" {
+		return 0, false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9':
+			if seenDot {
+				div *= 10
+				frac += float64(c-'0') / div
+			} else {
+				f = f*10 + float64(c-'0')
+			}
+		case c == '.' && !seenDot:
+			seenDot = true
+		default:
+			return 0, false
+		}
+	}
+	return f + frac, true
+}
+
+// maxComplexity returns the largest static complexity over the flow's
+// non-generated nodes.
+func maxComplexity(g *etl.Graph) float64 {
+	max := 0.0
+	for _, n := range g.Nodes() {
+		if c := n.Complexity(); c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// All evaluates the conjunction of conditions, returning the first violated
+// condition's name for diagnostics.
+func All(g *etl.Graph, p Point, conds []Condition) (bool, string) {
+	for _, c := range conds {
+		if !c.Holds(g, p) {
+			return false, c.Name()
+		}
+	}
+	return true, ""
+}

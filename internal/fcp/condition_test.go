@@ -1,0 +1,171 @@
+package fcp
+
+import (
+	"testing"
+
+	"poiesis/internal/etl"
+)
+
+func TestConditionsRejectWrongPointKinds(t *testing.T) {
+	g := purchasesFlow(t)
+	nodeOnly := []Condition{
+		NodeKindIn(etl.OpDerive),
+		NodeNotGenerated(),
+		NodeComplexityAtLeast(0.1),
+	}
+	for _, c := range nodeOnly {
+		if c.Holds(g, AtEdge("src", "flt")) {
+			t.Errorf("%s should reject edge points", c.Name())
+		}
+		if c.Holds(g, AtGraph()) {
+			t.Errorf("%s should reject the graph point", c.Name())
+		}
+	}
+	edgeOnly := []Condition{
+		NoCheckpointWithin(2),
+		NoAdjacentKind(etl.OpDedup),
+		EdgeEndpointsNotGenerated(),
+	}
+	for _, c := range edgeOnly {
+		if c.Holds(g, AtNode("drv")) {
+			t.Errorf("%s should reject node points", c.Name())
+		}
+	}
+	graphOnly := []Condition{
+		GraphParamBelow("x", 10, 0),
+		GraphParamAbove("x", -1, 0),
+	}
+	for _, c := range graphOnly {
+		if c.Holds(g, AtNode("drv")) || c.Holds(g, AtEdge("src", "flt")) {
+			t.Errorf("%s should only hold on the graph point", c.Name())
+		}
+	}
+}
+
+func TestGraphParamConditions(t *testing.T) {
+	g := purchasesFlow(t)
+	// Default value used when no node carries the parameter.
+	if !GraphParamBelow("resources.cost_factor", 2, 1).Holds(g, AtGraph()) {
+		t.Error("default 1 < 2 should hold")
+	}
+	if GraphParamBelow("resources.cost_factor", 1, 1).Holds(g, AtGraph()) {
+		t.Error("1 < 1 should not hold")
+	}
+	g.Node("src").SetParam("resources.cost_factor", "3")
+	if GraphParamBelow("resources.cost_factor", 2, 1).Holds(g, AtGraph()) {
+		t.Error("3 < 2 should not hold")
+	}
+	if !GraphParamAbove("resources.cost_factor", 2, 1).Holds(g, AtGraph()) {
+		t.Error("3 > 2 should hold")
+	}
+	// Unparseable values fall back to the default.
+	g2 := purchasesFlow(t)
+	g2.Node("src").SetParam("schedule.period_minutes", "sixty")
+	if got := graphParam(g2, "schedule.period_minutes", 60); got != 60 {
+		t.Errorf("unparseable param = %f", got)
+	}
+}
+
+func TestParseFloatCases(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"60", 60, true},
+		{"7.5", 7.5, true},
+		{"0.125", 0.125, true},
+		{"", 0, false},
+		{"x", 0, false},
+		{"1.2.3", 0, false},
+		{"-1", 0, false}, // negatives unsupported by design
+	}
+	for _, c := range cases {
+		got, ok := parseFloat(c.in)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("parseFloat(%q) = %f, %v", c.in, got, ok)
+		}
+	}
+}
+
+func TestNodeComplexityThreshold(t *testing.T) {
+	g := purchasesFlow(t) // drv has PerTuple 0.05, dominant
+	if !NodeComplexityAtLeast(0.9).Holds(g, AtNode("drv")) {
+		t.Error("dominant node should pass a high threshold")
+	}
+	if NodeComplexityAtLeast(0.9).Holds(g, AtNode("prj")) {
+		t.Error("cheap node should fail a high threshold")
+	}
+	if NodeComplexityAtLeast(0.5).Holds(g, AtNode("missing")) {
+		t.Error("missing node should fail")
+	}
+}
+
+func TestMaxComplexityEmptyGraph(t *testing.T) {
+	if got := maxComplexity(etl.New("empty")); got != 0 {
+		t.Errorf("empty graph max complexity = %f", got)
+	}
+}
+
+func TestUpstreamSchemaOnGraphPoint(t *testing.T) {
+	g := purchasesFlow(t)
+	if !AtGraph().UpstreamSchema(g).IsEmpty() {
+		t.Error("graph point has no upstream schema")
+	}
+	if AtGraph().UpstreamDistance(g) != 0 {
+		t.Error("graph point distance should be 0")
+	}
+}
+
+func TestApplicableRejectsWrongKind(t *testing.T) {
+	g := purchasesFlow(t)
+	edgePat := NewFilterNullValues()
+	if Applicable(edgePat, g, AtNode("drv")) {
+		t.Error("edge pattern must reject node points")
+	}
+	nodePat := NewParallelizeTask(2)
+	if Applicable(nodePat, g, AtEdge("src", "flt")) {
+		t.Error("node pattern must reject edge points")
+	}
+	graphPat := NewUpgradeResources(2, 0.5)
+	if Applicable(graphPat, g, AtNode("drv")) {
+		t.Error("graph pattern must reject node points")
+	}
+	// Invalid point.
+	if Applicable(edgePat, g, AtEdge("zz", "qq")) {
+		t.Error("invalid point must be rejected")
+	}
+}
+
+func TestPointKindString(t *testing.T) {
+	if NodePoint.String() != "node" || EdgePoint.String() != "edge" || GraphPoint.String() != "graph" {
+		t.Error("point kind names wrong")
+	}
+	if PointKind(9).String() != "invalid" {
+		t.Error("invalid kind name")
+	}
+	if (Point{Kind: PointKind(9)}).String() != "invalid" {
+		t.Error("invalid point string")
+	}
+	if (Point{Kind: PointKind(9)}).Valid(purchasesFlow(t)) {
+		t.Error("invalid point kind should not validate")
+	}
+}
+
+func TestCustomPatternUniformFitness(t *testing.T) {
+	pat, err := NewCustomPattern(CustomSpec{
+		Name:     "Uniform",
+		Kind:     EdgePoint,
+		Improves: "performance",
+		OpKind:   etl.OpNoop,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := purchasesFlow(t)
+	f1 := pat.Fitness(g, AtEdge("src", "flt"))
+	f2 := pat.Fitness(g, AtEdge("drv", "ld3"))
+	if f1 != 0.5 || f2 != 0.5 {
+		t.Errorf("uniform fitness = %f, %f", f1, f2)
+	}
+}

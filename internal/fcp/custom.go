@@ -1,0 +1,125 @@
+package fcp
+
+import (
+	"fmt"
+
+	"poiesis/internal/etl"
+	"poiesis/internal/measures"
+)
+
+// CustomSpec declares a user-defined Flow Component Pattern (demo part P3:
+// "users will be guided through defining their own Flow Component Patterns
+// ... by extending and pre-configuring the existing ones"). Edge-kind custom
+// patterns interpose a single configured operation; graph-kind custom
+// patterns set graph-wide parameters.
+type CustomSpec struct {
+	// Name is the palette name; must be unique in the registry.
+	Name string
+	// Kind selects the application-point class (NodePoint is not supported
+	// for declarative specs; write a Pattern implementation for structural
+	// node rewrites).
+	Kind PointKind
+	// Improves is the targeted quality characteristic.
+	Improves measures.Characteristic
+
+	// OpKind and OpName configure the interposed operation (EdgePoint).
+	OpKind etl.OpKind
+	OpName string
+	// Params are copied onto the interposed operation (EdgePoint) or set as
+	// graph-wide parameters on the carrier node (GraphPoint).
+	Params map[string]string
+	// Cost overrides the default cost model of the interposed operation.
+	Cost *etl.Cost
+	// Parallelism of the interposed operation (default 1).
+	Parallelism int
+
+	// Conditions are the conjunctive prerequisites; nil means
+	// always-applicable (subject to structural point validity).
+	Conditions []Condition
+
+	// FitnessNearSource ranks points near data sources higher when true;
+	// otherwise fitness is uniform.
+	FitnessNearSource bool
+}
+
+type customPattern struct {
+	spec CustomSpec
+}
+
+// NewCustomPattern validates a spec and returns the pattern.
+func NewCustomPattern(spec CustomSpec) (Pattern, error) {
+	if spec.Name == "" {
+		return nil, fmt.Errorf("fcp: custom pattern needs a name")
+	}
+	switch spec.Kind {
+	case EdgePoint:
+		if spec.OpKind == etl.OpUnknown {
+			return nil, fmt.Errorf("fcp: custom edge pattern %q needs an operation kind", spec.Name)
+		}
+		if spec.OpKind.IsSource() || spec.OpKind.IsSink() {
+			return nil, fmt.Errorf("fcp: custom edge pattern %q cannot interpose a source/sink", spec.Name)
+		}
+	case GraphPoint:
+		if len(spec.Params) == 0 {
+			return nil, fmt.Errorf("fcp: custom graph pattern %q needs parameters to set", spec.Name)
+		}
+	default:
+		return nil, fmt.Errorf("fcp: custom pattern %q: unsupported kind %s", spec.Name, spec.Kind)
+	}
+	if spec.Improves == "" {
+		return nil, fmt.Errorf("fcp: custom pattern %q needs a target characteristic", spec.Name)
+	}
+	if spec.OpName == "" {
+		spec.OpName = spec.Name
+	}
+	if spec.Parallelism < 1 {
+		spec.Parallelism = 1
+	}
+	return &customPattern{spec: spec}, nil
+}
+
+func (c *customPattern) Name() string                      { return c.spec.Name }
+func (c *customPattern) Kind() PointKind                   { return c.spec.Kind }
+func (c *customPattern) Improves() measures.Characteristic { return c.spec.Improves }
+func (c *customPattern) Prerequisites() []Condition        { return c.spec.Conditions }
+
+func (c *customPattern) Fitness(g *etl.Graph, p Point) float64 {
+	if c.spec.FitnessNearSource {
+		return nearSourceFitness(g, p)
+	}
+	return 0.5
+}
+
+func (c *customPattern) Apply(g *etl.Graph, p Point) (Application, error) {
+	if !Applicable(c, g, p) {
+		return Application{}, fmt.Errorf("fcp: %s not applicable at %s", c.Name(), p)
+	}
+	switch c.spec.Kind {
+	case EdgePoint:
+		up := p.UpstreamSchema(g)
+		n := etl.NewNode(g.FreshID("cus"), c.spec.OpName, c.spec.OpKind, up.Clone())
+		n.PatternName = c.spec.Name
+		n.Parallelism = c.spec.Parallelism
+		for k, v := range c.spec.Params {
+			n.SetParam(k, v)
+		}
+		if c.spec.Cost != nil {
+			n.Cost = *c.spec.Cost
+		}
+		if err := g.InsertOnEdge(p.Edge.From, p.Edge.To, n); err != nil {
+			return Application{}, err
+		}
+		return Application{Pattern: c.Name(), Point: p, Added: []etl.NodeID{n.ID}}, nil
+
+	case GraphPoint:
+		carrier := scheduleCarrier(g)
+		if carrier == nil {
+			return Application{}, fmt.Errorf("fcp: %s: flow has no nodes", c.Name())
+		}
+		for k, v := range c.spec.Params {
+			carrier.SetParam(k, v)
+		}
+		return Application{Pattern: c.Name(), Point: p}, nil
+	}
+	return Application{}, fmt.Errorf("fcp: %s: unsupported kind", c.Name())
+}

@@ -1,0 +1,552 @@
+package fcp
+
+import (
+	"testing"
+
+	"poiesis/internal/etl"
+	"poiesis/internal/measures"
+)
+
+// purchasesFlow mirrors the initial flow of Fig. 2: filter -> split into two
+// branches, one with a heavy DERIVE VALUES, the other with partition-derive-
+// merge plumbing already abstracted as plain derives.
+func purchasesFlow(t testing.TB) *etl.Graph {
+	t.Helper()
+	s := etl.NewSchema(
+		etl.Attribute{Name: "purchase_id", Type: etl.TypeInt, Key: true},
+		etl.Attribute{Name: "item_id", Type: etl.TypeInt},
+		etl.Attribute{Name: "amount", Type: etl.TypeFloat},
+		etl.Attribute{Name: "note", Type: etl.TypeString, Nullable: true},
+	)
+	derived := s.With(etl.Attribute{Name: "value", Type: etl.TypeFloat})
+	g := etl.New("purchases")
+	g.MustAddNode(etl.NewNode("src", "S_Purchases", etl.OpExtract, s))
+	g.MustAddNode(etl.NewNode("flt", "filter_current", etl.OpFilter, s))
+	g.MustAddNode(etl.NewNode("spl", "split_required_attributes", etl.OpSplit, s))
+	g.MustAddNode(etl.NewNode("drv", "derive_values", etl.OpDerive, derived))
+	g.MustAddNode(etl.NewNode("prj", "project_required", etl.OpProject, s.Project("purchase_id", "amount")))
+	g.MustAddNode(etl.NewNode("ld3", "S_Purchases_3", etl.OpLoad, etl.Schema{}))
+	g.MustAddNode(etl.NewNode("ld4", "S_Purchases_4", etl.OpLoad, etl.Schema{}))
+	g.MustAddEdge("src", "flt")
+	g.MustAddEdge("flt", "spl")
+	g.MustAddEdge("spl", "drv")
+	g.MustAddEdge("spl", "prj")
+	g.MustAddEdge("drv", "ld3")
+	g.MustAddEdge("prj", "ld4")
+	// Make the derive dominant, as in the paper's computational-intensive
+	// task.
+	g.Node("drv").Cost.PerTuple = 0.05
+	if err := g.Validate(); err != nil {
+		t.Fatalf("fixture invalid: %v", err)
+	}
+	return g
+}
+
+func TestDefaultRegistryPalette(t *testing.T) {
+	r := DefaultRegistry()
+	// Fig. 6 palette plus the two graph-wide management patterns.
+	want := []string{
+		NameRemoveDuplicateEntries, NameFilterNullValues, NameCrosscheckSources,
+		NameParallelizeTask, NameAddCheckpoint, NameTuneRecurrence, NameUpgradeResources,
+	}
+	names := r.Names()
+	if len(names) != len(want) {
+		t.Fatalf("registry has %d patterns: %v", len(names), names)
+	}
+	for i, w := range want {
+		if names[i] != w {
+			t.Errorf("names[%d] = %s, want %s", i, names[i], w)
+		}
+	}
+	// Fig. 6 characteristic mapping.
+	improves := map[string]measures.Characteristic{
+		NameRemoveDuplicateEntries: measures.DataQuality,
+		NameFilterNullValues:       measures.DataQuality,
+		NameCrosscheckSources:      measures.DataQuality,
+		NameParallelizeTask:        measures.Performance,
+		NameAddCheckpoint:          measures.Reliability,
+	}
+	for name, char := range improves {
+		p, ok := r.Get(name)
+		if !ok {
+			t.Fatalf("pattern %s missing", name)
+		}
+		if p.Improves() != char {
+			t.Errorf("%s improves %s, want %s", name, p.Improves(), char)
+		}
+	}
+}
+
+func TestRegistryErrors(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(nil); err == nil {
+		t.Error("nil pattern should fail")
+	}
+	p := NewFilterNullValues()
+	if err := r.Register(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(p); err == nil {
+		t.Error("duplicate registration should fail")
+	}
+	if _, err := r.Palette("nope"); err == nil {
+		t.Error("unknown palette name should fail")
+	}
+	pal, err := r.Palette()
+	if err != nil || len(pal) != 1 {
+		t.Errorf("default palette: %v, %v", pal, err)
+	}
+}
+
+func TestFilterNullValuesApplication(t *testing.T) {
+	g := purchasesFlow(t)
+	pat := NewFilterNullValues()
+	pts := ApplicationPoints(pat, g)
+	if len(pts) == 0 {
+		t.Fatal("no application points for FilterNullValues")
+	}
+	// Nullable attribute flows on every edge before the project.
+	for _, p := range pts {
+		if p.Kind != EdgePoint {
+			t.Errorf("point kind %s", p.Kind)
+		}
+	}
+	g2 := g.Clone()
+	app, err := pat.Apply(g2, pts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(app.Added) != 1 {
+		t.Fatalf("added = %v", app.Added)
+	}
+	n := g2.Node(app.Added[0])
+	if n.Kind != etl.OpFilterNull || !n.Generated || n.PatternName != NameFilterNullValues {
+		t.Errorf("inserted node %+v", n)
+	}
+	if err := g2.Validate(); err != nil {
+		t.Errorf("flow invalid after application: %v", err)
+	}
+	// Original flow untouched.
+	if g.GeneratedCount() != 0 {
+		t.Error("Apply mutated the original")
+	}
+}
+
+func TestFilterNullValuesPrerequisite(t *testing.T) {
+	// A flow without nullable attributes offers no application points.
+	s := etl.NewSchema(etl.Attribute{Name: "id", Type: etl.TypeInt, Key: true})
+	g := etl.NewBuilder("nonnull").
+		Op("src", "S", etl.OpExtract, s).
+		Op("ld", "DW", etl.OpLoad, etl.Schema{}).
+		MustBuild()
+	if pts := ApplicationPoints(NewFilterNullValues(), g); len(pts) != 0 {
+		t.Errorf("expected no points, got %v", pts)
+	}
+}
+
+func TestNoAdjacentStacking(t *testing.T) {
+	g := purchasesFlow(t)
+	pat := NewFilterNullValues()
+	g2 := g.Clone()
+	pts := ApplicationPoints(pat, g2)
+	if _, err := pat.Apply(g2, pts[0]); err != nil {
+		t.Fatal(err)
+	}
+	// The edges created around the new filter must not admit another
+	// FilterNullValues right next to it.
+	for _, p := range ApplicationPoints(pat, g2) {
+		if g2.Node(p.Edge.From).Kind == etl.OpFilterNull || g2.Node(p.Edge.To).Kind == etl.OpFilterNull {
+			t.Errorf("point %s stacks onto an existing null filter", p)
+		}
+	}
+}
+
+func TestRemoveDuplicateEntriesApplication(t *testing.T) {
+	g := purchasesFlow(t)
+	pat := NewRemoveDuplicateEntries()
+	pts := ApplicationPoints(pat, g)
+	if len(pts) == 0 {
+		t.Fatal("no points for RemoveDuplicateEntries")
+	}
+	g2 := g.Clone()
+	app, err := pat.Apply(g2, pts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Node(app.Added[0]).Kind != etl.OpDedup {
+		t.Error("wrong operation kind")
+	}
+	if err := g2.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCrosscheckSourcesApplication(t *testing.T) {
+	g := purchasesFlow(t)
+	pat := NewCrosscheckSources()
+	pts := ApplicationPoints(pat, g)
+	if len(pts) == 0 {
+		t.Fatal("no points for CrosscheckSources")
+	}
+	// Prerequisite: near the source only (distance <= 2).
+	for _, p := range pts {
+		if d := p.UpstreamDistance(g); d > 2 {
+			t.Errorf("point %s at distance %d", p, d)
+		}
+	}
+	g2 := g.Clone()
+	app, err := pat.Apply(g2, pts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(app.Added) != 2 {
+		t.Fatalf("crosscheck should add the check and the alternative source: %v", app.Added)
+	}
+	if err := g2.Validate(); err != nil {
+		t.Errorf("invalid after crosscheck: %v\n%s", err, g2)
+	}
+	// One more extract (the alternative source) must exist.
+	if len(g2.Sources()) != len(g.Sources())+1 {
+		t.Error("alternative source not added")
+	}
+}
+
+func TestParallelizeTaskApplication(t *testing.T) {
+	g := purchasesFlow(t)
+	pat := NewParallelizeTask(4)
+	pts := ApplicationPoints(pat, g)
+	if len(pts) != 1 {
+		t.Fatalf("expected exactly the heavy derive as point, got %v", pts)
+	}
+	if pts[0].Node != "drv" {
+		t.Errorf("point = %s", pts[0])
+	}
+	g2 := g.Clone()
+	app, err := pat.Apply(g2, pts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// partition + merge + 4 copies
+	if len(app.Added) != 6 {
+		t.Errorf("added %d nodes", len(app.Added))
+	}
+	if g2.Node("drv") != nil {
+		t.Error("original task should be replaced")
+	}
+	if err := g2.Validate(); err != nil {
+		t.Errorf("invalid after parallelize: %v\n%s", err, g2)
+	}
+	// Structure check: a partition fans out to 4 derive copies into a merge.
+	var part, mrg etl.NodeID
+	for _, n := range g2.Nodes() {
+		switch n.Kind {
+		case etl.OpPartition:
+			part = n.ID
+		case etl.OpMerge:
+			mrg = n.ID
+		}
+	}
+	if g2.OutDegree(part) != 4 || g2.InDegree(mrg) != 4 {
+		t.Errorf("fan-out %d, fan-in %d", g2.OutDegree(part), g2.InDegree(mrg))
+	}
+	if g2.MergeCount() == 0 {
+		t.Error("manageability should see the new merge element")
+	}
+}
+
+func TestParallelizeTaskNotReappliedToCopies(t *testing.T) {
+	g := purchasesFlow(t)
+	pat := NewParallelizeTask(2)
+	g2 := g.Clone()
+	if _, err := pat.Apply(g2, AtNode("drv")); err != nil {
+		t.Fatal(err)
+	}
+	// Copies are Generated, so no further node points exist.
+	if pts := ApplicationPoints(pat, g2); len(pts) != 0 {
+		t.Errorf("pattern reapplies to its own copies: %v", pts)
+	}
+}
+
+func TestAddCheckpointApplication(t *testing.T) {
+	g := purchasesFlow(t)
+	pat := NewAddCheckpoint(2)
+	pts := RankedPoints(pat, g)
+	if len(pts) == 0 {
+		t.Fatal("no checkpoint points")
+	}
+	// Heuristic: best point is after the most complex operation (drv).
+	if pts[0].Edge.From != "drv" {
+		t.Errorf("best checkpoint point is %s, want after drv", pts[0])
+	}
+	g2 := g.Clone()
+	if _, err := pat.Apply(g2, pts[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.Validate(); err != nil {
+		t.Error(err)
+	}
+	// After inserting, nearby edges lose eligibility (NoCheckpointWithin).
+	for _, p := range ApplicationPoints(pat, g2) {
+		if p.Edge.From == "drv" {
+			t.Errorf("point %s should be blocked by the new savepoint", p)
+		}
+	}
+}
+
+func TestTuneRecurrenceFrequency(t *testing.T) {
+	g := purchasesFlow(t)
+	pat := NewTuneRecurrenceFrequency(2)
+	pts := ApplicationPoints(pat, g)
+	if len(pts) != 1 || pts[0].Kind != GraphPoint {
+		t.Fatalf("points = %v", pts)
+	}
+	g2 := g.Clone()
+	if _, err := pat.Apply(g2, pts[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := graphParam(g2, "schedule.period_minutes", 60); got != 30 {
+		t.Errorf("period = %f, want 30", got)
+	}
+	// Re-application keeps halving until the prerequisite (>10 min) stops it.
+	if _, err := pat.Apply(g2, AtGraph()); err != nil {
+		t.Fatal(err)
+	}
+	if got := graphParam(g2, "schedule.period_minutes", 60); got != 15 {
+		t.Errorf("period = %f, want 15", got)
+	}
+	if _, err := pat.Apply(g2, AtGraph()); err != nil {
+		t.Fatal(err)
+	}
+	// 7.5 <= 10: no more points.
+	if pts := ApplicationPoints(pat, g2); len(pts) != 0 {
+		t.Errorf("pattern applicable below minimum period: %v", pts)
+	}
+}
+
+func TestUpgradeResources(t *testing.T) {
+	g := purchasesFlow(t)
+	pat := NewUpgradeResources(2, 0.5)
+	g2 := g.Clone()
+	before := g2.Node("drv").Cost.PerTuple
+	if _, err := pat.Apply(g2, AtGraph()); err != nil {
+		t.Fatal(err)
+	}
+	if got := g2.Node("drv").Cost.PerTuple; got != before*0.5 {
+		t.Errorf("per-tuple cost = %f, want %f", got, before*0.5)
+	}
+	if got := graphParam(g2, "resources.cost_factor", 1); got != 2 {
+		t.Errorf("cost factor = %f", got)
+	}
+	// Two more upgrades hit the factor<4 prerequisite after reaching 4.
+	if _, err := pat.Apply(g2, AtGraph()); err != nil {
+		t.Fatal(err)
+	}
+	if pts := ApplicationPoints(pat, g2); len(pts) != 0 {
+		t.Errorf("upgrade applicable beyond cap: %v", pts)
+	}
+}
+
+func TestApplyOnInvalidPointFails(t *testing.T) {
+	g := purchasesFlow(t)
+	if _, err := NewFilterNullValues().Apply(g, AtEdge("src", "ld3")); err == nil {
+		t.Error("nonexistent edge should fail")
+	}
+	if _, err := NewParallelizeTask(2).Apply(g, AtNode("nope")); err == nil {
+		t.Error("nonexistent node should fail")
+	}
+	if _, err := NewParallelizeTask(2).Apply(g, AtNode("flt")); err == nil {
+		t.Error("filter is not a parallelisable kind")
+	}
+	// Wrong point class.
+	if _, err := NewAddCheckpoint(2).Apply(g, AtGraph()); err == nil {
+		t.Error("edge pattern on graph point should fail")
+	}
+}
+
+func TestRankedPointsDeterministic(t *testing.T) {
+	g := purchasesFlow(t)
+	pat := NewFilterNullValues()
+	first := RankedPoints(pat, g)
+	for i := 0; i < 5; i++ {
+		got := RankedPoints(pat, g)
+		if len(got) != len(first) {
+			t.Fatal("point count varies")
+		}
+		for j := range got {
+			if got[j] != first[j] {
+				t.Fatal("ranking not deterministic")
+			}
+		}
+	}
+	// Fitness ordering: earlier points are at least as close to the source.
+	for i := 0; i+1 < len(first); i++ {
+		if pat.Fitness(g, first[i]) < pat.Fitness(g, first[i+1]) {
+			t.Error("ranked points not ordered by fitness")
+		}
+	}
+}
+
+func TestApplicationString(t *testing.T) {
+	app := Application{Pattern: "X", Point: AtEdge("a", "b")}
+	if got := app.String(); got != "X@edge:a->b" {
+		t.Errorf("String = %q", got)
+	}
+	if got := AtGraph().String(); got != "graph" {
+		t.Errorf("graph point = %q", got)
+	}
+	if got := AtNode("n").String(); got != "node:n" {
+		t.Errorf("node point = %q", got)
+	}
+}
+
+func TestConditionDiagnostics(t *testing.T) {
+	g := purchasesFlow(t)
+	ok, failed := All(g, AtEdge("src", "flt"), []Condition{
+		SchemaHasNullable(),
+		SchemaHasKey(),
+	})
+	if !ok || failed != "" {
+		t.Errorf("conditions should hold: %v %q", ok, failed)
+	}
+	ok, failed = All(g, AtEdge("src", "flt"), []Condition{
+		Cond("always_false", func(*etl.Graph, Point) bool { return false }),
+	})
+	if ok || failed != "always_false" {
+		t.Errorf("diagnostics = %v %q", ok, failed)
+	}
+}
+
+func TestPointHelpers(t *testing.T) {
+	g := purchasesFlow(t)
+	if !AtEdge("src", "flt").Valid(g) || AtEdge("flt", "src").Valid(g) {
+		t.Error("edge validity misbehaves")
+	}
+	if !AtNode("drv").Valid(g) || AtNode("zz").Valid(g) {
+		t.Error("node validity misbehaves")
+	}
+	if !AtGraph().Valid(g) {
+		t.Error("graph point always valid")
+	}
+	up := AtEdge("src", "flt").UpstreamSchema(g)
+	if !up.Has("purchase_id") {
+		t.Errorf("upstream schema = %v", up)
+	}
+	if d := AtEdge("src", "flt").UpstreamDistance(g); d != 1 {
+		t.Errorf("edge distance = %d", d)
+	}
+	if d := AtNode("src").UpstreamDistance(g); d != 0 {
+		t.Errorf("source distance = %d", d)
+	}
+}
+
+func TestCustomPatternEdge(t *testing.T) {
+	// P3: a user-defined "EncryptStream" pattern improving security-like
+	// cost... here mapped to data quality for the demo. It interposes an
+	// encrypt operation near sources.
+	spec := CustomSpec{
+		Name:     "EncryptStream",
+		Kind:     EdgePoint,
+		Improves: measures.DataQuality,
+		OpKind:   etl.OpEncrypt,
+		OpName:   "encrypt_in_transit",
+		Params:   map[string]string{"algo": "aes"},
+		Conditions: []Condition{
+			UpstreamDistanceAtMost(1),
+			NoAdjacentKind(etl.OpEncrypt),
+		},
+		FitnessNearSource: true,
+	}
+	pat, err := NewCustomPattern(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := purchasesFlow(t)
+	pts := ApplicationPoints(pat, g)
+	if len(pts) != 1 {
+		t.Fatalf("points = %v", pts)
+	}
+	g2 := g.Clone()
+	app, err := pat.Apply(g2, pts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g2.Node(app.Added[0])
+	if n.Kind != etl.OpEncrypt || n.Param("algo") != "aes" {
+		t.Errorf("custom op = %+v", n)
+	}
+	if err := g2.Validate(); err != nil {
+		t.Error(err)
+	}
+	// Registry extension.
+	r := DefaultRegistry()
+	if err := r.Register(pat); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Get("EncryptStream"); !ok {
+		t.Error("custom pattern not in registry")
+	}
+}
+
+func TestCustomPatternGraph(t *testing.T) {
+	pat, err := NewCustomPattern(CustomSpec{
+		Name:     "EnableRBAC",
+		Kind:     GraphPoint,
+		Improves: measures.Manageability,
+		Params:   map[string]string{"security.rbac": "1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := purchasesFlow(t)
+	g2 := g.Clone()
+	if _, err := pat.Apply(g2, AtGraph()); err != nil {
+		t.Fatal(err)
+	}
+	if graphParam(g2, "security.rbac", 0) != 1 {
+		t.Error("graph param not set")
+	}
+}
+
+func TestCustomPatternValidation(t *testing.T) {
+	bad := []CustomSpec{
+		{},
+		{Name: "x", Kind: EdgePoint, Improves: measures.Cost},                        // no op kind
+		{Name: "x", Kind: EdgePoint, Improves: measures.Cost, OpKind: etl.OpExtract}, // source
+		{Name: "x", Kind: GraphPoint, Improves: measures.Cost},                       // no params
+		{Name: "x", Kind: NodePoint, Improves: measures.Cost, OpKind: etl.OpNoop},    // node unsupported
+		{Name: "x", Kind: EdgePoint, OpKind: etl.OpNoop},                             // no characteristic
+	}
+	for i, s := range bad {
+		if _, err := NewCustomPattern(s); err == nil {
+			t.Errorf("spec %d should fail validation", i)
+		}
+	}
+}
+
+func TestFingerprintDedupAcrossOrder(t *testing.T) {
+	// Applying FilterNullValues on two distinct edges in either order gives
+	// the same design; fingerprints must agree so the Planner deduplicates.
+	g := purchasesFlow(t)
+	pat := NewFilterNullValues()
+	e1 := AtEdge("src", "flt")
+	e2 := AtEdge("flt", "spl")
+
+	a := g.Clone()
+	if _, err := pat.Apply(a, e1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pat.Apply(a, AtEdge("flt", "spl")); err != nil {
+		t.Fatal(err)
+	}
+
+	b := g.Clone()
+	if _, err := pat.Apply(b, e2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pat.Apply(b, e1); err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("order of independent applications changed the fingerprint")
+	}
+}

@@ -1,0 +1,180 @@
+package fcp
+
+import (
+	"fmt"
+	"sort"
+
+	"poiesis/internal/etl"
+	"poiesis/internal/measures"
+)
+
+// Pattern is one Flow Component Pattern. Implementations must be stateless
+// and safe for concurrent use: the Planner applies the same pattern to many
+// flow clones from a worker pool.
+type Pattern interface {
+	// Name is the unique palette name (Fig. 6 left column).
+	Name() string
+	// Kind is the application-point class the pattern binds to.
+	Kind() PointKind
+	// Improves is the quality characteristic the pattern is intended to
+	// improve (Fig. 6 right column).
+	Improves() measures.Characteristic
+	// Prerequisites are the conjunctive applicability conditions.
+	Prerequisites() []Condition
+	// Fitness ranks a valid application point in [0,1]; deployment policies
+	// use it to prioritise placements ("heuristics to determine the fitness
+	// of FCPs for different parts of the ETL flow").
+	Fitness(g *etl.Graph, p Point) float64
+	// Apply weaves the pattern into the flow at the point, mutating g, and
+	// returns the record of what was added. Callers clone first.
+	Apply(g *etl.Graph, p Point) (Application, error)
+}
+
+// Applicable reports whether every prerequisite of the pattern holds at the
+// point (and that the point is structurally valid and of the right kind).
+func Applicable(pat Pattern, g *etl.Graph, p Point) bool {
+	if p.Kind != pat.Kind() || !p.Valid(g) {
+		return false
+	}
+	ok, _ := All(g, p, pat.Prerequisites())
+	return ok
+}
+
+// ApplicationPoints enumerates every valid application point of the pattern
+// on the flow, in deterministic order. "As opposed to manual deployment, our
+// tool guarantees that all of the potential application points on the ETL
+// flow are checked for each FCP."
+func ApplicationPoints(pat Pattern, g *etl.Graph) []Point {
+	var candidates []Point
+	switch pat.Kind() {
+	case NodePoint:
+		for _, id := range g.NodeIDs() {
+			candidates = append(candidates, AtNode(id))
+		}
+	case EdgePoint:
+		for _, e := range g.Edges() {
+			candidates = append(candidates, AtEdge(e.From, e.To))
+		}
+	case GraphPoint:
+		candidates = append(candidates, AtGraph())
+	}
+	var out []Point
+	for _, p := range candidates {
+		if Applicable(pat, g, p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// RankedPoints returns the valid application points ordered by descending
+// fitness (ties broken by point string for determinism).
+func RankedPoints(pat Pattern, g *etl.Graph) []Point {
+	pts := ApplicationPoints(pat, g)
+	type scored struct {
+		p Point
+		f float64
+	}
+	ss := make([]scored, len(pts))
+	for i, p := range pts {
+		ss[i] = scored{p, pat.Fitness(g, p)}
+	}
+	sort.SliceStable(ss, func(i, j int) bool {
+		if ss[i].f != ss[j].f {
+			return ss[i].f > ss[j].f
+		}
+		return ss[i].p.String() < ss[j].p.String()
+	})
+	for i, s := range ss {
+		pts[i] = s.p
+	}
+	return pts
+}
+
+// Registry is the repository of available FCP models ("Utilizing an existing
+// repository of FCP models, it generates patterns that are specific to the
+// ETL flow on which they are applied"). Users extend it with custom patterns
+// (demo part P3).
+type Registry struct {
+	byName map[string]Pattern
+	names  []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]Pattern{}}
+}
+
+// Register adds a pattern; re-registering a name fails.
+func (r *Registry) Register(p Pattern) error {
+	if p == nil || p.Name() == "" {
+		return fmt.Errorf("fcp: registering unnamed pattern")
+	}
+	if _, ok := r.byName[p.Name()]; ok {
+		return fmt.Errorf("fcp: pattern %q already registered", p.Name())
+	}
+	r.byName[p.Name()] = p
+	r.names = append(r.names, p.Name())
+	return nil
+}
+
+// MustRegister panics on registration failure; used for the builtin palette.
+func (r *Registry) MustRegister(p Pattern) {
+	if err := r.Register(p); err != nil {
+		panic(err)
+	}
+}
+
+// Get returns the named pattern.
+func (r *Registry) Get(name string) (Pattern, bool) {
+	p, ok := r.byName[name]
+	return p, ok
+}
+
+// Names returns the registered names in registration order.
+func (r *Registry) Names() []string {
+	return append([]string(nil), r.names...)
+}
+
+// Palette resolves names to patterns; with no names it returns the full
+// registry in registration order. This is the user's "palette of patterns to
+// be added to the flow" (P2 lets the user choose a subset).
+func (r *Registry) Palette(names ...string) ([]Pattern, error) {
+	if len(names) == 0 {
+		names = r.names
+	}
+	out := make([]Pattern, 0, len(names))
+	for _, n := range names {
+		p, ok := r.byName[n]
+		if !ok {
+			return nil, fmt.Errorf("fcp: unknown pattern %q", n)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Builtin palette names (Fig. 6).
+const (
+	NameRemoveDuplicateEntries = "RemoveDuplicateEntries"
+	NameFilterNullValues       = "FilterNullValues"
+	NameCrosscheckSources      = "CrosscheckSources"
+	NameParallelizeTask        = "ParallelizeTask"
+	NameAddCheckpoint          = "AddCheckpoint"
+	NameTuneRecurrence         = "TuneRecurrenceFrequency"
+	NameUpgradeResources       = "UpgradeResources"
+)
+
+// DefaultRegistry returns a registry holding the Fig. 6 palette plus the
+// §2.2 graph-wide management patterns.
+func DefaultRegistry() *Registry {
+	r := NewRegistry()
+	r.MustRegister(NewRemoveDuplicateEntries())
+	r.MustRegister(NewFilterNullValues())
+	r.MustRegister(NewCrosscheckSources())
+	r.MustRegister(NewParallelizeTask(4))
+	r.MustRegister(NewAddCheckpoint(2))
+	r.MustRegister(NewTuneRecurrenceFrequency(2))
+	r.MustRegister(NewUpgradeResources(2, 0.6))
+	return r
+}

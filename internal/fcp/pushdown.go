@@ -1,0 +1,131 @@
+package fcp
+
+import (
+	"fmt"
+
+	"poiesis/internal/etl"
+	"poiesis/internal/measures"
+)
+
+// NamePushDownSelection is the palette name of the selection push-down
+// optimization pattern.
+const NamePushDownSelection = "PushDownSelection"
+
+// pushDownSelection is an optimization pattern beyond the Fig. 6 palette
+// (the paper's introduction calls out "wrong placement of optimization
+// patterns" as a common manual mistake): a row-reducing filter is reordered
+// before its expensive single-input predecessor, so the predecessor
+// processes fewer rows. The flow's functionality is preserved — the filter's
+// predicate attributes must already exist before the predecessor, which the
+// prerequisites check.
+type pushDownSelection struct {
+	conds []Condition
+}
+
+// NewPushDownSelection builds the selection push-down pattern.
+func NewPushDownSelection() Pattern {
+	p := &pushDownSelection{}
+	p.conds = []Condition{
+		NodeKindIn(etl.OpFilter, etl.OpFilterNull, etl.OpDedup),
+		NodeNotGenerated(),
+		Cond("swap_feasible", p.feasible),
+	}
+	return p
+}
+
+// feasible checks the structural and schema requirements of the swap: the
+// filter and its predecessor form a single-in/single-out chain, the
+// predecessor is an expensive row-level transformation, and every attribute
+// the filter passes through already exists on the predecessor's input (so
+// the predicate can be evaluated earlier).
+func (p *pushDownSelection) feasible(g *etl.Graph, pt Point) bool {
+	if pt.Kind != NodePoint {
+		return false
+	}
+	n := g.Node(pt.Node)
+	if n == nil {
+		return false
+	}
+	preds := g.Pred(pt.Node)
+	succs := g.Succ(pt.Node)
+	if len(preds) != 1 || len(succs) != 1 {
+		return false
+	}
+	prev := g.Node(preds[0])
+	switch prev.Kind {
+	case etl.OpDerive, etl.OpConvert, etl.OpSurrogate, etl.OpEncrypt:
+		// Row-level transformations worth skipping rows for.
+	default:
+		return false
+	}
+	if prev.Generated {
+		return false
+	}
+	if len(g.Pred(prev.ID)) != 1 || len(g.Succ(prev.ID)) != 1 {
+		return false
+	}
+	// Only beneficial when the predecessor is costlier per tuple than the
+	// filter itself.
+	if prev.Cost.PerTuple <= n.Cost.PerTuple {
+		return false
+	}
+	// Schema feasibility: the filter's output attributes must all be
+	// available before the predecessor runs.
+	before := g.InputSchema(prev.ID)
+	for _, a := range n.Out.Attrs {
+		got, ok := before.Attr(a.Name)
+		if !ok || got.Type != a.Type {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *pushDownSelection) Name() string                      { return NamePushDownSelection }
+func (p *pushDownSelection) Kind() PointKind                   { return NodePoint }
+func (p *pushDownSelection) Improves() measures.Characteristic { return measures.Performance }
+func (p *pushDownSelection) Prerequisites() []Condition        { return p.conds }
+
+// Fitness prefers pushing past the most expensive predecessors, weighted by
+// how selective the filter is (more rows removed, more work saved).
+func (p *pushDownSelection) Fitness(g *etl.Graph, pt Point) float64 {
+	n := g.Node(pt.Node)
+	preds := g.Pred(pt.Node)
+	if n == nil || len(preds) != 1 {
+		return 0
+	}
+	prev := g.Node(preds[0])
+	max := maxComplexity(g)
+	if max <= 0 {
+		return 0
+	}
+	saved := (1 - n.Cost.Selectivity) * prev.Complexity() / max
+	if saved < 0 {
+		saved = 0
+	}
+	if saved > 1 {
+		saved = 1
+	}
+	return saved
+}
+
+func (p *pushDownSelection) Apply(g *etl.Graph, pt Point) (Application, error) {
+	if !Applicable(p, g, pt) {
+		return Application{}, fmt.Errorf("fcp: %s not applicable at %s", p.Name(), pt)
+	}
+	n := g.Node(pt.Node)
+	preds := g.Pred(pt.Node)
+	prev := g.Node(preds[0])
+	if err := g.SwapWithPredecessor(pt.Node); err != nil {
+		return Application{}, err
+	}
+	// After the swap the filter consumes the predecessor's former input;
+	// its output schema narrows accordingly (pass-through semantics), and
+	// the predecessor's output is unchanged.
+	n.Out = g.InputSchema(n.ID).Clone()
+	// Record provenance without marking the moved nodes Generated (they are
+	// original operations, only reordered).
+	n.SetParam("optimized.by", p.Name())
+	prev.SetParam("optimized.peer", string(n.ID))
+	return Application{Pattern: p.Name(), Point: pt}, nil
+}

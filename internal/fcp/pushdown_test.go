@@ -1,0 +1,141 @@
+package fcp
+
+import (
+	"testing"
+
+	"poiesis/internal/etl"
+	"poiesis/internal/measures"
+)
+
+// pushdownFlow: src -> derive(expensive) -> filter(selective) -> load, where
+// the filter only touches attributes that exist before the derive.
+func pushdownFlow(t testing.TB) *etl.Graph {
+	t.Helper()
+	s := etl.NewSchema(
+		etl.Attribute{Name: "id", Type: etl.TypeInt, Key: true},
+		etl.Attribute{Name: "v", Type: etl.TypeFloat},
+	)
+	derived := s.With(etl.Attribute{Name: "computed", Type: etl.TypeFloat})
+	g := etl.New("pushdown")
+	g.MustAddNode(etl.NewNode("src", "S", etl.OpExtract, s))
+	drv := etl.NewNode("drv", "derive", etl.OpDerive, derived)
+	drv.Cost.PerTuple = 0.05
+	g.MustAddNode(drv)
+	flt := etl.NewNode("flt", "filter", etl.OpFilter, s) // passes only pre-derive attrs
+	flt.Cost.Selectivity = 0.5
+	g.MustAddNode(flt)
+	g.MustAddNode(etl.NewNode("ld", "DW", etl.OpLoad, etl.Schema{}))
+	g.MustAddEdge("src", "drv")
+	g.MustAddEdge("drv", "flt")
+	g.MustAddEdge("flt", "ld")
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPushDownSelectionApplication(t *testing.T) {
+	g := pushdownFlow(t)
+	pat := NewPushDownSelection()
+	if pat.Improves() != measures.Performance {
+		t.Error("pattern should target performance")
+	}
+	pts := ApplicationPoints(pat, g)
+	if len(pts) != 1 || pts[0].Node != "flt" {
+		t.Fatalf("points = %v", pts)
+	}
+	g2 := g.Clone()
+	app, err := pat.Apply(g2, pts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(app.Added) != 0 {
+		t.Errorf("push-down should add no nodes, got %v", app.Added)
+	}
+	if !g2.HasEdge("src", "flt") || !g2.HasEdge("flt", "drv") {
+		t.Errorf("filter not moved before derive:\n%s", g2)
+	}
+	if err := g2.Validate(); err != nil {
+		t.Errorf("invalid after push-down: %v", err)
+	}
+	// Fingerprints differ (the designs are distinct).
+	if g.Fingerprint() == g2.Fingerprint() {
+		t.Error("push-down left fingerprint unchanged")
+	}
+	// The moved filter keeps its identity and is not marked generated.
+	if g2.Node("flt").Generated {
+		t.Error("reordered node must not be marked generated")
+	}
+	if g2.Node("flt").Param("optimized.by") != NamePushDownSelection {
+		t.Error("provenance parameter missing")
+	}
+}
+
+func TestPushDownSelectionSchemaGate(t *testing.T) {
+	// A filter whose output includes the derived attribute cannot be pushed
+	// before the derive.
+	g := pushdownFlow(t)
+	derived := g.Node("drv").Out
+	g.Node("flt").Out = derived.Clone()
+	if pts := ApplicationPoints(NewPushDownSelection(), g); len(pts) != 0 {
+		t.Errorf("schema-dependent filter should not be pushable: %v", pts)
+	}
+}
+
+func TestPushDownSelectionCostGate(t *testing.T) {
+	// Pushing past a cheap predecessor is pointless; prerequisite rejects.
+	g := pushdownFlow(t)
+	g.Node("drv").Cost.PerTuple = 0.0001
+	if pts := ApplicationPoints(NewPushDownSelection(), g); len(pts) != 0 {
+		t.Errorf("cheap predecessor should not attract push-down: %v", pts)
+	}
+}
+
+func TestPushDownSelectionBranchGate(t *testing.T) {
+	// A filter fed by a splitting operation cannot swap.
+	s := etl.NewSchema(etl.Attribute{Name: "id", Type: etl.TypeInt, Key: true})
+	g := etl.New("branch")
+	g.MustAddNode(etl.NewNode("src", "S", etl.OpExtract, s))
+	g.MustAddNode(etl.NewNode("spl", "split", etl.OpSplit, s))
+	flt := etl.NewNode("flt", "filter", etl.OpFilter, s)
+	flt.Cost.Selectivity = 0.5
+	g.MustAddNode(flt)
+	g.MustAddNode(etl.NewNode("ld1", "A", etl.OpLoad, etl.Schema{}))
+	g.MustAddNode(etl.NewNode("ld2", "B", etl.OpLoad, etl.Schema{}))
+	g.MustAddEdge("src", "spl")
+	g.MustAddEdge("spl", "flt")
+	g.MustAddEdge("spl", "ld2")
+	g.MustAddEdge("flt", "ld1")
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if pts := ApplicationPoints(NewPushDownSelection(), g); len(pts) != 0 {
+		t.Errorf("split predecessor should not be swappable: %v", pts)
+	}
+}
+
+func TestPushDownSelectionFitness(t *testing.T) {
+	g := pushdownFlow(t)
+	pat := NewPushDownSelection()
+	f := pat.Fitness(g, AtNode("flt"))
+	if f <= 0 || f > 1 {
+		t.Errorf("fitness = %f", f)
+	}
+	// A more selective filter saves more work -> higher fitness.
+	g2 := g.Clone()
+	g2.Node("flt").Cost.Selectivity = 0.1
+	if pat.Fitness(g2, AtNode("flt")) <= f {
+		t.Error("higher selectivity should raise fitness")
+	}
+}
+
+func TestPushDownInExtendedRegistry(t *testing.T) {
+	r := DefaultRegistry()
+	if err := r.Register(NewPushDownSelection()); err != nil {
+		t.Fatal(err)
+	}
+	pats, err := r.Palette(NamePushDownSelection)
+	if err != nil || len(pats) != 1 {
+		t.Fatalf("palette: %v %v", pats, err)
+	}
+}

@@ -1,0 +1,284 @@
+// Package pdi imports Pentaho Data Integration (Kettle) transformation
+// files (.ktr) as ETL flow graphs. POIESIS "currently supports the loading
+// of xLM and PDI" (§3); this importer parses the real .ktr element layout
+// (<transformation>, <step>, <order><hop>) and maps PDI step types onto the
+// operation taxonomy of internal/etl.
+package pdi
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"poiesis/internal/etl"
+)
+
+type ktrDoc struct {
+	XMLName xml.Name  `xml:"transformation"`
+	Info    ktrInfo   `xml:"info"`
+	Steps   []ktrStep `xml:"step"`
+	Order   ktrOrder  `xml:"order"`
+}
+
+type ktrInfo struct {
+	Name string `xml:"name"`
+}
+
+type ktrStep struct {
+	Name   string     `xml:"name"`
+	Type   string     `xml:"type"`
+	Copies int        `xml:"copies"`
+	Fields []ktrField `xml:"fields>field"`
+}
+
+type ktrField struct {
+	Name string `xml:"name"`
+	Type string `xml:"type"`
+}
+
+type ktrOrder struct {
+	Hops []ktrHop `xml:"hop"`
+}
+
+type ktrHop struct {
+	From    string `xml:"from"`
+	To      string `xml:"to"`
+	Enabled string `xml:"enabled"`
+}
+
+// stepKind maps PDI step types (case-insensitive) to the taxonomy. The list
+// covers the steps that appear in typical warehouse transformations; unknown
+// steps map to OpDerive (a generic row transformation) so imports degrade
+// gracefully rather than failing.
+func stepKind(t string) etl.OpKind {
+	switch strings.ToLower(t) {
+	case "tableinput", "csvinput", "textfileinput", "excelinput", "xbaseinput":
+		return etl.OpExtract
+	case "tableoutput", "insertupdate", "update", "textfileoutput", "deleteoutput", "synchronizeaftermerge":
+		return etl.OpLoad
+	case "filterrows", "javafilter":
+		return etl.OpFilter
+	case "calculator", "scriptvaluemod", "formula", "setvaluefield":
+		return etl.OpDerive
+	case "selectvalues":
+		return etl.OpProject
+	case "sortrows":
+		return etl.OpSort
+	case "unique", "uniquerows", "uniquerowsbyhashset":
+		return etl.OpDedup
+	case "mergejoin", "joinrows":
+		return etl.OpJoin
+	case "streamlookup", "dblookup", "dimensionlookup":
+		return etl.OpLookup
+	case "groupby", "memorygroupby":
+		return etl.OpAggregate
+	case "append", "sortedmerge", "mergerows":
+		return etl.OpMerge
+	case "switchcase", "filterrowsswitch":
+		return etl.OpSplit
+	case "partitioner", "rowdistribution":
+		return etl.OpPartition
+	case "valuemapper", "stringoperations", "replacestring", "stringcut":
+		return etl.OpConvert
+	case "addsequence":
+		return etl.OpSurrogate
+	case "blockingstep":
+		return etl.OpCheckpoint
+	case "dummy":
+		return etl.OpNoop
+	default:
+		return etl.OpDerive
+	}
+}
+
+// fieldType maps PDI field types to attribute types.
+func fieldType(t string) etl.AttrType {
+	switch strings.ToLower(t) {
+	case "integer":
+		return etl.TypeInt
+	case "number", "bignumber":
+		return etl.TypeFloat
+	case "string":
+		return etl.TypeString
+	case "date", "timestamp":
+		return etl.TypeDate
+	case "boolean":
+		return etl.TypeBool
+	default:
+		return etl.ParseAttrType(t)
+	}
+}
+
+// Decode parses a .ktr document into a validated flow. Step names become
+// node IDs (PDI step names are unique per transformation); disabled hops are
+// skipped.
+func Decode(b []byte) (*etl.Graph, error) {
+	var doc ktrDoc
+	if err := xml.Unmarshal(b, &doc); err != nil {
+		return nil, fmt.Errorf("pdi: parsing: %w", err)
+	}
+	name := doc.Info.Name
+	if name == "" {
+		name = "pdi_transformation"
+	}
+	g := etl.New(name)
+	for _, s := range doc.Steps {
+		if s.Name == "" {
+			return nil, fmt.Errorf("pdi: step without name (type %q)", s.Type)
+		}
+		kind := stepKind(s.Type)
+		var schema etl.Schema
+		for _, f := range s.Fields {
+			schema.Attrs = append(schema.Attrs, etl.Attribute{
+				Name: f.Name,
+				Type: fieldType(f.Type),
+			})
+		}
+		n := etl.NewNode(etl.NodeID(idFor(s.Name)), s.Name, kind, schema)
+		n.SetParam("pdi.type", s.Type)
+		if s.Copies > 1 {
+			n.Parallelism = s.Copies
+		}
+		if err := g.AddNode(n); err != nil {
+			return nil, fmt.Errorf("pdi: %w", err)
+		}
+	}
+	for _, h := range doc.Order.Hops {
+		if strings.EqualFold(h.Enabled, "n") {
+			continue
+		}
+		if err := g.AddEdge(etl.NodeID(idFor(h.From)), etl.NodeID(idFor(h.To))); err != nil {
+			return nil, fmt.Errorf("pdi: hop %q -> %q: %w", h.From, h.To, err)
+		}
+	}
+	// Imported flows often omit schemata; propagate the upstream schema onto
+	// schema-less pass-through steps so patterns have something to inspect.
+	propagateSchemas(g)
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("pdi: invalid transformation: %w", err)
+	}
+	return g, nil
+}
+
+// Read decodes a transformation from r.
+func Read(r io.Reader) (*etl.Graph, error) {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("pdi: reading: %w", err)
+	}
+	return Decode(b)
+}
+
+// idFor sanitises a PDI step name into a node ID: spaces become underscores
+// and the name is lower-cased, matching the ID style of builder flows.
+func idFor(name string) string {
+	return strings.ToLower(strings.ReplaceAll(strings.TrimSpace(name), " ", "_"))
+}
+
+// propagateSchemas fills empty output schemata from predecessors in
+// topological order (loads keep an empty schema: they declare no output).
+func propagateSchemas(g *etl.Graph) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return
+	}
+	for _, id := range order {
+		n := g.Node(id)
+		if !n.Out.IsEmpty() || n.Kind.IsSink() {
+			continue
+		}
+		n.Out = g.InputSchema(id)
+	}
+}
+
+// Encode writes a flow back out as a minimal .ktr document. The mapping is
+// lossy (cost models and quality metadata have no PDI representation) but
+// round-trips structure and schemata, which lets users push a selected
+// redesign back into PDI.
+func Encode(g *etl.Graph) ([]byte, error) {
+	doc := ktrDoc{Info: ktrInfo{Name: g.Name}}
+	for _, n := range g.Nodes() {
+		s := ktrStep{Name: n.Name, Type: pdiType(n)}
+		if n.Parallelism > 1 {
+			s.Copies = n.Parallelism
+		}
+		for _, a := range n.Out.Attrs {
+			s.Fields = append(s.Fields, ktrField{Name: a.Name, Type: pdiFieldType(a.Type)})
+		}
+		doc.Steps = append(doc.Steps, s)
+	}
+	for _, e := range g.Edges() {
+		doc.Order.Hops = append(doc.Order.Hops, ktrHop{
+			From:    g.Node(e.From).Name,
+			To:      g.Node(e.To).Name,
+			Enabled: "Y",
+		})
+	}
+	out, err := xml.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("pdi: %w", err)
+	}
+	return append([]byte(xml.Header), out...), nil
+}
+
+// pdiType picks a representative PDI step type for an operation kind,
+// honouring the original type when the node was imported from PDI.
+func pdiType(n *etl.Node) string {
+	if t := n.Param("pdi.type"); t != "" {
+		return t
+	}
+	switch n.Kind {
+	case etl.OpExtract, etl.OpRecovery:
+		return "TableInput"
+	case etl.OpLoad:
+		return "TableOutput"
+	case etl.OpFilter, etl.OpFilterNull:
+		return "FilterRows"
+	case etl.OpDerive, etl.OpCrosscheck:
+		return "Calculator"
+	case etl.OpProject:
+		return "SelectValues"
+	case etl.OpConvert, etl.OpEncrypt:
+		return "ValueMapper"
+	case etl.OpSurrogate:
+		return "AddSequence"
+	case etl.OpJoin:
+		return "MergeJoin"
+	case etl.OpLookup:
+		return "StreamLookup"
+	case etl.OpAggregate:
+		return "GroupBy"
+	case etl.OpSort:
+		return "SortRows"
+	case etl.OpDedup:
+		return "UniqueRows"
+	case etl.OpUnion, etl.OpMerge:
+		return "Append"
+	case etl.OpSplit:
+		return "SwitchCase"
+	case etl.OpPartition:
+		return "Partitioner"
+	case etl.OpCheckpoint:
+		return "BlockingStep"
+	default:
+		return "Dummy"
+	}
+}
+
+func pdiFieldType(t etl.AttrType) string {
+	switch t {
+	case etl.TypeInt:
+		return "Integer"
+	case etl.TypeFloat:
+		return "Number"
+	case etl.TypeString:
+		return "String"
+	case etl.TypeDate:
+		return "Date"
+	case etl.TypeBool:
+		return "Boolean"
+	default:
+		return "String"
+	}
+}

@@ -1,0 +1,300 @@
+package pdi
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"poiesis/internal/etl"
+	"poiesis/internal/tpcds"
+)
+
+// sampleKTR is a hand-written PDI transformation resembling what Spoon
+// exports: table input -> filter -> calculator -> sort -> group by -> output,
+// with a lookup feeding the calculator.
+const sampleKTR = `<?xml version="1.0" encoding="UTF-8"?>
+<transformation>
+  <info><name>purchases_staging</name></info>
+  <step>
+    <name>Purchases Input</name>
+    <type>TableInput</type>
+    <fields>
+      <field><name>purchase_id</name><type>Integer</type></field>
+      <field><name>amount</name><type>Number</type></field>
+      <field><name>note</name><type>String</type></field>
+      <field><name>sold_at</name><type>Date</type></field>
+      <field><name>valid</name><type>Boolean</type></field>
+    </fields>
+  </step>
+  <step>
+    <name>Items Input</name>
+    <type>CsvInput</type>
+    <fields>
+      <field><name>purchase_id</name><type>Integer</type></field>
+      <field><name>category</name><type>String</type></field>
+    </fields>
+  </step>
+  <step><name>Filter Valid</name><type>FilterRows</type></step>
+  <step><name>Lookup Item</name><type>StreamLookup</type></step>
+  <step><name>Compute Value</name><type>Calculator</type><copies>4</copies></step>
+  <step><name>Sort Output</name><type>SortRows</type></step>
+  <step><name>Group Totals</name><type>GroupBy</type></step>
+  <step><name>DW Output</name><type>TableOutput</type></step>
+  <order>
+    <hop><from>Purchases Input</from><to>Filter Valid</to><enabled>Y</enabled></hop>
+    <hop><from>Filter Valid</from><to>Lookup Item</to><enabled>Y</enabled></hop>
+    <hop><from>Items Input</from><to>Lookup Item</to><enabled>Y</enabled></hop>
+    <hop><from>Lookup Item</from><to>Compute Value</to><enabled>Y</enabled></hop>
+    <hop><from>Compute Value</from><to>Sort Output</to><enabled>Y</enabled></hop>
+    <hop><from>Sort Output</from><to>Group Totals</to><enabled>Y</enabled></hop>
+    <hop><from>Group Totals</from><to>DW Output</to><enabled>Y</enabled></hop>
+    <hop><from>Purchases Input</from><to>DW Output</to><enabled>N</enabled></hop>
+  </order>
+</transformation>`
+
+func TestDecodeSample(t *testing.T) {
+	g, err := Decode([]byte(sampleKTR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "purchases_staging" {
+		t.Errorf("name = %q", g.Name)
+	}
+	if g.Len() != 8 {
+		t.Errorf("nodes = %d", g.Len())
+	}
+	// Disabled hop skipped: 7 enabled hops.
+	if g.EdgeCount() != 7 {
+		t.Errorf("edges = %d", g.EdgeCount())
+	}
+	checks := map[string]etl.OpKind{
+		"purchases_input": etl.OpExtract,
+		"items_input":     etl.OpExtract,
+		"filter_valid":    etl.OpFilter,
+		"lookup_item":     etl.OpLookup,
+		"compute_value":   etl.OpDerive,
+		"sort_output":     etl.OpSort,
+		"group_totals":    etl.OpAggregate,
+		"dw_output":       etl.OpLoad,
+	}
+	for id, kind := range checks {
+		n := g.Node(etl.NodeID(id))
+		if n == nil {
+			t.Fatalf("node %s missing", id)
+		}
+		if n.Kind != kind {
+			t.Errorf("%s kind = %s, want %s", id, n.Kind, kind)
+		}
+	}
+	// Copies map to parallelism.
+	if g.Node("compute_value").Parallelism != 4 {
+		t.Errorf("parallelism = %d", g.Node("compute_value").Parallelism)
+	}
+	// Original PDI type preserved as a parameter.
+	if g.Node("purchases_input").Param("pdi.type") != "TableInput" {
+		t.Error("pdi.type parameter lost")
+	}
+	// Field types mapped.
+	a, _ := g.Node("purchases_input").Out.Attr("amount")
+	if a.Type != etl.TypeFloat {
+		t.Errorf("amount type = %s", a.Type)
+	}
+	d, _ := g.Node("purchases_input").Out.Attr("sold_at")
+	if d.Type != etl.TypeDate {
+		t.Errorf("sold_at type = %s", d.Type)
+	}
+}
+
+func TestSchemaPropagation(t *testing.T) {
+	g, err := Decode([]byte(sampleKTR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Filter declares no fields in the .ktr; it must inherit the input's.
+	flt := g.Node("filter_valid")
+	if !flt.Out.Has("purchase_id") || !flt.Out.Has("amount") {
+		t.Errorf("filter schema not propagated: %v", flt.Out)
+	}
+	// Lookup sees the union of both inputs.
+	lkp := g.Node("lookup_item")
+	if !lkp.Out.Has("category") {
+		t.Errorf("lookup schema not unioned: %v", lkp.Out)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode([]byte("junk")); err == nil {
+		t.Error("junk should fail")
+	}
+	noName := `<transformation><step><type>Dummy</type></step></transformation>`
+	if _, err := Decode([]byte(noName)); err == nil {
+		t.Error("step without name should fail")
+	}
+	badHop := `<transformation><info><name>t</name></info>
+	  <step><name>a</name><type>TableInput</type></step>
+	  <order><hop><from>a</from><to>zz</to><enabled>Y</enabled></hop></order>
+	</transformation>`
+	if _, err := Decode([]byte(badHop)); err == nil {
+		t.Error("hop to unknown step should fail")
+	}
+	invalid := `<transformation><info><name>t</name></info>
+	  <step><name>a</name><type>FilterRows</type></step>
+	</transformation>`
+	if _, err := Decode([]byte(invalid)); err == nil {
+		t.Error("filter-only flow should fail validation")
+	}
+}
+
+func TestUnknownStepTypeDegrades(t *testing.T) {
+	doc := `<transformation><info><name>t</name></info>
+	  <step><name>in</name><type>TableInput</type>
+	    <fields><field><name>x</name><type>Integer</type></field></fields></step>
+	  <step><name>weird</name><type>SomeMarketplacePlugin</type></step>
+	  <step><name>out</name><type>TableOutput</type></step>
+	  <order>
+	    <hop><from>in</from><to>weird</to><enabled>Y</enabled></hop>
+	    <hop><from>weird</from><to>out</to><enabled>Y</enabled></hop>
+	  </order>
+	</transformation>`
+	g, err := Decode([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Node("weird").Kind != etl.OpDerive {
+		t.Errorf("unknown step mapped to %s", g.Node("weird").Kind)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	g := tpcds.PurchasesFlow()
+	b, err := Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(b, []byte("<transformation>")) {
+		t.Error("not a ktr document")
+	}
+	g2, err := Decode(b)
+	if err != nil {
+		t.Fatalf("re-decode: %v\n%s", err, b)
+	}
+	if g2.Len() != g.Len() || g2.EdgeCount() != g.EdgeCount() {
+		t.Errorf("structure changed: %d/%d vs %d/%d",
+			g2.Len(), g2.EdgeCount(), g.Len(), g.EdgeCount())
+	}
+	// Operation kinds survive the lossy mapping.
+	kinds := func(g *etl.Graph) map[etl.OpKind]int {
+		m := map[etl.OpKind]int{}
+		for _, n := range g.Nodes() {
+			m[n.Kind]++
+		}
+		return m
+	}
+	k1, k2 := kinds(g), kinds(g2)
+	for k, c := range k1 {
+		if k2[k] != c {
+			t.Errorf("kind %s count %d -> %d", k, c, k2[k])
+		}
+	}
+}
+
+func TestPDITypeCoversAllKinds(t *testing.T) {
+	kinds := []etl.OpKind{
+		etl.OpExtract, etl.OpLoad, etl.OpFilter, etl.OpFilterNull, etl.OpDerive,
+		etl.OpProject, etl.OpConvert, etl.OpSurrogate, etl.OpJoin, etl.OpLookup,
+		etl.OpAggregate, etl.OpSort, etl.OpDedup, etl.OpUnion, etl.OpSplit,
+		etl.OpPartition, etl.OpMerge, etl.OpCheckpoint, etl.OpRecovery,
+		etl.OpCrosscheck, etl.OpEncrypt, etl.OpNoop,
+	}
+	for _, k := range kinds {
+		n := etl.NewNode("n", "n", k, etl.Schema{})
+		typ := pdiType(n)
+		if typ == "" {
+			t.Errorf("no PDI type for %v", k)
+			continue
+		}
+		// The chosen type must be a step our importer understands, so
+		// exported redesigns survive a re-import (possibly as a degraded
+		// kind, never as a parse failure).
+		back := stepKind(typ)
+		if back == etl.OpUnknown {
+			t.Errorf("%v -> %q -> unknown", k, typ)
+		}
+	}
+	// Imported type is honoured on re-export.
+	n := etl.NewNode("n", "n", etl.OpDerive, etl.Schema{})
+	n.SetParam("pdi.type", "ScriptValueMod")
+	if got := pdiType(n); got != "ScriptValueMod" {
+		t.Errorf("original type not honoured: %q", got)
+	}
+}
+
+func TestPDIFieldTypesRoundTrip(t *testing.T) {
+	types := []etl.AttrType{
+		etl.TypeInt, etl.TypeFloat, etl.TypeString, etl.TypeDate, etl.TypeBool,
+	}
+	for _, typ := range types {
+		if got := fieldType(pdiFieldType(typ)); got != typ {
+			t.Errorf("round trip %v -> %q -> %v", typ, pdiFieldType(typ), got)
+		}
+	}
+	if pdiFieldType(etl.TypeUnknown) != "String" {
+		t.Error("unknown type should default to String")
+	}
+	if fieldType("BigNumber") != etl.TypeFloat {
+		t.Error("BigNumber should map to float")
+	}
+}
+
+func TestEncodeParallelCopies(t *testing.T) {
+	g := tpcds.PurchasesFlow()
+	g.Node("derive_values").Parallelism = 4
+	b, err := Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range g2.Nodes() {
+		if n.Parallelism == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("copies/parallelism lost in round trip")
+	}
+}
+
+func TestGoldenFixture(t *testing.T) {
+	b, err := os.ReadFile("testdata/pricing.ktr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "tpch_pricing_summary" {
+		t.Errorf("name = %q", g.Name)
+	}
+	if g.Len() != 9 || g.EdgeCount() != 8 {
+		t.Errorf("structure = %d/%d", g.Len(), g.EdgeCount())
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadWrapper(t *testing.T) {
+	g, err := Read(strings.NewReader(sampleKTR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 8 {
+		t.Errorf("nodes = %d", g.Len())
+	}
+}

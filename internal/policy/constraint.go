@@ -1,0 +1,70 @@
+package policy
+
+import (
+	"fmt"
+
+	"poiesis/internal/measures"
+)
+
+// Constraint rejects alternative designs whose estimated measures violate a
+// user-defined bound: "the set of constraints based on estimated measures"
+// (§3). Constraints are evaluated after measure estimation; violating
+// designs are excluded before the skyline.
+type Constraint interface {
+	// Name identifies the constraint in diagnostics.
+	Name() string
+	// Satisfied reports whether the design's report passes.
+	Satisfied(r *measures.Report) bool
+}
+
+type constraintFunc struct {
+	name string
+	fn   func(*measures.Report) bool
+}
+
+func (c constraintFunc) Name() string                      { return c.name }
+func (c constraintFunc) Satisfied(r *measures.Report) bool { return c.fn(r) }
+
+// NewConstraint builds a constraint from a name and predicate.
+func NewConstraint(name string, fn func(*measures.Report) bool) Constraint {
+	return constraintFunc{name: name, fn: fn}
+}
+
+// MaxMeasure bounds a raw measure value from above (e.g. cycle time below an
+// SLA).
+func MaxMeasure(c measures.Characteristic, name string, bound float64) Constraint {
+	label := fmt.Sprintf("%s.%s <= %g", c, name, bound)
+	return NewConstraint(label, func(r *measures.Report) bool {
+		v, ok := r.MeasureValue(c, name)
+		return ok && v <= bound
+	})
+}
+
+// MinMeasure bounds a raw measure value from below (e.g. completeness of at
+// least 0.99).
+func MinMeasure(c measures.Characteristic, name string, bound float64) Constraint {
+	label := fmt.Sprintf("%s.%s >= %g", c, name, bound)
+	return NewConstraint(label, func(r *measures.Report) bool {
+		v, ok := r.MeasureValue(c, name)
+		return ok && v >= bound
+	})
+}
+
+// MinScore bounds a characteristic's composite score from below.
+func MinScore(c measures.Characteristic, bound float64) Constraint {
+	label := fmt.Sprintf("score(%s) >= %g", c, bound)
+	return NewConstraint(label, func(r *measures.Report) bool {
+		return r.Score(c) >= bound
+	})
+}
+
+// CheckAll evaluates all constraints, returning the first violated one's
+// name (ok=false) or ok=true.
+func CheckAll(r *measures.Report, cs []Constraint) (bool, string) {
+	for _, c := range cs {
+		if !c.Satisfied(r) {
+			return false, c.Name()
+		}
+	}
+	return true, ""
+}

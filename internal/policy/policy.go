@@ -1,0 +1,221 @@
+// Package policy implements the deployment policies of POIESIS: the
+// user-configurable strategies that decide which Flow Component Patterns are
+// deployed where. "The user can ... select the deployment policy for the
+// patterns", and policies "can be configured according to the user-defined
+// prioritization of goals, as well as the set of constraints based on
+// estimated measures" (§3).
+package policy
+
+import (
+	"fmt"
+	"sort"
+
+	"poiesis/internal/data"
+	"poiesis/internal/etl"
+	"poiesis/internal/fcp"
+	"poiesis/internal/measures"
+)
+
+// Candidate is one proposed pattern application: a pattern paired with a
+// valid application point and its heuristic fitness.
+type Candidate struct {
+	Pattern fcp.Pattern
+	Point   fcp.Point
+	Fitness float64
+}
+
+// String renders "pattern@point(fitness)".
+func (c Candidate) String() string {
+	return fmt.Sprintf("%s@%s(%.2f)", c.Pattern.Name(), c.Point, c.Fitness)
+}
+
+// Policy proposes the pattern applications to explore on a flow. The Planner
+// invokes it once per generation round on every frontier design.
+type Policy interface {
+	// Name identifies the policy in reports and benchmarks.
+	Name() string
+	// Propose returns candidates in deterministic order.
+	Propose(g *etl.Graph, palette []fcp.Pattern) []Candidate
+}
+
+// allCandidates enumerates every valid application of every palette pattern.
+func allCandidates(g *etl.Graph, palette []fcp.Pattern) []Candidate {
+	var out []Candidate
+	for _, pat := range palette {
+		for _, pt := range fcp.ApplicationPoints(pat, g) {
+			out = append(out, Candidate{Pattern: pat, Point: pt, Fitness: pat.Fitness(g, pt)})
+		}
+	}
+	return out
+}
+
+// Exhaustive proposes every valid application point of every pattern: the
+// guarantee that "all of the potential application points on the ETL flow
+// are checked for each FCP". MaxPerPattern caps the per-pattern fan-out
+// (0 = unlimited).
+type Exhaustive struct {
+	MaxPerPattern int
+}
+
+// Name implements Policy.
+func (e Exhaustive) Name() string { return "exhaustive" }
+
+// Propose implements Policy.
+func (e Exhaustive) Propose(g *etl.Graph, palette []fcp.Pattern) []Candidate {
+	if e.MaxPerPattern <= 0 {
+		return allCandidates(g, palette)
+	}
+	var out []Candidate
+	for _, pat := range palette {
+		pts := fcp.RankedPoints(pat, g)
+		if len(pts) > e.MaxPerPattern {
+			pts = pts[:e.MaxPerPattern]
+		}
+		for _, pt := range pts {
+			out = append(out, Candidate{Pattern: pat, Point: pt, Fitness: pat.Fitness(g, pt)})
+		}
+	}
+	return out
+}
+
+// Greedy proposes only the TopK best-fitness points per pattern, following
+// the placement heuristics (checkpoints after complex operations, cleaning
+// near sources).
+type Greedy struct {
+	TopK int
+}
+
+// Name implements Policy.
+func (p Greedy) Name() string { return "greedy" }
+
+// Propose implements Policy.
+func (p Greedy) Propose(g *etl.Graph, palette []fcp.Pattern) []Candidate {
+	k := p.TopK
+	if k <= 0 {
+		k = 1
+	}
+	var out []Candidate
+	for _, pat := range palette {
+		pts := fcp.RankedPoints(pat, g)
+		if len(pts) > k {
+			pts = pts[:k]
+		}
+		for _, pt := range pts {
+			out = append(out, Candidate{Pattern: pat, Point: pt, Fitness: pat.Fitness(g, pt)})
+		}
+	}
+	return out
+}
+
+// GoalDriven keeps only patterns that improve characteristics with positive
+// goal weight, ranks candidates by weight x fitness, and returns the TopK
+// overall. This is the "user-defined prioritization of goals" policy.
+type GoalDriven struct {
+	Goals Goals
+	TopK  int
+}
+
+// Name implements Policy.
+func (p GoalDriven) Name() string { return "goal_driven" }
+
+// Propose implements Policy.
+func (p GoalDriven) Propose(g *etl.Graph, palette []fcp.Pattern) []Candidate {
+	k := p.TopK
+	if k <= 0 {
+		k = 8
+	}
+	var out []Candidate
+	for _, pat := range palette {
+		w := p.Goals.Weight(pat.Improves())
+		if w <= 0 {
+			continue
+		}
+		for _, pt := range fcp.ApplicationPoints(pat, g) {
+			out = append(out, Candidate{
+				Pattern: pat,
+				Point:   pt,
+				Fitness: w * pat.Fitness(g, pt),
+			})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Fitness != out[j].Fitness {
+			return out[i].Fitness > out[j].Fitness
+		}
+		return out[i].String() < out[j].String()
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// RandomSample draws N candidates uniformly from the exhaustive set, with a
+// deterministic seed. It trades completeness for bounded exploration on very
+// large flows.
+type RandomSample struct {
+	N    int
+	Seed uint64
+}
+
+// Name implements Policy.
+func (p RandomSample) Name() string { return "random_sample" }
+
+// Propose implements Policy.
+func (p RandomSample) Propose(g *etl.Graph, palette []fcp.Pattern) []Candidate {
+	all := allCandidates(g, palette)
+	n := p.N
+	if n <= 0 {
+		n = 16
+	}
+	if len(all) <= n {
+		return all
+	}
+	// Deterministic partial Fisher-Yates keyed by the flow fingerprint so
+	// different frontier designs sample differently but reproducibly.
+	rng := data.NewRNG(p.Seed ^ hashString(g.Fingerprint()))
+	for i := 0; i < n; i++ {
+		j := i + rng.Intn(len(all)-i)
+		all[i], all[j] = all[j], all[i]
+	}
+	out := all[:n]
+	sort.SliceStable(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+func hashString(s string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Goals is the user-defined prioritisation of quality characteristics.
+type Goals struct {
+	weights map[measures.Characteristic]float64
+}
+
+// NewGoals builds a goal set from characteristic weights.
+func NewGoals(weights map[measures.Characteristic]float64) Goals {
+	w := make(map[measures.Characteristic]float64, len(weights))
+	for k, v := range weights {
+		w[k] = v
+	}
+	return Goals{weights: w}
+}
+
+// Weight returns the weight of a characteristic (0 when unset).
+func (g Goals) Weight(c measures.Characteristic) float64 { return g.weights[c] }
+
+// Utility scores a report as the weighted sum of characteristic scores: the
+// scalarised objective used to rank designs when the user wants a single
+// recommendation out of the skyline.
+func (g Goals) Utility(r *measures.Report) float64 {
+	u := 0.0
+	for c, w := range g.weights {
+		u += w * r.Score(c)
+	}
+	return u
+}

@@ -1,0 +1,419 @@
+// Package sim executes ETL flows on synthetic data and produces the run
+// traces that the quality measures consume. It substitutes the runtime
+// monitoring infrastructure of the POIESIS deployment: the paper's dynamic
+// measures are "obtained from analysis of historical traces capturing the
+// runtime behaviour of ETL components", and this engine generates those
+// traces deterministically.
+//
+// The engine separates the deterministic data path (executed once per design)
+// from the stochastic failure path (sampled many times per design via
+// Monte-Carlo), so evaluating reliability over N runs does not re-execute
+// the row pipeline N times.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"poiesis/internal/data"
+	"poiesis/internal/etl"
+)
+
+// Binding connects the extract operations of a flow to synthetic sources.
+// Keys are node IDs of OpExtract nodes; missing bindings get a default
+// source derived from the node's output schema.
+type Binding map[etl.NodeID]data.SourceSpec
+
+// Config tunes the engine.
+type Config struct {
+	// DefaultRows is the cardinality used for extract nodes without an
+	// explicit binding.
+	DefaultRows int
+	// Seed drives defect injection for unbound sources and failure
+	// sampling.
+	Seed uint64
+	// RetryBudget is how many operation failures a run may absorb before it
+	// is declared failed.
+	RetryBudget int
+	// Runs is the Monte-Carlo sample size for failure behaviour.
+	Runs int
+	// PipelineOverlap in [0,1] models how much of a non-blocking operation's
+	// busy time overlaps with its upstream producer (1 = perfect pipelining,
+	// 0 = staged execution). Blocking operations never overlap.
+	PipelineOverlap float64
+}
+
+// DefaultConfig returns the configuration used by the benchmarks.
+func DefaultConfig() Config {
+	return Config{
+		DefaultRows:     5000,
+		Seed:            1,
+		RetryBudget:     8,
+		Runs:            64,
+		PipelineOverlap: 0.7,
+	}
+}
+
+// Profile is the deterministic execution profile of one flow: per-node
+// timings and cardinalities plus output data quality. The failure sampler
+// and the measures both read it.
+type Profile struct {
+	Flow  string
+	Order []etl.NodeID
+
+	RowsIn  map[etl.NodeID]int
+	RowsOut map[etl.NodeID]int
+	// TimeMs is the busy time of each node (startup + per-tuple work over
+	// parallelism).
+	TimeMs map[etl.NodeID]float64
+	// Completion is the finish time of each node under the (partially
+	// pipelined) stage model.
+	Completion map[etl.NodeID]float64
+	// RestartMs is, per node, the re-execution time needed when the node
+	// fails: time back to the nearest upstream savepoint (or the sources).
+	RestartMs map[etl.NodeID]float64
+	// RestartFromCheckpoint marks nodes whose recovery starts at a savepoint.
+	RestartFromCheckpoint map[etl.NodeID]bool
+
+	// FirstPassMs is the failure-free makespan.
+	FirstPassMs float64
+	// LatencyPerTupleMs is the per-tuple latency along the critical path.
+	LatencyPerTupleMs float64
+
+	RowsLoaded int
+	// Output quality at the sinks.
+	OutRows      int
+	OutNullCells int
+	OutCells     int
+	OutDupRows   int
+	OutErrRows   int
+
+	// MemRowsPeak is the largest materialisation by a blocking operation.
+	MemRowsPeak int
+}
+
+// Engine executes flows. It is stateless; methods are safe for concurrent
+// use with distinct arguments.
+type Engine struct {
+	cfg Config
+}
+
+// NewEngine returns an engine with the given configuration.
+func NewEngine(cfg Config) *Engine {
+	if cfg.DefaultRows <= 0 {
+		cfg.DefaultRows = 1000
+	}
+	if cfg.Runs <= 0 {
+		cfg.Runs = 32
+	}
+	if cfg.RetryBudget <= 0 {
+		cfg.RetryBudget = 8
+	}
+	if cfg.PipelineOverlap < 0 {
+		cfg.PipelineOverlap = 0
+	}
+	if cfg.PipelineOverlap > 1 {
+		cfg.PipelineOverlap = 1
+	}
+	return &Engine{cfg: cfg}
+}
+
+// Execute runs the data path of the flow once and returns its profile.
+func (e *Engine) Execute(g *etl.Graph, bind Binding) (*Profile, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	p := &Profile{
+		Flow:                  g.Name,
+		Order:                 order,
+		RowsIn:                map[etl.NodeID]int{},
+		RowsOut:               map[etl.NodeID]int{},
+		TimeMs:                map[etl.NodeID]float64{},
+		Completion:            map[etl.NodeID]float64{},
+		RestartMs:             map[etl.NodeID]float64{},
+		RestartFromCheckpoint: map[etl.NodeID]bool{},
+	}
+
+	// outputs[n][succ] holds the rows node n sends to successor succ.
+	outputs := map[etl.NodeID]map[etl.NodeID][]etl.Row{}
+	sinkRows := map[etl.NodeID][]etl.Row{}
+	sinkSchema := map[etl.NodeID]etl.Schema{}
+
+	for _, id := range order {
+		n := g.Node(id)
+		in := gatherInputs(g, outputs, id)
+		rowsIn := 0
+		for _, batch := range in {
+			rowsIn += len(batch)
+		}
+		out, err := e.apply(g, n, in, bind)
+		if err != nil {
+			return nil, fmt.Errorf("sim: executing %s: %w", n, err)
+		}
+		p.RowsIn[id] = rowsIn
+		if n.Kind.IsSource() {
+			p.RowsIn[id] = len(flatten(out))
+		}
+
+		// Route output rows to successors.
+		succs := g.Succ(id)
+		routed := route(n, out, succs)
+		outputs[id] = routed
+		totalOut := 0
+		for _, batch := range routed {
+			totalOut += len(batch)
+		}
+		if len(succs) == 0 {
+			all := flatten(out)
+			totalOut = len(all)
+			if n.Kind.IsSink() {
+				sinkRows[id] = all
+				sinkSchema[id] = g.InputSchema(id)
+			}
+		}
+		p.RowsOut[id] = totalOut
+
+		// Timing: startup + per-tuple work over parallelism.
+		work := float64(p.RowsIn[id])
+		if n.Kind.IsSource() {
+			work = float64(p.RowsOut[id])
+		}
+		t := n.Cost.Startup + work*n.WorkPerTuple()
+		p.TimeMs[id] = t
+		if n.Kind.IsBlocking() {
+			if m := p.RowsIn[id]; m > p.MemRowsPeak {
+				p.MemRowsPeak = m
+			}
+		}
+	}
+
+	e.computeSchedule(g, p)
+	e.computeRecovery(g, p)
+	e.measureOutputs(g, p, sinkRows, sinkSchema)
+	return p, nil
+}
+
+// gatherInputs collects the row batches addressed to node id by its
+// predecessors, in predecessor order.
+func gatherInputs(g *etl.Graph, outputs map[etl.NodeID]map[etl.NodeID][]etl.Row, id etl.NodeID) [][]etl.Row {
+	var in [][]etl.Row
+	for _, pred := range g.Pred(id) {
+		if m := outputs[pred]; m != nil {
+			in = append(in, m[id])
+		}
+	}
+	return in
+}
+
+func flatten(batches [][]etl.Row) []etl.Row {
+	if len(batches) == 1 {
+		return batches[0]
+	}
+	var out []etl.Row
+	for _, b := range batches {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// route distributes a node's output rows across its successors according to
+// the node's routing semantics.
+func route(n *etl.Node, out [][]etl.Row, succs []etl.NodeID) map[etl.NodeID][]etl.Row {
+	m := make(map[etl.NodeID][]etl.Row, len(succs))
+	if len(succs) == 0 {
+		return m
+	}
+	all := flatten(out)
+	switch n.Kind {
+	case etl.OpPartition:
+		// Horizontal partition: round-robin across branches.
+		for _, s := range succs {
+			m[s] = nil
+		}
+		for i, r := range all {
+			s := succs[i%len(succs)]
+			m[s] = append(m[s], r)
+		}
+	case etl.OpSplit:
+		if n.Param("route") == "hash" && len(succs) > 1 {
+			for i, r := range all {
+				s := succs[hashRow(r, i)%uint64(len(succs))]
+				m[s] = append(m[s], r)
+			}
+		} else {
+			// Copy semantics: each branch receives the full stream (vertical
+			// split of required attributes happens in downstream projects).
+			for _, s := range succs {
+				m[s] = all
+			}
+		}
+	default:
+		if len(succs) == 1 {
+			m[succs[0]] = all
+		} else {
+			for _, s := range succs {
+				m[s] = all
+			}
+		}
+	}
+	return m
+}
+
+func hashRow(r etl.Row, i int) uint64 {
+	h := uint64(1469598103934665603)
+	h ^= uint64(i)
+	h *= 1099511628211
+	if len(r) > 0 && r[0] != nil {
+		s := fmt.Sprintf("%v", r[0])
+		for j := 0; j < len(s); j++ {
+			h ^= uint64(s[j])
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+// computeSchedule derives completion times under a partially pipelined stage
+// model: a node may start before its producer finished when both are
+// non-blocking, controlled by cfg.PipelineOverlap.
+func (e *Engine) computeSchedule(g *etl.Graph, p *Profile) {
+	for _, id := range p.Order {
+		n := g.Node(id)
+		start := 0.0
+		latestPred := 0.0
+		for _, pred := range g.Pred(id) {
+			pn := g.Node(pred)
+			pc := p.Completion[pred]
+			if pc > latestPred {
+				latestPred = pc
+			}
+			if !n.Kind.IsBlocking() && !pn.Kind.IsBlocking() {
+				// Overlap with the producer's busy window.
+				pc -= e.cfg.PipelineOverlap * p.TimeMs[pred]
+				if floor := p.Completion[pred] - p.TimeMs[pred]; pc < floor {
+					pc = floor
+				}
+			}
+			if pc > start {
+				start = pc
+			}
+		}
+		c := start + p.TimeMs[id]
+		// A consumer cannot finish before its producers stop delivering.
+		if c < latestPred {
+			c = latestPred
+		}
+		p.Completion[id] = c
+		if c > p.FirstPassMs {
+			p.FirstPassMs = c
+		}
+	}
+	// Per-tuple latency along the critical path.
+	_, lat := g.CriticalPath(func(n *etl.Node) float64 { return n.WorkPerTuple() })
+	p.LatencyPerTupleMs = lat
+}
+
+// computeRecovery precomputes, for every node, how much work must be redone
+// when it fails: the completion time distance back to the nearest upstream
+// savepoint, or back to time zero when none exists.
+func (e *Engine) computeRecovery(g *etl.Graph, p *Profile) {
+	// bestCheckpoint[id] = max completion time over upstream checkpoints.
+	best := map[etl.NodeID]float64{}
+	hasCP := map[etl.NodeID]bool{}
+	for _, id := range p.Order {
+		b, ok := 0.0, false
+		for _, pred := range g.Pred(id) {
+			pb, pok := best[pred], hasCP[pred]
+			if g.Node(pred).Kind == etl.OpCheckpoint {
+				pb, pok = p.Completion[pred], true
+			}
+			if pok && pb > b {
+				b, ok = pb, true
+			}
+		}
+		best[id], hasCP[id] = b, ok
+		restart := p.Completion[id] - b
+		if restart < 0 {
+			restart = 0
+		}
+		p.RestartMs[id] = restart
+		p.RestartFromCheckpoint[id] = ok
+	}
+}
+
+// measureOutputs scans the rows delivered to the sinks and records quality
+// statistics.
+func (e *Engine) measureOutputs(g *etl.Graph, p *Profile, sinkRows map[etl.NodeID][]etl.Row, sinkSchema map[etl.NodeID]etl.Schema) {
+	ids := make([]string, 0, len(sinkRows))
+	for id := range sinkRows {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	for _, ids := range ids {
+		id := etl.NodeID(ids)
+		rows := sinkRows[id]
+		schema := sinkSchema[id]
+		st := data.Measure(schema, rows)
+		p.RowsLoaded += len(rows)
+		p.OutRows += st.Rows
+		p.OutNullCells += st.NullCells
+		p.OutCells += st.Rows * schema.Len()
+		p.OutDupRows += st.Duplicates
+		p.OutErrRows += st.Errors
+	}
+}
+
+// defaultSpec synthesises a binding for an unbound extract node.
+func (e *Engine) defaultSpec(n *etl.Node) data.SourceSpec {
+	return data.SourceSpec{
+		Name:   n.Name,
+		Schema: n.Out,
+		Rows:   e.cfg.DefaultRows,
+		Defects: data.Defects{
+			NullRate:  0.05,
+			DupRate:   0.02,
+			ErrorRate: 0.03,
+		},
+		UpdatesPerHour: 1,
+		Seed:           e.cfg.Seed ^ hashString(string(n.ID)),
+	}
+}
+
+func hashString(s string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// SourceUpdatesPerHour returns the maximum refresh frequency over the flow's
+// bound sources (default 1/h for unbound ones).
+func (e *Engine) SourceUpdatesPerHour(g *etl.Graph, bind Binding) float64 {
+	max := 0.0
+	for _, n := range g.Sources() {
+		f := 1.0
+		if spec, ok := bind[n.ID]; ok && spec.UpdatesPerHour > 0 {
+			f = spec.UpdatesPerHour
+		}
+		if f > max {
+			max = f
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	return max
+}
+
+// describe is used in error paths and tests.
+func describe(batches [][]etl.Row) string {
+	parts := make([]string, len(batches))
+	for i, b := range batches {
+		parts[i] = fmt.Sprintf("%d", len(b))
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}

@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"poiesis/internal/data"
+	"poiesis/internal/etl"
+	"poiesis/internal/trace"
+)
+
+// Sample runs the Monte-Carlo failure model over a precomputed profile and
+// returns one trace.Run per sampled execution. The data path is not
+// re-executed: failures perturb timing (recovery re-execution) and success,
+// not row contents — the savepoints guarantee the same rows are reproduced
+// on restart, which is exactly what the AddCheckpoint pattern is for.
+func (e *Engine) Sample(g *etl.Graph, p *Profile, runs int) []trace.Run {
+	if runs <= 0 {
+		runs = e.cfg.Runs
+	}
+	root := data.NewRNG(e.cfg.Seed ^ hashString(p.Flow) ^ 0x5851F42D4C957F2D)
+	out := make([]trace.Run, 0, runs)
+	for i := 0; i < runs; i++ {
+		rng := root.Fork()
+		out = append(out, e.sampleOne(g, p, i, rng))
+	}
+	return out
+}
+
+func (e *Engine) sampleOne(g *etl.Graph, p *Profile, seq int, rng *data.RNG) trace.Run {
+	run := trace.Run{
+		Flow:        p.Flow,
+		Seq:         seq,
+		FirstPassMs: p.FirstPassMs,
+		RowsLoaded:  p.RowsLoaded,
+		Succeeded:   true,
+
+		OutRows:      p.OutRows,
+		OutNullCells: p.OutNullCells,
+		OutDupRows:   p.OutDupRows,
+		OutErrRows:   p.OutErrRows,
+		OutCells:     p.OutCells,
+	}
+	budget := e.cfg.RetryBudget
+	for _, id := range p.Order {
+		n := g.Node(id)
+		st := trace.OpStats{
+			Node:    id,
+			Kind:    n.Kind,
+			RowsIn:  p.RowsIn[id],
+			RowsOut: p.RowsOut[id],
+			TimeMs:  p.TimeMs[id],
+		}
+		if n.Kind.IsBlocking() {
+			st.MemRows = p.RowsIn[id]
+		}
+		// Each attempt of the operation may fail independently; a failed
+		// attempt forces re-execution from the nearest upstream savepoint.
+		for rng.Bool(n.Cost.FailureRate) {
+			st.Failures++
+			run.FailureCount++
+			run.RecoveryMs += p.RestartMs[id]
+			if p.RestartFromCheckpoint[id] {
+				run.CheckpointsUsed++
+			}
+			if run.FailureCount > budget {
+				run.Succeeded = false
+				break
+			}
+		}
+		run.Ops = append(run.Ops, st)
+		if !run.Succeeded {
+			break
+		}
+	}
+	run.CycleTimeMs = run.FirstPassMs + run.RecoveryMs
+	if !run.Succeeded {
+		run.RowsLoaded = 0
+	}
+	return run
+}
+
+// Evaluate executes the flow once and samples its failure behaviour,
+// returning the full trace batch plus the profile. This is the per-design
+// evaluation step of the Planner's "Measures Estimation" stage (Fig. 3).
+func (e *Engine) Evaluate(g *etl.Graph, bind Binding) (*Profile, *trace.Batch, error) {
+	p, err := e.Execute(g, bind)
+	if err != nil {
+		return nil, nil, err
+	}
+	batch := &trace.Batch{
+		Flow:                 g.Name,
+		Runs:                 e.Sample(g, p, e.cfg.Runs),
+		SourceUpdatesPerHour: e.SourceUpdatesPerHour(g, bind),
+		PeriodMinutes:        periodMinutes(g),
+	}
+	return p, batch, nil
+}
+
+// periodMinutes reads the process recurrence period from the graph-wide
+// "schedule.period_minutes" convention (set by graph patterns); default 60.
+func periodMinutes(g *etl.Graph) float64 {
+	for _, n := range g.Nodes() {
+		if v := n.Param("schedule.period_minutes"); v != "" {
+			if f := parseFloat(v); f > 0 {
+				return f
+			}
+		}
+	}
+	return 60
+}
+
+func parseFloat(s string) float64 {
+	var f float64
+	var frac float64
+	var seenDot bool
+	div := 1.0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9':
+			if seenDot {
+				div *= 10
+				frac = frac + float64(c-'0')/div
+			} else {
+				f = f*10 + float64(c-'0')
+			}
+		case c == '.' && !seenDot:
+			seenDot = true
+		default:
+			return 0
+		}
+	}
+	return f + frac
+}

@@ -1,0 +1,50 @@
+package skyline
+
+// Layers peels successive skylines off the point set ("onion layers"):
+// layer 0 is the Pareto frontier, layer 1 the frontier of the remainder, and
+// so on. The UI uses it to offer "next best" designs when the analyst
+// rejects the whole frontier. maxLayers <= 0 peels until exhausted.
+func Layers(points [][]float64, maxLayers int) [][]int {
+	remaining := make([]int, len(points))
+	for i := range remaining {
+		remaining[i] = i
+	}
+	var layers [][]int
+	for len(remaining) > 0 {
+		if maxLayers > 0 && len(layers) == maxLayers {
+			break
+		}
+		sub := make([][]float64, len(remaining))
+		for i, idx := range remaining {
+			sub[i] = points[idx]
+		}
+		subSky := Compute(sub)
+		layer := make([]int, len(subSky))
+		inLayer := make(map[int]bool, len(subSky))
+		for i, s := range subSky {
+			layer[i] = remaining[s]
+			inLayer[remaining[s]] = true
+		}
+		layers = append(layers, layer)
+		next := remaining[:0]
+		for _, idx := range remaining {
+			if !inLayer[idx] {
+				next = append(next, idx)
+			}
+		}
+		remaining = next
+	}
+	return layers
+}
+
+// LayerOf returns the layer index of each point (0 = frontier), peeling all
+// layers.
+func LayerOf(points [][]float64) []int {
+	out := make([]int, len(points))
+	for l, layer := range Layers(points, 0) {
+		for _, idx := range layer {
+			out[idx] = l
+		}
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package skyline
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"poiesis/internal/data"
+)
+
+func TestLayersKnown(t *testing.T) {
+	pts := [][]float64{
+		{3, 3}, // layer 0
+		{2, 2}, // layer 1
+		{1, 1}, // layer 2
+		{3, 1}, // dominated by {3,3} -> layer 1
+	}
+	layers := Layers(pts, 0)
+	if len(layers) != 3 {
+		t.Fatalf("layers = %v", layers)
+	}
+	if len(layers[0]) != 1 || layers[0][0] != 0 {
+		t.Errorf("layer 0 = %v", layers[0])
+	}
+	got1 := append([]int(nil), layers[1]...)
+	sort.Ints(got1)
+	if len(got1) != 2 || got1[0] != 1 || got1[1] != 3 {
+		t.Errorf("layer 1 = %v", layers[1])
+	}
+	if len(layers[2]) != 1 || layers[2][0] != 2 {
+		t.Errorf("layer 2 = %v", layers[2])
+	}
+}
+
+func TestLayersMaxCap(t *testing.T) {
+	pts := [][]float64{{3, 3}, {2, 2}, {1, 1}}
+	layers := Layers(pts, 2)
+	if len(layers) != 2 {
+		t.Errorf("capped layers = %d", len(layers))
+	}
+	if got := Layers(nil, 0); got != nil {
+		t.Errorf("empty input layers = %v", got)
+	}
+}
+
+func TestLayerOf(t *testing.T) {
+	pts := [][]float64{{3, 3}, {2, 2}, {1, 1}, {3, 1}}
+	lo := LayerOf(pts)
+	want := []int{0, 1, 2, 1}
+	for i := range want {
+		if lo[i] != want[i] {
+			t.Errorf("LayerOf[%d] = %d, want %d", i, lo[i], want[i])
+		}
+	}
+}
+
+// Properties: layers partition the point set; layer 0 equals the skyline;
+// every point in layer k+1 is dominated by some point in layer k.
+func TestLayersProperties(t *testing.T) {
+	prop := func(seed uint64, n uint8) bool {
+		rng := data.NewRNG(seed)
+		count := int(n%60) + 1
+		pts := make([][]float64, count)
+		for i := range pts {
+			pts[i] = []float64{float64(rng.Intn(6)), float64(rng.Intn(6)), float64(rng.Intn(6))}
+		}
+		layers := Layers(pts, 0)
+		seen := map[int]bool{}
+		total := 0
+		for _, l := range layers {
+			for _, idx := range l {
+				if seen[idx] {
+					return false // overlap
+				}
+				seen[idx] = true
+			}
+			total += len(l)
+		}
+		if total != count {
+			return false // not a partition
+		}
+		// Layer 0 = skyline.
+		sky := Compute(pts)
+		l0 := append([]int(nil), layers[0]...)
+		sort.Ints(l0)
+		sort.Ints(sky)
+		if len(sky) != len(l0) {
+			return false
+		}
+		for i := range sky {
+			if sky[i] != l0[i] {
+				return false
+			}
+		}
+		// Each deeper point dominated by something one layer up.
+		for k := 1; k < len(layers); k++ {
+			for _, idx := range layers[k] {
+				dominated := false
+				for _, up := range layers[k-1] {
+					if Dominates(pts[up], pts[idx]) {
+						dominated = true
+						break
+					}
+				}
+				if !dominated {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,201 @@
+package skyline
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"poiesis/internal/data"
+)
+
+func TestDominates(t *testing.T) {
+	cases := []struct {
+		a, b []float64
+		want bool
+	}{
+		{[]float64{1, 1}, []float64{0, 0}, true},
+		{[]float64{1, 0}, []float64{0, 1}, false},
+		{[]float64{1, 1}, []float64{1, 1}, false}, // equal: no strict gain
+		{[]float64{1, 2}, []float64{1, 1}, true},
+		{[]float64{0, 2}, []float64{1, 1}, false},
+	}
+	for _, c := range cases {
+		if got := Dominates(c.a, c.b); got != c.want {
+			t.Errorf("Dominates(%v, %v) = %v", c.a, c.b, got)
+		}
+	}
+}
+
+func TestKnownSkyline(t *testing.T) {
+	pts := [][]float64{
+		{1, 1, 1}, // 0: dominated by 3
+		{5, 0, 0}, // 1: skyline
+		{0, 5, 0}, // 2: skyline
+		{2, 2, 2}, // 3: skyline
+		{2, 2, 1}, // 4: dominated by 3
+		{5, 0, 0}, // 5: duplicate of 1 -> also skyline (no strict dominator)
+	}
+	want := []int{1, 2, 3, 5}
+	for name, fn := range map[string]func([][]float64) []int{
+		"naive": Naive, "sortfilter": SortFilter, "compute": Compute,
+	} {
+		got := fn(pts)
+		sort.Ints(got)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	for name, fn := range map[string]func([][]float64) []int{
+		"naive": Naive, "sortfilter": SortFilter, "sweep2d": Sweep2D, "compute": Compute,
+	} {
+		if got := fn(nil); len(got) != 0 {
+			t.Errorf("%s(nil) = %v", name, got)
+		}
+	}
+	if got := Compute([][]float64{{1, 2}}); !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("single point skyline = %v", got)
+	}
+}
+
+func TestSweep2DMatchesNaive(t *testing.T) {
+	rng := data.NewRNG(3)
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(60) + 1
+		pts := make([][]float64, n)
+		for i := range pts {
+			// Coarse grid provokes ties and duplicates.
+			pts[i] = []float64{float64(rng.Intn(8)), float64(rng.Intn(8))}
+		}
+		a, b := Naive(pts), Sweep2D(pts)
+		sort.Ints(a)
+		sort.Ints(b)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("trial %d: naive %v != sweep %v (points %v)", trial, a, b, pts)
+		}
+	}
+}
+
+func TestSweep2DPanicsOnWrongDim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Sweep2D should panic on 3D input")
+		}
+	}()
+	Sweep2D([][]float64{{1, 2, 3}})
+}
+
+func TestComputeUsesSweepOnlyWhenAll2D(t *testing.T) {
+	// Mixed dimensionality must not reach Sweep2D's panic.
+	pts := [][]float64{{1, 2}, {1, 2, 3}}
+	defer func() {
+		if r := recover(); r != nil {
+			t.Errorf("Compute panicked on mixed dims: %v", r)
+		}
+	}()
+	_ = Compute(pts)
+}
+
+// skylineProperties checks the two defining properties of a skyline:
+// (1) no member is dominated; (2) every non-member is dominated by a member.
+func skylineProperties(pts [][]float64, sky []int) bool {
+	in := map[int]bool{}
+	for _, i := range sky {
+		in[i] = true
+	}
+	for _, i := range sky {
+		for j := range pts {
+			if i != j && Dominates(pts[j], pts[i]) {
+				return false
+			}
+		}
+	}
+	for i := range pts {
+		if in[i] {
+			continue
+		}
+		dominated := false
+		for _, j := range sky {
+			if Dominates(pts[j], pts[i]) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSkylinePropertiesRandom(t *testing.T) {
+	prop := func(seed uint64, n uint8, d uint8) bool {
+		rng := data.NewRNG(seed)
+		dims := int(d%4) + 2
+		count := int(n%100) + 1
+		pts := make([][]float64, count)
+		for i := range pts {
+			pts[i] = make([]float64, dims)
+			for j := range pts[i] {
+				pts[i][j] = float64(rng.Intn(10))
+			}
+		}
+		for _, fn := range []func([][]float64) []int{Naive, SortFilter, Compute} {
+			if !skylineProperties(pts, fn(pts)) {
+				return false
+			}
+		}
+		// Algorithms agree.
+		a, b := Naive(pts), SortFilter(pts)
+		sort.Ints(a)
+		sort.Ints(b)
+		return reflect.DeepEqual(a, b)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSkylineShrinksSpace(t *testing.T) {
+	// On anti-correlated random data the skyline is a strict subset.
+	rng := data.NewRNG(11)
+	pts := make([][]float64, 2000)
+	for i := range pts {
+		x := rng.Float64()
+		pts[i] = []float64{x, 1 - x + 0.1*rng.Float64(), rng.Float64()}
+	}
+	sky := Compute(pts)
+	if len(sky) == 0 || len(sky) >= len(pts) {
+		t.Errorf("skyline size = %d of %d", len(sky), len(pts))
+	}
+}
+
+func randomPoints(rng *data.RNG, n, d int) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = make([]float64, d)
+		for j := range pts[i] {
+			pts[i][j] = rng.Float64()
+		}
+	}
+	return pts
+}
+
+func BenchmarkNaive1k3d(b *testing.B)      { benchAlgo(b, Naive, 1000, 3) }
+func BenchmarkSortFilter1k3d(b *testing.B) { benchAlgo(b, SortFilter, 1000, 3) }
+func BenchmarkSortFilter10k3d(b *testing.B) {
+	benchAlgo(b, SortFilter, 10000, 3)
+}
+func BenchmarkSweep2D10k(b *testing.B) { benchAlgo(b, Sweep2D, 10000, 2) }
+
+func benchAlgo(b *testing.B, fn func([][]float64) []int, n, d int) {
+	pts := randomPoints(data.NewRNG(1), n, d)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = fn(pts)
+	}
+}

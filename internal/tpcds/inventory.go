@@ -1,0 +1,87 @@
+package tpcds
+
+import "poiesis/internal/etl"
+
+func inventorySchema() etl.Schema {
+	return etl.NewSchema(
+		etl.Attribute{Name: "inv_item_sk", Type: etl.TypeInt, Key: true},
+		etl.Attribute{Name: "inv_warehouse_sk", Type: etl.TypeInt, Key: true},
+		etl.Attribute{Name: "inv_date_sk", Type: etl.TypeInt, Key: true},
+		etl.Attribute{Name: "inv_quantity_on_hand", Type: etl.TypeInt, Nullable: true},
+	)
+}
+
+func warehouseSchema() etl.Schema {
+	return etl.NewSchema(
+		etl.Attribute{Name: "inv_warehouse_sk", Type: etl.TypeInt, Key: true},
+		etl.Attribute{Name: "w_state", Type: etl.TypeString},
+		etl.Attribute{Name: "w_sq_ft", Type: etl.TypeInt, Nullable: true},
+	)
+}
+
+// InventoryETL builds a second TPC-DS-based process: daily inventory
+// snapshots cross two channels (store + web feeds), unioned, deduplicated,
+// enriched with warehouse reference data, aggregated per warehouse and
+// state, and loaded into a snapshot fact plus a state-level mart. It
+// stresses the union/merge and dedup paths that the sales ETL does not.
+func InventoryETL() *etl.Graph {
+	inv := inventorySchema()
+	enriched := inv.Union(warehouseSchema())
+	derived := enriched.With(etl.Attribute{Name: "stock_value", Type: etl.TypeFloat})
+
+	g := etl.New("tpcds_inventory")
+	g.MustAddNode(etl.NewNode("src_store_inv", "store_inventory_feed", etl.OpExtract, inv))
+	g.MustAddNode(etl.NewNode("src_web_inv", "web_inventory_feed", etl.OpExtract, inv))
+	g.MustAddNode(etl.NewNode("src_wh", "warehouse", etl.OpExtract, warehouseSchema()))
+
+	g.MustAddNode(etl.NewNode("conv_store", "convert_store_feed", etl.OpConvert, inv))
+	g.MustAddNode(etl.NewNode("conv_web", "convert_web_feed", etl.OpConvert, inv))
+	g.MustAddNode(etl.NewNode("union_feeds", "union_feeds", etl.OpUnion, inv))
+	dd := etl.NewNode("dedup_snap", "dedup_snapshots", etl.OpDedup, inv)
+	dd.Cost.Selectivity = 0.96
+	g.MustAddNode(dd)
+
+	g.MustAddNode(etl.NewNode("lkp_wh", "lookup_warehouse", etl.OpLookup, enriched))
+	fltNode := etl.NewNode("flt_onhand", "filter_positive_onhand", etl.OpFilter, enriched)
+	fltNode.SetParam("predicate", "inv_quantity_on_hand >= 0")
+	fltNode.Cost.Selectivity = 0.95
+	g.MustAddNode(fltNode)
+	drv := etl.NewNode("drv_value", "derive_stock_value", etl.OpDerive, derived)
+	drv.Cost.PerTuple = 0.02
+	drv.Cost.FailureRate = 0.01
+	g.MustAddNode(drv)
+
+	g.MustAddNode(etl.NewNode("split_out", "split_outputs", etl.OpSplit, derived))
+	aggWh := etl.NewNode("agg_wh", "aggregate_by_warehouse", etl.OpAggregate, derived)
+	aggWh.SetParam("group_by", "inv_warehouse_sk")
+	g.MustAddNode(aggWh)
+	aggState := etl.NewNode("agg_state", "aggregate_by_state", etl.OpAggregate, derived)
+	aggState.SetParam("group_by", "w_state")
+	g.MustAddNode(aggState)
+
+	g.MustAddNode(etl.NewNode("ld_snap", "DW_inventory_snapshot", etl.OpLoad, etl.Schema{}))
+	g.MustAddNode(etl.NewNode("ld_wh", "DW_inventory_by_warehouse", etl.OpLoad, etl.Schema{}))
+	g.MustAddNode(etl.NewNode("ld_state", "DW_inventory_by_state", etl.OpLoad, etl.Schema{}))
+
+	edges := [][2]etl.NodeID{
+		{"src_store_inv", "conv_store"},
+		{"src_web_inv", "conv_web"},
+		{"conv_store", "union_feeds"},
+		{"conv_web", "union_feeds"},
+		{"union_feeds", "dedup_snap"},
+		{"dedup_snap", "lkp_wh"},
+		{"src_wh", "lkp_wh"},
+		{"lkp_wh", "flt_onhand"},
+		{"flt_onhand", "drv_value"},
+		{"drv_value", "split_out"},
+		{"split_out", "ld_snap"},
+		{"split_out", "agg_wh"},
+		{"split_out", "agg_state"},
+		{"agg_wh", "ld_wh"},
+		{"agg_state", "ld_state"},
+	}
+	for _, e := range edges {
+		g.MustAddEdge(e[0], e[1])
+	}
+	return g
+}

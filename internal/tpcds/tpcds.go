@@ -1,0 +1,244 @@
+// Package tpcds builds the TPC-DS-based ETL processes used in the POIESIS
+// demonstration: "we will use two initial ETL processes based on the TPC-DS
+// and TPC-H benchmarks. These processes contain tens of operators,
+// extracting data from multiple sources." It provides the exact purchases
+// sub-flow of Fig. 2 plus a larger store-sales ETL, and synthetic source
+// bindings replacing the TPC-DS dbgen data (offline substitution documented
+// in DESIGN.md).
+package tpcds
+
+import (
+	"poiesis/internal/data"
+	"poiesis/internal/etl"
+	"poiesis/internal/sim"
+)
+
+// Schemas for the TPC-DS-like sources (trimmed to the attributes the flows
+// touch; key flags drive dedup/crosscheck patterns).
+func purchasesSchema() etl.Schema {
+	return etl.NewSchema(
+		etl.Attribute{Name: "purchase_id", Type: etl.TypeInt, Key: true},
+		etl.Attribute{Name: "purchase_line_item_id", Type: etl.TypeInt, Key: true},
+		etl.Attribute{Name: "item_id", Type: etl.TypeInt},
+		etl.Attribute{Name: "store_id", Type: etl.TypeInt},
+		etl.Attribute{Name: "quantity", Type: etl.TypeInt},
+		etl.Attribute{Name: "list_price", Type: etl.TypeFloat},
+		etl.Attribute{Name: "coupon_amt", Type: etl.TypeFloat, Nullable: true},
+		etl.Attribute{Name: "item_record_end_date", Type: etl.TypeDate, Nullable: true},
+		etl.Attribute{Name: "store_record_end_date", Type: etl.TypeDate, Nullable: true},
+	)
+}
+
+// StoreSalesSchema is the fact-source schema of the larger ETL.
+func StoreSalesSchema() etl.Schema {
+	return etl.NewSchema(
+		etl.Attribute{Name: "ss_ticket_number", Type: etl.TypeInt, Key: true},
+		etl.Attribute{Name: "ss_item_sk", Type: etl.TypeInt, Key: true},
+		etl.Attribute{Name: "ss_store_sk", Type: etl.TypeInt},
+		etl.Attribute{Name: "ss_customer_sk", Type: etl.TypeInt, Nullable: true},
+		etl.Attribute{Name: "ss_sold_date_sk", Type: etl.TypeInt},
+		etl.Attribute{Name: "ss_quantity", Type: etl.TypeInt},
+		etl.Attribute{Name: "ss_sales_price", Type: etl.TypeFloat},
+		etl.Attribute{Name: "ss_ext_discount_amt", Type: etl.TypeFloat, Nullable: true},
+	)
+}
+
+func itemSchema() etl.Schema {
+	return etl.NewSchema(
+		etl.Attribute{Name: "ss_item_sk", Type: etl.TypeInt, Key: true},
+		etl.Attribute{Name: "i_category", Type: etl.TypeString},
+		etl.Attribute{Name: "i_current_price", Type: etl.TypeFloat},
+	)
+}
+
+func storeSchema() etl.Schema {
+	return etl.NewSchema(
+		etl.Attribute{Name: "ss_store_sk", Type: etl.TypeInt, Key: true},
+		etl.Attribute{Name: "s_state", Type: etl.TypeString},
+		etl.Attribute{Name: "s_market", Type: etl.TypeString, Nullable: true},
+	)
+}
+
+func customerSchema() etl.Schema {
+	return etl.NewSchema(
+		etl.Attribute{Name: "ss_customer_sk", Type: etl.TypeInt, Key: true},
+		etl.Attribute{Name: "c_birth_year", Type: etl.TypeInt, Nullable: true},
+		etl.Attribute{Name: "c_preferred", Type: etl.TypeBool},
+	)
+}
+
+// PurchasesFlow builds the initial S_Purchases flow of Fig. 2:
+//
+//	EXTRACT S_Purchases
+//	  -> FILTER "purchase_line_item_id = item_id AND item_record_end_date =
+//	     null AND store_record_end_date = null"
+//	  -> SPLIT required attributes
+//	       -> DERIVE VALUES           -> S_Purchases_3
+//	       -> PROJECT required attrs  -> S_Purchases_4
+//
+// The derive branch is the computational-intensive task that Fig. 2a
+// parallelises and Fig. 2b guards with savepoints.
+func PurchasesFlow() *etl.Graph {
+	s := purchasesSchema()
+	derived := s.With(etl.Attribute{Name: "purchase_value", Type: etl.TypeFloat}).
+		With(etl.Attribute{Name: "discount_value", Type: etl.TypeFloat})
+	g := etl.New("tpcds_purchases")
+	g.MustAddNode(etl.NewNode("src_purchases", "S_Purchases", etl.OpExtract, s))
+	flt := etl.NewNode("flt_current", "filter_current_records", etl.OpFilter, s)
+	flt.SetParam("predicate",
+		`purchase_line_item_id = item_id AND item_record_end_date = null AND store_record_end_date = null`)
+	flt.Cost.Selectivity = 0.85
+	g.MustAddNode(flt)
+	g.MustAddNode(etl.NewNode("split_req", "split_required_attributes", etl.OpSplit, s))
+	drv := etl.NewNode("derive_values", "derive_values", etl.OpDerive, derived)
+	drv.Cost.PerTuple = 0.04 // dominant task
+	drv.Cost.FailureRate = 0.02
+	g.MustAddNode(drv)
+	prj := etl.NewNode("project_req", "project_required", etl.OpProject,
+		s.Project("purchase_id", "purchase_line_item_id", "quantity", "list_price"))
+	g.MustAddNode(prj)
+	g.MustAddNode(etl.NewNode("ld_p3", "S_Purchases_3", etl.OpLoad, etl.Schema{}))
+	g.MustAddNode(etl.NewNode("ld_p4", "S_Purchases_4", etl.OpLoad, etl.Schema{}))
+	g.MustAddEdge("src_purchases", "flt_current")
+	g.MustAddEdge("flt_current", "split_req")
+	g.MustAddEdge("split_req", "derive_values")
+	g.MustAddEdge("split_req", "project_req")
+	g.MustAddEdge("derive_values", "ld_p3")
+	g.MustAddEdge("project_req", "ld_p4")
+	return g
+}
+
+// SalesETL builds the larger demo process (tens of operators, multiple
+// sources): store_sales enriched with item, store and customer reference
+// data, cleaned, converted, aggregated along two roll-ups and loaded into a
+// fact table plus two aggregate tables.
+func SalesETL() *etl.Graph {
+	fact := StoreSalesSchema()
+	enrItem := fact.Union(itemSchema())
+	enrStore := enrItem.Union(storeSchema())
+	enrCust := enrStore.Union(customerSchema())
+	derived := enrCust.
+		With(etl.Attribute{Name: "net_paid", Type: etl.TypeFloat}).
+		With(etl.Attribute{Name: "margin", Type: etl.TypeFloat})
+
+	g := etl.New("tpcds_sales")
+	// Sources.
+	g.MustAddNode(etl.NewNode("src_sales", "store_sales", etl.OpExtract, fact))
+	g.MustAddNode(etl.NewNode("src_item", "item", etl.OpExtract, itemSchema()))
+	g.MustAddNode(etl.NewNode("src_store", "store", etl.OpExtract, storeSchema()))
+	g.MustAddNode(etl.NewNode("src_cust", "customer", etl.OpExtract, customerSchema()))
+
+	// Staging conversions next to each source.
+	g.MustAddNode(etl.NewNode("conv_sales", "convert_sales_types", etl.OpConvert, fact))
+	g.MustAddNode(etl.NewNode("srt_item", "sort_item", etl.OpSort, itemSchema()))
+	g.MustAddNode(etl.NewNode("srt_store", "sort_store", etl.OpSort, storeSchema()))
+
+	// Enrichment lookups.
+	g.MustAddNode(etl.NewNode("lkp_item", "lookup_item", etl.OpLookup, enrItem))
+	g.MustAddNode(etl.NewNode("lkp_store", "lookup_store", etl.OpLookup, enrStore))
+	g.MustAddNode(etl.NewNode("lkp_cust", "lookup_customer", etl.OpLookup, enrCust))
+
+	// Business filter + heavy derivation.
+	fltNode := etl.NewNode("flt_valid", "filter_valid_tickets", etl.OpFilter, enrCust)
+	fltNode.SetParam("predicate", "ss_quantity > 0 AND ss_sales_price >= 0")
+	fltNode.Cost.Selectivity = 0.92
+	g.MustAddNode(fltNode)
+	drv := etl.NewNode("drv_measures", "derive_net_and_margin", etl.OpDerive, derived)
+	drv.Cost.PerTuple = 0.03
+	drv.Cost.FailureRate = 0.015
+	g.MustAddNode(drv)
+
+	// Surrogate key assignment for the warehouse fact.
+	sk := derived.With(etl.Attribute{Name: "sale_sk", Type: etl.TypeInt, Key: true})
+	g.MustAddNode(etl.NewNode("sk_fact", "assign_surrogate_key", etl.OpSurrogate, sk))
+
+	// Split to the fact load and two aggregate roll-ups.
+	g.MustAddNode(etl.NewNode("split_out", "split_outputs", etl.OpSplit, sk))
+	aggState := etl.NewNode("agg_state", "aggregate_by_state", etl.OpAggregate, sk)
+	aggState.SetParam("group_by", "s_state")
+	g.MustAddNode(aggState)
+	aggCat := etl.NewNode("agg_cat", "aggregate_by_category", etl.OpAggregate, sk)
+	aggCat.SetParam("group_by", "i_category")
+	g.MustAddNode(aggCat)
+	g.MustAddNode(etl.NewNode("srt_fact", "sort_fact", etl.OpSort, sk))
+
+	// Loads.
+	g.MustAddNode(etl.NewNode("ld_fact", "DW_sales_fact", etl.OpLoad, etl.Schema{}))
+	g.MustAddNode(etl.NewNode("ld_state", "DW_sales_by_state", etl.OpLoad, etl.Schema{}))
+	g.MustAddNode(etl.NewNode("ld_cat", "DW_sales_by_category", etl.OpLoad, etl.Schema{}))
+
+	edges := [][2]etl.NodeID{
+		{"src_sales", "conv_sales"},
+		{"src_item", "srt_item"},
+		{"src_store", "srt_store"},
+		{"conv_sales", "lkp_item"},
+		{"srt_item", "lkp_item"},
+		{"lkp_item", "lkp_store"},
+		{"srt_store", "lkp_store"},
+		{"lkp_store", "lkp_cust"},
+		{"src_cust", "lkp_cust"},
+		{"lkp_cust", "flt_valid"},
+		{"flt_valid", "drv_measures"},
+		{"drv_measures", "sk_fact"},
+		{"sk_fact", "split_out"},
+		{"split_out", "srt_fact"},
+		{"split_out", "agg_state"},
+		{"split_out", "agg_cat"},
+		{"srt_fact", "ld_fact"},
+		{"agg_state", "ld_state"},
+		{"agg_cat", "ld_cat"},
+	}
+	for _, e := range edges {
+		g.MustAddEdge(e[0], e[1])
+	}
+	return g
+}
+
+// Binding returns synthetic source bindings for a flow built by this
+// package. Scale is the row count of the largest source; reference sources
+// are proportionally smaller, as in TPC-DS.
+func Binding(g *etl.Graph, scale int, seed uint64) sim.Binding {
+	if scale <= 0 {
+		scale = 5000
+	}
+	b := sim.Binding{}
+	for _, src := range g.Sources() {
+		spec := data.SourceSpec{
+			Name:           src.Name,
+			Schema:         src.Out,
+			Rows:           scale,
+			UpdatesPerHour: 2,
+			Seed:           seed ^ hash(src.ID),
+			Defects: data.Defects{
+				NullRate:  0.06,
+				DupRate:   0.03,
+				ErrorRate: 0.04,
+			},
+		}
+		switch src.ID {
+		case "src_item":
+			spec.Rows = scale / 10
+			spec.Defects = data.Defects{NullRate: 0.01}
+		case "src_store":
+			spec.Rows = scale / 50
+			spec.Defects = data.Defects{NullRate: 0.02}
+		case "src_cust":
+			spec.Rows = scale / 5
+			spec.Defects = data.Defects{NullRate: 0.05, DupRate: 0.01}
+		}
+		if spec.Rows < 1 {
+			spec.Rows = 1
+		}
+		b[src.ID] = spec
+	}
+	return b
+}
+
+func hash(id etl.NodeID) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,50 @@
+package tpch
+
+import "poiesis/internal/etl"
+
+// PricingSummaryETL builds a TPC-H Q1-style pricing summary pipeline:
+// lineitem filtered on the ship-date horizon, converted, heavy per-row
+// charge derivation, sorted and aggregated by return flag, loaded into a
+// summary mart plus a raw archive. It is the single-source, blocking-heavy
+// counterpart of RevenueETL.
+func PricingSummaryETL() *etl.Graph {
+	li := LineitemSchema()
+	derived := li.
+		With(etl.Attribute{Name: "disc_price", Type: etl.TypeFloat}).
+		With(etl.Attribute{Name: "charge", Type: etl.TypeFloat})
+
+	g := etl.New("tpch_pricing_summary")
+	g.MustAddNode(etl.NewNode("src_lineitem", "lineitem", etl.OpExtract, li))
+	g.MustAddNode(etl.NewNode("conv_li", "convert_lineitem", etl.OpConvert, li))
+	flt := etl.NewNode("flt_horizon", "filter_shipdate_horizon", etl.OpFilter, li)
+	flt.SetParam("predicate", "l_shipdate <= date '1998-12-01' - interval '90' day")
+	flt.Cost.Selectivity = 0.95
+	g.MustAddNode(flt)
+	drv := etl.NewNode("drv_charge", "derive_disc_price_charge", etl.OpDerive, derived)
+	drv.Cost.PerTuple = 0.03
+	drv.Cost.FailureRate = 0.01
+	g.MustAddNode(drv)
+	srt := etl.NewNode("srt_flag", "sort_by_returnflag", etl.OpSort, derived)
+	g.MustAddNode(srt)
+	agg := etl.NewNode("agg_flag", "aggregate_by_returnflag", etl.OpAggregate, derived)
+	agg.SetParam("group_by", "l_returnflag")
+	g.MustAddNode(agg)
+	g.MustAddNode(etl.NewNode("split_out", "split_outputs", etl.OpSplit, derived))
+	g.MustAddNode(etl.NewNode("ld_summary", "DW_pricing_summary", etl.OpLoad, etl.Schema{}))
+	g.MustAddNode(etl.NewNode("ld_archive", "DW_lineitem_archive", etl.OpLoad, etl.Schema{}))
+
+	edges := [][2]etl.NodeID{
+		{"src_lineitem", "conv_li"},
+		{"conv_li", "flt_horizon"},
+		{"flt_horizon", "drv_charge"},
+		{"drv_charge", "split_out"},
+		{"split_out", "srt_flag"},
+		{"srt_flag", "agg_flag"},
+		{"agg_flag", "ld_summary"},
+		{"split_out", "ld_archive"},
+	}
+	for _, e := range edges {
+		g.MustAddEdge(e[0], e[1])
+	}
+	return g
+}

@@ -1,0 +1,177 @@
+// Package tpch builds the TPC-H-based ETL process of the POIESIS demo: an
+// order-revenue pipeline over lineitem/orders/customer/part sources with
+// tens of operators, plus synthetic source bindings replacing dbgen.
+package tpch
+
+import (
+	"poiesis/internal/data"
+	"poiesis/internal/etl"
+	"poiesis/internal/sim"
+)
+
+// LineitemSchema is the TPC-H lineitem subset the flows touch.
+func LineitemSchema() etl.Schema {
+	return etl.NewSchema(
+		etl.Attribute{Name: "l_orderkey", Type: etl.TypeInt, Key: true},
+		etl.Attribute{Name: "l_linenumber", Type: etl.TypeInt, Key: true},
+		etl.Attribute{Name: "l_partkey", Type: etl.TypeInt},
+		etl.Attribute{Name: "l_quantity", Type: etl.TypeInt},
+		etl.Attribute{Name: "l_extendedprice", Type: etl.TypeFloat},
+		etl.Attribute{Name: "l_discount", Type: etl.TypeFloat, Nullable: true},
+		etl.Attribute{Name: "l_tax", Type: etl.TypeFloat, Nullable: true},
+		etl.Attribute{Name: "l_shipdate", Type: etl.TypeDate},
+		etl.Attribute{Name: "l_returnflag", Type: etl.TypeString},
+	)
+}
+
+func ordersSchema() etl.Schema {
+	return etl.NewSchema(
+		etl.Attribute{Name: "l_orderkey", Type: etl.TypeInt, Key: true},
+		etl.Attribute{Name: "o_custkey", Type: etl.TypeInt},
+		etl.Attribute{Name: "o_orderdate", Type: etl.TypeDate},
+		etl.Attribute{Name: "o_orderpriority", Type: etl.TypeString},
+	)
+}
+
+func customerSchema() etl.Schema {
+	return etl.NewSchema(
+		etl.Attribute{Name: "o_custkey", Type: etl.TypeInt, Key: true},
+		etl.Attribute{Name: "c_mktsegment", Type: etl.TypeString},
+		etl.Attribute{Name: "c_nationkey", Type: etl.TypeInt},
+		etl.Attribute{Name: "c_acctbal", Type: etl.TypeFloat, Nullable: true},
+	)
+}
+
+func partSchema() etl.Schema {
+	return etl.NewSchema(
+		etl.Attribute{Name: "l_partkey", Type: etl.TypeInt, Key: true},
+		etl.Attribute{Name: "p_type", Type: etl.TypeString},
+		etl.Attribute{Name: "p_retailprice", Type: etl.TypeFloat},
+	)
+}
+
+// RevenueETL builds the demo TPC-H process: lineitem joined with orders,
+// enriched with customer and part reference data, revenue derived, cleaned,
+// aggregated by market segment and priority, loaded into a fact table plus
+// two marts.
+func RevenueETL() *etl.Graph {
+	li := LineitemSchema()
+	joined := li.Union(ordersSchema())
+	enrCust := joined.Union(customerSchema())
+	enrPart := enrCust.Union(partSchema())
+	derived := enrPart.
+		With(etl.Attribute{Name: "revenue", Type: etl.TypeFloat}).
+		With(etl.Attribute{Name: "charge", Type: etl.TypeFloat})
+
+	g := etl.New("tpch_revenue")
+	g.MustAddNode(etl.NewNode("src_lineitem", "lineitem", etl.OpExtract, li))
+	g.MustAddNode(etl.NewNode("src_orders", "orders", etl.OpExtract, ordersSchema()))
+	g.MustAddNode(etl.NewNode("src_customer", "customer", etl.OpExtract, customerSchema()))
+	g.MustAddNode(etl.NewNode("src_part", "part", etl.OpExtract, partSchema()))
+
+	// Staging: type conversion and recent-shipment filter near the source.
+	g.MustAddNode(etl.NewNode("conv_li", "convert_lineitem", etl.OpConvert, li))
+	fltDate := etl.NewNode("flt_recent", "filter_recent_shipments", etl.OpFilter, li)
+	fltDate.SetParam("predicate", "l_shipdate >= date '1995-01-01'")
+	fltDate.Cost.Selectivity = 0.7
+	g.MustAddNode(fltDate)
+	g.MustAddNode(etl.NewNode("srt_orders", "sort_orders", etl.OpSort, ordersSchema()))
+
+	// Join lineitem with orders; enrich with customer and part.
+	jn := etl.NewNode("join_ord", "join_lineitem_orders", etl.OpJoin, joined)
+	jn.Cost.FailureRate = 0.01
+	g.MustAddNode(jn)
+	g.MustAddNode(etl.NewNode("lkp_cust", "lookup_customer", etl.OpLookup, enrCust))
+	g.MustAddNode(etl.NewNode("lkp_part", "lookup_part", etl.OpLookup, enrPart))
+
+	// Heavy derivation: revenue = price*(1-discount), charge = revenue*(1+tax).
+	drv := etl.NewNode("drv_revenue", "derive_revenue", etl.OpDerive, derived)
+	drv.Cost.PerTuple = 0.025
+	drv.Cost.FailureRate = 0.012
+	g.MustAddNode(drv)
+
+	// Outputs: full fact, per-segment aggregate, per-priority aggregate.
+	g.MustAddNode(etl.NewNode("split_marts", "split_marts", etl.OpSplit, derived))
+	g.MustAddNode(etl.NewNode("srt_fact", "sort_fact", etl.OpSort, derived))
+	aggSeg := etl.NewNode("agg_segment", "aggregate_by_segment", etl.OpAggregate, derived)
+	aggSeg.SetParam("group_by", "c_mktsegment")
+	g.MustAddNode(aggSeg)
+	aggPri := etl.NewNode("agg_priority", "aggregate_by_priority", etl.OpAggregate, derived)
+	aggPri.SetParam("group_by", "o_orderpriority")
+	g.MustAddNode(aggPri)
+	g.MustAddNode(etl.NewNode("ld_fact", "DW_revenue_fact", etl.OpLoad, etl.Schema{}))
+	g.MustAddNode(etl.NewNode("ld_seg", "DW_revenue_by_segment", etl.OpLoad, etl.Schema{}))
+	g.MustAddNode(etl.NewNode("ld_pri", "DW_revenue_by_priority", etl.OpLoad, etl.Schema{}))
+
+	edges := [][2]etl.NodeID{
+		{"src_lineitem", "conv_li"},
+		{"conv_li", "flt_recent"},
+		{"src_orders", "srt_orders"},
+		{"flt_recent", "join_ord"},
+		{"srt_orders", "join_ord"},
+		{"join_ord", "lkp_cust"},
+		{"src_customer", "lkp_cust"},
+		{"lkp_cust", "lkp_part"},
+		{"src_part", "lkp_part"},
+		{"lkp_part", "drv_revenue"},
+		{"drv_revenue", "split_marts"},
+		{"split_marts", "srt_fact"},
+		{"split_marts", "agg_segment"},
+		{"split_marts", "agg_priority"},
+		{"srt_fact", "ld_fact"},
+		{"agg_segment", "ld_seg"},
+		{"agg_priority", "ld_pri"},
+	}
+	for _, e := range edges {
+		g.MustAddEdge(e[0], e[1])
+	}
+	return g
+}
+
+// Binding returns synthetic bindings sized per TPC-H proportions: orders at
+// a quarter of lineitem, customer a tenth, part a fifth.
+func Binding(g *etl.Graph, scale int, seed uint64) sim.Binding {
+	if scale <= 0 {
+		scale = 6000
+	}
+	b := sim.Binding{}
+	for _, src := range g.Sources() {
+		spec := data.SourceSpec{
+			Name:           src.Name,
+			Schema:         src.Out,
+			Rows:           scale,
+			UpdatesPerHour: 1,
+			Seed:           seed ^ hash(src.ID),
+			Defects: data.Defects{
+				NullRate:  0.05,
+				DupRate:   0.02,
+				ErrorRate: 0.03,
+			},
+		}
+		switch src.ID {
+		case "src_orders":
+			spec.Rows = scale / 4
+			spec.Defects = data.Defects{NullRate: 0.02, DupRate: 0.01}
+		case "src_customer":
+			spec.Rows = scale / 10
+			spec.Defects = data.Defects{NullRate: 0.03}
+		case "src_part":
+			spec.Rows = scale / 5
+			spec.Defects = data.Defects{NullRate: 0.01}
+		}
+		if spec.Rows < 1 {
+			spec.Rows = 1
+		}
+		b[src.ID] = spec
+	}
+	return b
+}
+
+func hash(id etl.NodeID) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,199 @@
+// Package xlm reads and writes ETL flows in an xLM-style XML logical model.
+// xLM (Wilkinson, Simitsis, Castellanos, Dayal: "Leveraging business process
+// models for ETL design", ER 2010) represents an ETL process as a graph of
+// typed operation nodes and transition edges; POIESIS "currently supports
+// the loading of xLM and PDI" (§3). This codec covers the subset the Planner
+// needs: node identity, operation type, schemata, properties, cost metadata
+// and parallelism.
+package xlm
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+
+	"poiesis/internal/etl"
+)
+
+// xmlDoc is the root <xlm> document.
+type xmlDoc struct {
+	XMLName xml.Name  `xml:"xlm"`
+	Version string    `xml:"version,attr"`
+	Design  xmlDesign `xml:"design"`
+}
+
+type xmlDesign struct {
+	Name  string    `xml:"name,attr"`
+	Nodes []xmlNode `xml:"node"`
+	Edges []xmlEdge `xml:"edge"`
+}
+
+type xmlNode struct {
+	ID          string        `xml:"id,attr"`
+	Name        string        `xml:"name,attr"`
+	Type        string        `xml:"type,attr"`
+	Parallelism int           `xml:"parallelism,attr,omitempty"`
+	Generated   bool          `xml:"generated,attr,omitempty"`
+	Pattern     string        `xml:"pattern,attr,omitempty"`
+	Schema      []xmlAttr     `xml:"schema>attribute"`
+	Properties  []xmlProperty `xml:"properties>property"`
+	Cost        *xmlCost      `xml:"cost"`
+}
+
+type xmlAttr struct {
+	Name     string `xml:"name,attr"`
+	Type     string `xml:"type,attr"`
+	Nullable bool   `xml:"nullable,attr,omitempty"`
+	Key      bool   `xml:"key,attr,omitempty"`
+}
+
+type xmlProperty struct {
+	Key   string `xml:"key,attr"`
+	Value string `xml:"value,attr"`
+}
+
+type xmlCost struct {
+	Startup     float64 `xml:"startup,attr"`
+	PerTuple    float64 `xml:"perTuple,attr"`
+	Selectivity float64 `xml:"selectivity,attr"`
+	FailureRate float64 `xml:"failureRate,attr"`
+	MemPerTuple float64 `xml:"memPerTuple,attr"`
+}
+
+// Version is the document version this codec writes.
+const Version = "1.0"
+
+// Encode serialises a flow to xLM.
+func Encode(g *etl.Graph) ([]byte, error) {
+	doc := xmlDoc{Version: Version, Design: xmlDesign{Name: g.Name}}
+	for _, n := range g.Nodes() {
+		xn := xmlNode{
+			ID:          string(n.ID),
+			Name:        n.Name,
+			Type:        n.Kind.String(),
+			Parallelism: n.Parallelism,
+			Generated:   n.Generated,
+			Pattern:     n.PatternName,
+			Cost: &xmlCost{
+				Startup:     n.Cost.Startup,
+				PerTuple:    n.Cost.PerTuple,
+				Selectivity: n.Cost.Selectivity,
+				FailureRate: n.Cost.FailureRate,
+				MemPerTuple: n.Cost.MemPerTuple,
+			},
+		}
+		for _, a := range n.Out.Attrs {
+			xn.Schema = append(xn.Schema, xmlAttr{
+				Name: a.Name, Type: a.Type.String(), Nullable: a.Nullable, Key: a.Key,
+			})
+		}
+		keys := make([]string, 0, len(n.Params))
+		for k := range n.Params {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			xn.Properties = append(xn.Properties, xmlProperty{Key: k, Value: n.Params[k]})
+		}
+		doc.Design.Nodes = append(doc.Design.Nodes, xn)
+	}
+	for _, e := range g.Edges() {
+		doc.Design.Edges = append(doc.Design.Edges, xmlEdge{
+			From: string(e.From), To: string(e.To),
+		})
+	}
+	out, err := xml.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("xlm: %w", err)
+	}
+	return append([]byte(xml.Header), out...), nil
+}
+
+type xmlEdge struct {
+	From string `xml:"from,attr"`
+	To   string `xml:"to,attr"`
+}
+
+// Write encodes a flow onto w.
+func Write(w io.Writer, g *etl.Graph) error {
+	b, err := Encode(g)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// Decode parses an xLM document into a flow and validates it.
+func Decode(b []byte) (*etl.Graph, error) {
+	var doc xmlDoc
+	if err := xml.Unmarshal(b, &doc); err != nil {
+		return nil, fmt.Errorf("xlm: parsing: %w", err)
+	}
+	return build(doc)
+}
+
+// Read decodes a flow from r.
+func Read(r io.Reader) (*etl.Graph, error) {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("xlm: reading: %w", err)
+	}
+	return Decode(b)
+}
+
+func build(doc xmlDoc) (*etl.Graph, error) {
+	if doc.Design.Name == "" {
+		return nil, fmt.Errorf("xlm: design has no name")
+	}
+	g := etl.New(doc.Design.Name)
+	for _, xn := range doc.Design.Nodes {
+		if xn.ID == "" {
+			return nil, fmt.Errorf("xlm: node without id (name %q)", xn.Name)
+		}
+		kind := etl.ParseOpKind(xn.Type)
+		if kind == etl.OpUnknown {
+			return nil, fmt.Errorf("xlm: node %s has unknown type %q", xn.ID, xn.Type)
+		}
+		var schema etl.Schema
+		for _, a := range xn.Schema {
+			schema.Attrs = append(schema.Attrs, etl.Attribute{
+				Name:     a.Name,
+				Type:     etl.ParseAttrType(a.Type),
+				Nullable: a.Nullable,
+				Key:      a.Key,
+			})
+		}
+		n := etl.NewNode(etl.NodeID(xn.ID), xn.Name, kind, schema)
+		if xn.Parallelism > 0 {
+			n.Parallelism = xn.Parallelism
+		}
+		n.Generated = xn.Generated
+		n.PatternName = xn.Pattern
+		if xn.Cost != nil {
+			n.Cost = etl.Cost{
+				Startup:     xn.Cost.Startup,
+				PerTuple:    xn.Cost.PerTuple,
+				Selectivity: xn.Cost.Selectivity,
+				FailureRate: xn.Cost.FailureRate,
+				MemPerTuple: xn.Cost.MemPerTuple,
+			}
+		}
+		for _, p := range xn.Properties {
+			n.SetParam(p.Key, p.Value)
+		}
+		if err := g.AddNode(n); err != nil {
+			return nil, fmt.Errorf("xlm: %w", err)
+		}
+	}
+	for _, e := range doc.Design.Edges {
+		if err := g.AddEdge(etl.NodeID(e.From), etl.NodeID(e.To)); err != nil {
+			return nil, fmt.Errorf("xlm: %w", err)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("xlm: invalid flow: %w", err)
+	}
+	return g, nil
+}

@@ -1,0 +1,184 @@
+package xlm
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"poiesis/internal/etl"
+	"poiesis/internal/tpcds"
+	"poiesis/internal/tpch"
+)
+
+func TestRoundTripPurchases(t *testing.T) {
+	roundTrip(t, tpcds.PurchasesFlow())
+}
+
+func TestRoundTripSales(t *testing.T) {
+	roundTrip(t, tpcds.SalesETL())
+}
+
+func TestRoundTripRevenue(t *testing.T) {
+	roundTrip(t, tpch.RevenueETL())
+}
+
+func roundTrip(t *testing.T, g *etl.Graph) {
+	t.Helper()
+	b, err := Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Decode(b)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if g2.Name != g.Name {
+		t.Errorf("name %q != %q", g2.Name, g.Name)
+	}
+	if g2.Len() != g.Len() || g2.EdgeCount() != g.EdgeCount() {
+		t.Errorf("structure changed: %d/%d vs %d/%d nodes/edges",
+			g2.Len(), g2.EdgeCount(), g.Len(), g.EdgeCount())
+	}
+	// Full fidelity: canonical fingerprints agree.
+	if g.Fingerprint() != g2.Fingerprint() {
+		t.Error("round trip changed the canonical fingerprint")
+	}
+	// Spot-check one node completely.
+	for _, n := range g.Nodes() {
+		m := g2.Node(n.ID)
+		if m == nil {
+			t.Fatalf("node %s lost", n.ID)
+		}
+		if m.Kind != n.Kind || m.Name != n.Name || m.Parallelism != n.Parallelism {
+			t.Errorf("node %s metadata changed", n.ID)
+		}
+		if !m.Out.Equal(n.Out) {
+			t.Errorf("node %s schema changed: %v vs %v", n.ID, m.Out, n.Out)
+		}
+		if m.Cost != n.Cost {
+			t.Errorf("node %s cost changed: %+v vs %+v", n.ID, m.Cost, n.Cost)
+		}
+		for k, v := range n.Params {
+			if m.Param(k) != v {
+				t.Errorf("node %s param %s changed", n.ID, k)
+			}
+		}
+	}
+}
+
+func TestRoundTripGeneratedNodes(t *testing.T) {
+	g := tpcds.PurchasesFlow()
+	cp := etl.NewNode(g.FreshID("sp"), "savepoint", etl.OpCheckpoint, g.Node("flt_current").Out)
+	cp.PatternName = "AddCheckpoint"
+	if err := g.InsertOnEdge("flt_current", "split_req", cp); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g2.Node(cp.ID)
+	if n == nil || !n.Generated || n.PatternName != "AddCheckpoint" {
+		t.Error("generated-node provenance lost in round trip")
+	}
+}
+
+func TestWriteRead(t *testing.T) {
+	g := tpcds.PurchasesFlow()
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "<?xml") {
+		t.Error("missing XML header")
+	}
+	g2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Fingerprint() != g.Fingerprint() {
+		t.Error("Write/Read round trip broken")
+	}
+}
+
+func TestGoldenFixture(t *testing.T) {
+	// The committed fixture pins the wire format: if the codec drifts, this
+	// golden file stops loading or stops matching the in-code builder.
+	b, err := os.ReadFile("testdata/purchases.xlm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tpcds.PurchasesFlow()
+	if g.Fingerprint() != want.Fingerprint() {
+		t.Error("golden fixture no longer matches the builder flow")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage": "not xml at all",
+		"no name": `<xlm version="1.0"><design></design></xlm>`,
+		"no node id": `<xlm version="1.0"><design name="d">
+			<node name="x" type="extract"/></design></xlm>`,
+		"bad type": `<xlm version="1.0"><design name="d">
+			<node id="a" name="x" type="teleport"/></design></xlm>`,
+		"bad edge": `<xlm version="1.0"><design name="d">
+			<node id="a" name="x" type="extract"/>
+			<edge from="a" to="zz"/></design></xlm>`,
+		"invalid flow": `<xlm version="1.0"><design name="d">
+			<node id="a" name="x" type="filter"/></design></xlm>`,
+	}
+	for label, doc := range cases {
+		if _, err := Decode([]byte(doc)); err == nil {
+			t.Errorf("%s: expected error", label)
+		}
+	}
+}
+
+func TestDecodeMinimalDocument(t *testing.T) {
+	doc := `<?xml version="1.0"?>
+<xlm version="1.0">
+  <design name="mini">
+    <node id="in" name="src" type="extract">
+      <schema>
+        <attribute name="id" type="int" key="true"/>
+        <attribute name="v" type="string" nullable="true"/>
+      </schema>
+      <properties><property key="table" value="t1"/></properties>
+    </node>
+    <node id="out" name="dw" type="load"/>
+    <edge from="in" to="out"/>
+  </design>
+</xlm>`
+	g, err := Decode([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 2 || g.EdgeCount() != 1 {
+		t.Errorf("structure = %d/%d", g.Len(), g.EdgeCount())
+	}
+	n := g.Node("in")
+	if n.Param("table") != "t1" {
+		t.Error("property lost")
+	}
+	a, ok := n.Out.Attr("id")
+	if !ok || !a.Key || a.Type != etl.TypeInt {
+		t.Errorf("attr = %+v %v", a, ok)
+	}
+	if v, _ := n.Out.Attr("v"); !v.Nullable {
+		t.Error("nullable lost")
+	}
+	// Default cost from kind when <cost> absent.
+	if n.Cost != etl.DefaultCost(etl.OpExtract) {
+		t.Errorf("default cost not applied: %+v", n.Cost)
+	}
+}
