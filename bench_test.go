@@ -202,28 +202,40 @@ func BenchmarkFig2bReliabilityRewrite(b *testing.B) {
 func BenchmarkFig3PlannerPipeline(b *testing.B) {
 	flow := tpch.RevenueETL()
 	bind := tpch.Binding(flow, 1000, 1)
-	planner := core.NewPlanner(nil, core.Options{
-		Policy: policy.Greedy{TopK: 2},
-		Depth:  2,
-		Sim:    benchSim(1000),
-	})
-	b.ReportAllocs()
-	b.ResetTimer()
-	var res *core.Result
-	for i := 0; i < b.N; i++ {
-		var err error
-		res, err = planner.Plan(flow, bind)
-		if err != nil {
-			b.Fatal(err)
-		}
+	for _, mode := range []struct {
+		name string
+		m    core.StreamingMode
+	}{
+		{"streaming", core.StreamingOn},
+		{"sequential", core.StreamingOff},
+	} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			planner := core.NewPlanner(nil, core.Options{
+				Policy:    policy.Greedy{TopK: 2},
+				Depth:     2,
+				Sim:       benchSim(1000),
+				Streaming: mode.m,
+			})
+			b.ReportAllocs()
+			b.ResetTimer()
+			var res *core.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = planner.Plan(flow, bind)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(len(res.Alternatives)), "alternatives")
+			once("fig3:"+mode.name, func() {
+				fmt.Printf("[Fig.3] planner pipeline (%s) on %q: %d candidates -> %d generated -> %d evaluated -> %d skyline\n",
+					mode.name, flow.Name, res.Stats.CandidatesSeen, res.Stats.Generated,
+					res.Stats.Evaluated, len(res.SkylineIdx))
+			})
+		})
 	}
-	b.StopTimer()
-	b.ReportMetric(float64(len(res.Alternatives)), "alternatives")
-	once("fig3", func() {
-		fmt.Printf("[Fig.3] planner pipeline on %q: %d candidates -> %d generated -> %d evaluated -> %d skyline\n",
-			flow.Name, res.Stats.CandidatesSeen, res.Stats.Generated,
-			res.Stats.Evaluated, len(res.SkylineIdx))
-	})
 }
 
 // -----------------------------------------------------------------------
@@ -538,6 +550,15 @@ func BenchmarkA1SkylineAlgorithms(b *testing.B) {
 		b.Run(fmt.Sprintf("sortfilter/n=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				skyline.SortFilter(pts)
+			}
+		})
+		b.Run(fmt.Sprintf("incremental/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				inc := skyline.NewIncremental()
+				for j, p := range pts {
+					inc.Add(j, p)
+				}
+				inc.Indices()
 			}
 		})
 	}

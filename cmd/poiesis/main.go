@@ -17,9 +17,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 
@@ -72,6 +74,20 @@ commands:
 FLOW: a .xlm or .ktr file, or one of tpcds-purchases | tpcds-sales |
 tpcds-inventory | tpch-revenue | tpch-pricing
 `)
+}
+
+// withInterrupt runs fn with a context that Ctrl-C cancels, so long-running
+// pipelines drain gracefully instead of the process dying mid-write. The
+// handler is unregistered on the first signal, restoring default handling so
+// a second Ctrl-C force-quits a slow drain.
+func withInterrupt(fn func(ctx context.Context) error) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	return fn(ctx)
 }
 
 // loadFlow resolves a FLOW argument: built-in name or file path by extension.
@@ -161,6 +177,8 @@ func cmdPlan(args []string) error {
 	svg := fs.String("svg", "", "write the Fig. 4 scatter to this SVG file")
 	xlmOut := fs.String("select", "", "write the best-utility design to this .xlm file")
 	bars := fs.Bool("bars", true, "print Fig. 5 relative-change bars for the best design")
+	sequential := fs.Bool("sequential", false, "disable the streaming pipeline (ignored with -config)")
+	progress := fs.Bool("progress", false, "stream per-alternative progress to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -186,6 +204,9 @@ func cmdPlan(args []string) error {
 			Depth:           *depth,
 			MaxAlternatives: *maxAlts,
 		}
+		if *sequential {
+			opts.Streaming = poiesis.StreamingOff
+		}
 		if *exhaustive {
 			opts.Policy = poiesis.ExhaustivePolicy{}
 		} else {
@@ -196,7 +217,26 @@ func cmdPlan(args []string) error {
 		}
 		planner = poiesis.NewPlanner(nil, opts)
 	}
-	res, err := planner.Plan(g, poiesis.AutoBinding(g, *scale, *seed))
+	if *progress {
+		if planner.Options().Streaming == poiesis.StreamingOff {
+			fmt.Fprintln(os.Stderr, "plan: -progress has no effect on the sequential path (only the streaming pipeline emits events)")
+		}
+		planner.WithProgress(func(e poiesis.ProgressEvent) {
+			// \x1b[K clears to end of line: counters can shrink (a frontier
+			// eviction drops SkylineSize), leaving stale trailing characters.
+			fmt.Fprintf(os.Stderr, "\rplanning: %d generated, %d evaluated, %d kept, %d on the frontier\x1b[K",
+				e.Generated, e.Evaluated, e.Kept, e.SkylineSize)
+		})
+	}
+	var res *poiesis.Result
+	err = withInterrupt(func(ctx context.Context) error {
+		var perr error
+		res, perr = planner.PlanContext(ctx, g, poiesis.AutoBinding(g, *scale, *seed))
+		return perr
+	})
+	if *progress {
+		fmt.Fprintln(os.Stderr)
+	}
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -24,6 +26,7 @@ func cmdSession(args []string) error {
 	depth := fs.Int("depth", 1, "pattern-combination depth per iteration")
 	topK := fs.Int("topk", 2, "greedy policy: best points per pattern")
 	configPath := fs.String("config", "", "JSON configuration document")
+	progress := fs.Bool("progress", false, "stream per-alternative progress to stderr during explore")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -49,12 +52,30 @@ func cmdSession(args []string) error {
 			Depth:  *depth,
 		})
 	}
+	// The \r-progress line must be terminated before the REPL prints the
+	// exploration outcome, or stdout overprints the leftover stderr line.
+	endProgressLine := func() {}
+	if *progress {
+		if planner.Options().Streaming == poiesis.StreamingOff {
+			fmt.Fprintln(os.Stderr, "session: -progress has no effect on the sequential path (only the streaming pipeline emits events)")
+		}
+		planner.WithProgress(func(e poiesis.ProgressEvent) {
+			fmt.Fprintf(os.Stderr, "\rexploring: %d generated, %d evaluated, %d on the frontier\x1b[K",
+				e.Generated, e.Evaluated, e.SkylineSize)
+		})
+		endProgressLine = func() { fmt.Fprintln(os.Stderr) }
+	}
 	session := poiesis.NewSession(planner, g, poiesis.AutoBinding(g, *scale, *seed))
-	return runSession(session, os.Stdin, os.Stdout)
+	return runSession(session, os.Stdin, os.Stdout, endProgressLine)
 }
 
 // runSession drives the command loop; split out for testability.
-func runSession(session *poiesis.Session, in io.Reader, out io.Writer) error {
+// endProgressLine is invoked after every exploration to terminate a live
+// progress line; nil means no-op.
+func runSession(session *poiesis.Session, in io.Reader, out io.Writer, endProgressLine func()) error {
+	if endProgressLine == nil {
+		endProgressLine = func() {}
+	}
 	fmt.Fprintln(out, "poiesis session — commands: explore | show N | bars N | select N | history | quit")
 	var last *poiesis.Result
 	scanner := bufio.NewScanner(in)
@@ -75,7 +96,20 @@ func runSession(session *poiesis.Session, in io.Reader, out io.Writer) error {
 		}
 		switch cmd {
 		case "explore":
-			res, err := session.Explore()
+			// Ctrl-C aborts the exploration but keeps the session alive: the
+			// planner drains its pipeline and the current design is untouched.
+			var res *poiesis.Result
+			err := withInterrupt(func(ctx context.Context) error {
+				var eerr error
+				res, eerr = session.ExploreContext(ctx)
+				return eerr
+			})
+			endProgressLine()
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(out, "exploration cancelled")
+				prompt()
+				continue
+			}
 			if err != nil {
 				return err
 			}

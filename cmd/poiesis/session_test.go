@@ -28,7 +28,7 @@ func testSession(t *testing.T) *poiesis.Session {
 func TestRunSessionScript(t *testing.T) {
 	in := strings.NewReader("explore\nshow 0\nbars 0\nselect 0\nhistory\nquit\n")
 	var out bytes.Buffer
-	if err := runSession(testSession(t), in, &out); err != nil {
+	if err := runSession(testSession(t), in, &out, nil); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -44,7 +44,7 @@ func TestRunSessionScript(t *testing.T) {
 func TestRunSessionErrors(t *testing.T) {
 	in := strings.NewReader("show 0\nbogus\nselect 0\nexplore\nshow 99\nselect -1\nquit\n")
 	var out bytes.Buffer
-	if err := runSession(testSession(t), in, &out); err != nil {
+	if err := runSession(testSession(t), in, &out, nil); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -61,7 +61,7 @@ func TestRunSessionErrors(t *testing.T) {
 
 func TestRunSessionEOF(t *testing.T) {
 	var out bytes.Buffer
-	if err := runSession(testSession(t), strings.NewReader(""), &out); err != nil {
+	if err := runSession(testSession(t), strings.NewReader(""), &out, nil); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,0 +1,87 @@
+package poiesis_test
+
+// Smoke tests for examples/: every example program must vet clean, compile,
+// and run to completion. The examples are self-contained (they write only to
+// the OS temp dir or their own temp dirs), so each built binary is executed
+// in a scratch working directory and must exit 0 with some stdout.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+)
+
+// exampleDirs lists the example program directories.
+func exampleDirs(t *testing.T) []string {
+	t.Helper()
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs = append(dirs, e.Name())
+		}
+	}
+	sort.Strings(dirs)
+	if len(dirs) == 0 {
+		t.Fatal("no example directories found")
+	}
+	return dirs
+}
+
+func TestExamplesVet(t *testing.T) {
+	out, err := exec.Command("go", "vet", "./examples/...").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go vet ./examples/...: %v\n%s", err, out)
+	}
+}
+
+func TestExamplesBuildAndRun(t *testing.T) {
+	root, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	binDir := t.TempDir()
+	for _, name := range exampleDirs(t) {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			bin := filepath.Join(binDir, name)
+			build := exec.Command("go", "build", "-o", bin, "./examples/"+name)
+			build.Dir = root
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build: %v\n%s", err, out)
+			}
+			if testing.Short() {
+				t.Skip("-short: compiled only, not executed")
+			}
+			run := exec.Command(bin)
+			run.Dir = t.TempDir()
+			done := make(chan struct{})
+			var out []byte
+			var runErr error
+			go func() {
+				out, runErr = run.CombinedOutput()
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(2 * time.Minute):
+				_ = run.Process.Kill()
+				<-done
+				t.Fatalf("example did not finish within 2m\n%s", out)
+			}
+			if runErr != nil {
+				t.Fatalf("run: %v\n%s", runErr, out)
+			}
+			if len(out) == 0 {
+				t.Error("example produced no output")
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module poiesis
+
+go 1.24

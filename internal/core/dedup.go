@@ -1,0 +1,73 @@
+package core
+
+import "sync"
+
+// fpShardCount sizes the fingerprint set's lock striping. Sixteen shards keep
+// contention negligible for the worker counts the planner runs with (a few ×
+// GOMAXPROCS) without wasting memory on tiny runs.
+const fpShardCount = 16
+
+// fingerprintSet is a set of canonical flow fingerprints with striped locking,
+// safe for concurrent producers: the streaming pipeline prefetches candidate
+// chunks, so the apply workers of chunk k+1 probe it with Contains while the
+// commit stage inserts chunk k's fingerprints with Add. Entries are never
+// removed, so a true Contains answer is authoritative even under concurrency;
+// a false answer is only a hint, settled by Add in deterministic commit order.
+type fingerprintSet struct {
+	shards [fpShardCount]fpShard
+}
+
+type fpShard struct {
+	mu sync.Mutex
+	m  map[string]struct{}
+}
+
+func newFingerprintSet() *fingerprintSet {
+	s := &fingerprintSet{}
+	for i := range s.shards {
+		s.shards[i].m = make(map[string]struct{})
+	}
+	return s
+}
+
+// shard maps a fingerprint to its stripe by FNV-1a.
+func (s *fingerprintSet) shard(fp string) *fpShard {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(fp); i++ {
+		h ^= uint64(fp[i])
+		h *= 1099511628211
+	}
+	return &s.shards[h%fpShardCount]
+}
+
+// Add inserts the fingerprint, reporting whether it was newly added.
+func (s *fingerprintSet) Add(fp string) bool {
+	sh := s.shard(fp)
+	sh.mu.Lock()
+	_, dup := sh.m[fp]
+	if !dup {
+		sh.m[fp] = struct{}{}
+	}
+	sh.mu.Unlock()
+	return !dup
+}
+
+// Contains reports whether the fingerprint is present.
+func (s *fingerprintSet) Contains(fp string) bool {
+	sh := s.shard(fp)
+	sh.mu.Lock()
+	_, ok := sh.m[fp]
+	sh.mu.Unlock()
+	return ok
+}
+
+// Len returns the number of distinct fingerprints.
+func (s *fingerprintSet) Len() int {
+	n := 0
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+		n += len(s.shards[i].m)
+		s.shards[i].mu.Unlock()
+	}
+	return n
+}

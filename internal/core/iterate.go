@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"poiesis/internal/etl"
@@ -51,7 +52,15 @@ func (s *Session) LastResult() *Result { return s.last }
 // Explore runs one planning cycle on the current design and returns the
 // result whose skyline the user chooses from.
 func (s *Session) Explore() (*Result, error) {
-	res, err := s.planner.Plan(s.current, s.bind)
+	return s.ExploreContext(context.Background())
+}
+
+// ExploreContext is Explore with cancellation: an interactive UI can abort a
+// long-running exploration (the planner's streaming pipeline drains and
+// returns ctx's error) without tearing down the session — the current design
+// and history are untouched, and a fresh Explore can follow.
+func (s *Session) ExploreContext(ctx context.Context) (*Result, error) {
+	res, err := s.planner.PlanContext(ctx, s.current, s.bind)
 	if err != nil {
 		return nil, err
 	}

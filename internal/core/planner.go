@@ -15,13 +15,27 @@
 //	Measures Estimation — execute + Monte-Carlo sample every alternative on
 //	                      a bounded worker pool (substituting the paper's
 //	                      background cloud nodes) and score it.
+//
+// By default the three stages run as one concurrent streaming pipeline
+// (Options.Streaming): candidate application feeds a bounded channel of
+// freshly woven alternatives, the evaluation pool consumes them as they
+// appear — so estimation overlaps generation instead of waiting for the
+// complete space — constraint filtering happens in-stream, and the Pareto
+// frontier is maintained incrementally (skyline.Incremental) rather than in
+// one O(n²) pass at the end. StreamingOff restores the strictly sequential
+// stage order for ablations; both paths produce identical results.
+//
+// PlanContext supports cancellation mid-run, and Options.Progress streams
+// one event per processed alternative to the caller.
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"sort"
+	"sync"
 
 	"poiesis/internal/etl"
 	"poiesis/internal/fcp"
@@ -58,6 +72,15 @@ type Options struct {
 	// CustomMeasures extends the estimator with user-defined quality
 	// metrics (P3); they appear in every report of the run.
 	CustomMeasures []measures.CustomMeasure
+	// Streaming selects the execution pipeline. The zero value (StreamingOn)
+	// runs the concurrent streaming pipeline; StreamingOff keeps the
+	// sequential three-stage path for the A-series ablations. Both produce
+	// identical alternative sets, stats and skylines.
+	Streaming StreamingMode
+	// Progress, when non-nil, receives one event per alternative as the
+	// streaming pipeline finishes processing it, in generation order from a
+	// single goroutine. The sequential path does not emit events.
+	Progress func(ProgressEvent)
 }
 
 func (o Options) withDefaults() Options {
@@ -190,11 +213,27 @@ func (p *Planner) Registry() *fcp.Registry { return p.reg }
 // Options returns the effective options after defaulting.
 func (p *Planner) Options() Options { return p.opts }
 
+// WithProgress installs the per-alternative progress callback after
+// construction (the CLI uses it on planners materialised from configuration
+// documents). It returns the planner for chaining and must not be called
+// concurrently with Plan.
+func (p *Planner) WithProgress(fn func(ProgressEvent)) *Planner {
+	p.opts.Progress = fn
+	return p
+}
+
 // ErrInvalidFlow wraps validation failures of the input flow.
 var ErrInvalidFlow = errors.New("core: invalid initial flow")
 
 // Plan runs one full generate-apply-estimate cycle on the initial flow.
 func (p *Planner) Plan(initial *etl.Graph, bind sim.Binding) (*Result, error) {
+	return p.PlanContext(context.Background(), initial, bind)
+}
+
+// PlanContext runs one full generate-apply-estimate cycle on the initial
+// flow, honouring context cancellation: when ctx is cancelled mid-run, the
+// pipeline drains its workers and returns ctx's error instead of a result.
+func (p *Planner) PlanContext(ctx context.Context, initial *etl.Graph, bind sim.Binding) (*Result, error) {
 	if err := initial.Validate(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInvalidFlow, err)
 	}
@@ -220,12 +259,32 @@ func (p *Planner) Plan(initial *etl.Graph, bind sim.Binding) (*Result, error) {
 		Report: est.Estimate(initial, baseProfile, baseBatch),
 	}
 
+	if p.opts.Streaming == StreamingOff {
+		err = p.planSequential(ctx, initial, bind, palette, engine, est, res)
+	} else {
+		err = p.planStream(ctx, initial, bind, palette, engine, est, res)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// planSequential runs the three stages strictly in order: full generation,
+// then pooled evaluation, then constraint filtering and one skyline pass.
+// It is the behavioural oracle for the streaming pipeline.
+func (p *Planner) planSequential(ctx context.Context, initial *etl.Graph, bind sim.Binding, palette []fcp.Pattern, engine *sim.Engine, est *measures.Estimator, res *Result) error {
 	// Pattern generation + application: breadth-first over rounds.
-	alts, stats := p.generate(initial, palette)
+	alts, stats, err := p.generate(ctx, initial, palette)
+	if err != nil {
+		return err
+	}
 	res.Stats = stats
 
 	// Measures estimation on the worker pool.
-	p.evaluate(alts, bind, engine, est, &res.Stats)
+	if err := p.evaluate(ctx, alts, bind, engine, est, &res.Stats); err != nil {
+		return err
+	}
 
 	// Constraint filtering.
 	kept := alts[:0]
@@ -248,12 +307,12 @@ func (p *Planner) Plan(initial *etl.Graph, bind sim.Binding) (*Result, error) {
 		vecs[i] = res.Alternatives[i].Report.Vector(p.opts.Dims)
 	}
 	res.SkylineIdx = skyline.Compute(vecs)
-	return res, nil
+	return nil
 }
 
 // generate builds the alternative space: each round applies every proposed
 // candidate to every frontier design.
-func (p *Planner) generate(initial *etl.Graph, palette []fcp.Pattern) ([]Alternative, Stats) {
+func (p *Planner) generate(ctx context.Context, initial *etl.Graph, palette []fcp.Pattern) ([]Alternative, Stats, error) {
 	var stats Stats
 	seen := map[string]bool{initial.Fingerprint(): true}
 	frontier := []Alternative{{Graph: initial}}
@@ -262,12 +321,15 @@ func (p *Planner) generate(initial *etl.Graph, palette []fcp.Pattern) ([]Alterna
 	for round := 0; round < p.opts.Depth; round++ {
 		var next []Alternative
 		for _, cur := range frontier {
+			if err := ctx.Err(); err != nil {
+				return nil, stats, err
+			}
 			cands := p.opts.Policy.Propose(cur.Graph, palette)
 			stats.CandidatesSeen += len(cands)
 			for _, c := range cands {
 				if len(out) >= p.opts.MaxAlternatives {
 					stats.Capped = true
-					return out, stats
+					return out, stats, nil
 				}
 				clone := cur.Graph.Clone()
 				app, err := c.Pattern.Apply(clone, c.Point)
@@ -298,49 +360,53 @@ func (p *Planner) generate(initial *etl.Graph, palette []fcp.Pattern) ([]Alterna
 		}
 		frontier = next
 	}
-	return out, stats
+	return out, stats, nil
 }
 
 // evaluate estimates measures for all alternatives on a bounded worker pool
 // — the stand-in for the paper's elastic cloud evaluation nodes. Results
 // land at their input index, keeping the output deterministic regardless of
-// scheduling.
-func (p *Planner) evaluate(alts []Alternative, bind sim.Binding, engine *sim.Engine, est *measures.Estimator, stats *Stats) {
-	type job struct{ idx int }
-	jobs := make(chan job)
-	done := make(chan struct{})
+// scheduling. On cancellation the remaining jobs are drained without work
+// and ctx's error is returned.
+func (p *Planner) evaluate(ctx context.Context, alts []Alternative, bind sim.Binding, engine *sim.Engine, est *measures.Estimator, stats *Stats) error {
+	jobs := make(chan int)
+	var wg sync.WaitGroup
 	workers := p.opts.Workers
 	if workers > len(alts) && len(alts) > 0 {
 		workers = len(alts)
 	}
 	for w := 0; w < workers; w++ {
+		wg.Add(1)
 		go func() {
-			for j := range jobs {
-				a := &alts[j.idx]
+			defer wg.Done()
+			for idx := range jobs {
+				if ctx.Err() != nil {
+					continue
+				}
+				a := &alts[idx]
 				profile, batch, err := engine.Evaluate(a.Graph, bind)
 				if err != nil {
 					a.Err = err
 				} else {
 					a.Report = est.Estimate(a.Graph, profile, batch)
 				}
-				done <- struct{}{}
 			}
 		}()
 	}
-	go func() {
-		for i := range alts {
-			jobs <- job{idx: i}
-		}
-		close(jobs)
-	}()
-	for range alts {
-		<-done
+	for i := range alts {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	for i := range alts {
 		if alts[i].Err == nil && alts[i].Report != nil {
 			stats.Evaluated++
 		}
 	}
+	return nil
 }
 
 // CountApplicationPoints returns, per pattern name, how many valid

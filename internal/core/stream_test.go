@@ -1,0 +1,305 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"poiesis/internal/measures"
+	"poiesis/internal/policy"
+	"poiesis/internal/tpcds"
+	"poiesis/internal/tpch"
+)
+
+// planBoth runs the same options through the streaming pipeline and the
+// sequential oracle on the given flow and returns both results.
+func planBoth(t *testing.T, flow string, opts Options) (stream, seq *Result) {
+	t.Helper()
+	var g = tpcds.PurchasesFlow()
+	bind := tpcds.Binding(g, 800, 1)
+	if flow == "tpch" {
+		g = tpch.RevenueETL()
+		bind = tpch.Binding(g, 800, 1)
+	}
+	opts.Streaming = StreamingOn
+	stream, err := NewPlanner(nil, opts).Plan(g, bind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Streaming = StreamingOff
+	seq, err = NewPlanner(nil, opts).Plan(g, bind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stream, seq
+}
+
+// requireEquivalent asserts the streaming planner reproduced the sequential
+// oracle exactly: same stats, same alternatives in the same order with the
+// same measure vectors, same skyline.
+func requireEquivalent(t *testing.T, stream, seq *Result) {
+	t.Helper()
+	if stream.Stats != seq.Stats {
+		t.Errorf("stats diverge: streaming %+v, sequential %+v", stream.Stats, seq.Stats)
+	}
+	if len(stream.Alternatives) != len(seq.Alternatives) {
+		t.Fatalf("alternative count: streaming %d, sequential %d",
+			len(stream.Alternatives), len(seq.Alternatives))
+	}
+	for i := range seq.Alternatives {
+		sa, qa := &stream.Alternatives[i], &seq.Alternatives[i]
+		if sa.Label() != qa.Label() {
+			t.Fatalf("alternative %d label: streaming %q, sequential %q", i, sa.Label(), qa.Label())
+		}
+		if sa.Graph.Fingerprint() != qa.Graph.Fingerprint() {
+			t.Errorf("alternative %d fingerprint diverges", i)
+		}
+		sv := sa.Report.Vector(stream.Dims)
+		qv := qa.Report.Vector(seq.Dims)
+		if !reflect.DeepEqual(sv, qv) {
+			t.Errorf("alternative %d vector: streaming %v, sequential %v", i, sv, qv)
+		}
+	}
+	if !reflect.DeepEqual(stream.SkylineIdx, seq.SkylineIdx) {
+		t.Errorf("skyline: streaming %v, sequential %v", stream.SkylineIdx, seq.SkylineIdx)
+	}
+}
+
+func TestStreamingMatchesSequential(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		flow string
+		opts Options
+	}{
+		{"greedy/tpcds", "tpcds", Options{Policy: policy.Greedy{TopK: 2}, Depth: 2, Sim: fastSim()}},
+		{"exhaustive/tpcds", "tpcds", Options{Policy: policy.Exhaustive{}, Depth: 2, Sim: fastSim()}},
+		{"greedy/tpch", "tpch", Options{Policy: policy.Greedy{TopK: 3}, Depth: 2, Sim: fastSim()}},
+		{"random/tpcds", "tpcds", Options{Policy: policy.RandomSample{N: 12, Seed: 5}, Depth: 2, Sim: fastSim()}},
+		{"capped", "tpcds", Options{Policy: policy.Exhaustive{}, Depth: 2, MaxAlternatives: 20, Sim: fastSim()}},
+		{"nodedup", "tpcds", Options{Policy: policy.Greedy{TopK: 2}, Depth: 2, DisableDedup: true, Sim: fastSim()}},
+		{"oneworker", "tpcds", Options{Policy: policy.Greedy{TopK: 2}, Depth: 2, Workers: 1, Sim: fastSim()}},
+		{"constrained", "tpcds", Options{
+			Policy: policy.Greedy{TopK: 2}, Depth: 2, Sim: fastSim(),
+			Constraints: []policy.Constraint{policy.MinScore(measures.Performance, 0.4)},
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			stream, seq := planBoth(t, tc.flow, tc.opts)
+			requireEquivalent(t, stream, seq)
+		})
+	}
+}
+
+func TestStreamingDeterministicAcrossRuns(t *testing.T) {
+	opts := smallOptions()
+	a := plan(t, opts)
+	b := plan(t, opts)
+	requireEquivalent(t, a, b)
+}
+
+func TestPlanContextCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := tpcds.PurchasesFlow()
+	for _, mode := range []StreamingMode{StreamingOn, StreamingOff} {
+		opts := smallOptions()
+		opts.Streaming = mode
+		p := NewPlanner(nil, opts)
+		res, err := p.PlanContext(ctx, g, tpcds.Binding(g, 800, 1))
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("mode %v: err = %v, want context.Canceled", mode, err)
+		}
+		if res != nil {
+			t.Errorf("mode %v: result returned despite cancellation", mode)
+		}
+	}
+}
+
+func TestPlanContextCancelMidRun(t *testing.T) {
+	g := tpcds.PurchasesFlow()
+	bind := tpcds.Binding(g, 800, 1)
+	for _, mode := range []StreamingMode{StreamingOn, StreamingOff} {
+		mode := mode
+		t.Run(fmt.Sprintf("mode=%d", mode), func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			opts := Options{Policy: policy.Exhaustive{}, Depth: 2, Sim: fastSim(), Streaming: mode}
+			var once sync.Once
+			// Cancel from inside the run: the first progress event (streaming)
+			// proves work was in flight when the context died.
+			opts.Progress = func(ProgressEvent) { once.Do(cancel) }
+			if mode == StreamingOff {
+				// The sequential path emits no events; cancel on a timer tuned
+				// well below the full run time instead.
+				time.AfterFunc(10*time.Millisecond, func() { once.Do(cancel) })
+			}
+			p := NewPlanner(nil, opts)
+			start := time.Now()
+			res, err := p.PlanContext(ctx, g, bind)
+			if !errors.Is(err, context.Canceled) {
+				// A fast machine may legitimately finish before the timer on
+				// the sequential path; only the streaming path is strict.
+				if mode == StreamingOn || err != nil {
+					t.Fatalf("err = %v, res = %v after %v", err, res != nil, time.Since(start))
+				}
+			}
+			if err != nil && res != nil {
+				t.Error("both result and error returned")
+			}
+		})
+	}
+}
+
+func TestPlanContextDeadline(t *testing.T) {
+	g := tpcds.PurchasesFlow()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	opts := Options{Policy: policy.Exhaustive{}, Depth: 3, Sim: fastSim()}
+	_, err := NewPlanner(nil, opts).PlanContext(ctx, g, tpcds.Binding(g, 2000, 1))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}
+
+func TestProgressEvents(t *testing.T) {
+	g := tpcds.PurchasesFlow()
+	opts := smallOptions()
+	var mu sync.Mutex
+	var events []ProgressEvent
+	opts.Progress = func(e ProgressEvent) {
+		mu.Lock()
+		events = append(events, e)
+		mu.Unlock()
+	}
+	res, err := NewPlanner(nil, opts).Plan(g, tpcds.Binding(g, 800, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	// One event per generated alternative, in generation order.
+	want := res.Stats.Generated - res.Stats.Deduped
+	if len(events) != want {
+		t.Fatalf("got %d events, want %d", len(events), want)
+	}
+	for i, e := range events {
+		if e.Seq != i {
+			t.Fatalf("event %d has Seq %d; events out of order", i, e.Seq)
+		}
+		if e.Label == "" {
+			t.Errorf("event %d has empty label", i)
+		}
+	}
+	last := events[len(events)-1]
+	if last.Evaluated != res.Stats.Evaluated {
+		t.Errorf("final event Evaluated = %d, want %d", last.Evaluated, res.Stats.Evaluated)
+	}
+	if last.Kept != len(res.Alternatives) {
+		t.Errorf("final event Kept = %d, want %d", last.Kept, len(res.Alternatives))
+	}
+	if last.SkylineSize != len(res.SkylineIdx) {
+		t.Errorf("final event SkylineSize = %d, want %d", last.SkylineSize, len(res.SkylineIdx))
+	}
+}
+
+func TestSessionExploreContext(t *testing.T) {
+	g := tpcds.PurchasesFlow()
+	p := NewPlanner(nil, smallOptions())
+	s := NewSession(p, g, tpcds.Binding(g, 800, 1))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.ExploreContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	// The session survives a cancelled exploration.
+	res, err := s.Explore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SkylineIdx) == 0 {
+		t.Fatal("no skyline after recovery")
+	}
+}
+
+// TestFingerprintSetConcurrentProducers hammers the sharded set from many
+// goroutines with overlapping keys; run with -race. Exactly one Add per
+// distinct key may win.
+func TestFingerprintSetConcurrentProducers(t *testing.T) {
+	s := newFingerprintSet()
+	const producers = 16
+	const keys = 500
+	wins := make([]int64, keys)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < producers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < keys; k++ {
+				fp := fmt.Sprintf("fp-%d", k)
+				_ = s.Contains(fp)
+				if s.Add(fp) {
+					mu.Lock()
+					wins[k]++
+					mu.Unlock()
+				}
+				if !s.Contains(fp) {
+					t.Error("Contains false after Add")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for k, n := range wins {
+		if n != 1 {
+			t.Fatalf("key %d added %d times, want exactly 1", k, n)
+		}
+	}
+	if s.Len() != keys {
+		t.Fatalf("Len = %d, want %d", s.Len(), keys)
+	}
+}
+
+func TestFingerprintSetBasics(t *testing.T) {
+	s := newFingerprintSet()
+	if s.Contains("a") {
+		t.Error("empty set contains a")
+	}
+	if !s.Add("a") {
+		t.Error("first Add returned false")
+	}
+	if s.Add("a") {
+		t.Error("second Add returned true")
+	}
+	if !s.Contains("a") || s.Len() != 1 {
+		t.Errorf("Contains/Len wrong after Add")
+	}
+}
+
+// TestStreamingDedupUnderLoad runs the full streaming planner with many
+// workers repeatedly; combined with -race this exercises the apply workers'
+// concurrent Contains probes against the committer's Adds.
+func TestStreamingDedupUnderLoad(t *testing.T) {
+	g := tpcds.PurchasesFlow()
+	bind := tpcds.Binding(g, 400, 1)
+	opts := Options{Policy: policy.Exhaustive{}, Depth: 2, Workers: 8, Sim: fastSim()}
+	var base *Result
+	for i := 0; i < 3; i++ {
+		res, err := NewPlanner(nil, opts).Plan(g, bind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = res
+			continue
+		}
+		requireEquivalent(t, res, base)
+	}
+	if base.Stats.Deduped == 0 {
+		t.Error("exhaustive depth-2 run produced no duplicates; dedup untested")
+	}
+}

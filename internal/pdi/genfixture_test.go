@@ -1,0 +1,35 @@
+package pdi
+
+import (
+	"flag"
+	"os"
+	"testing"
+
+	"poiesis/internal/tpch"
+)
+
+var regen = flag.Bool("regen", false, "regenerate golden fixtures from the exporters")
+
+// TestRegenGolden rewrites testdata/pricing.ktr from the PDI exporter when
+// run with -regen; otherwise it verifies the committed fixture is exactly
+// what the exporter produces today, so encoder drift is caught explicitly
+// rather than only through decode failures.
+func TestRegenGolden(t *testing.T) {
+	want, err := Encode(tpch.PricingSummaryETL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *regen {
+		if err := os.WriteFile("testdata/pricing.ktr", want, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	got, err := os.ReadFile("testdata/pricing.ktr")
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/pdi -run TestRegenGolden -regen` to create it)", err)
+	}
+	if string(got) != string(want) {
+		t.Error("testdata/pricing.ktr no longer matches the exporter output; rerun with -regen if the format change is intentional")
+	}
+}

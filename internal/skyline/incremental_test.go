@@ -1,0 +1,111 @@
+package skyline
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestIncrementalEmpty(t *testing.T) {
+	inc := NewIncremental()
+	if inc.Len() != 0 {
+		t.Fatalf("Len = %d", inc.Len())
+	}
+	if got := inc.Indices(); len(got) != 0 {
+		t.Fatalf("Indices = %v", got)
+	}
+}
+
+func TestIncrementalBasic(t *testing.T) {
+	inc := NewIncremental()
+	if !inc.Add(0, []float64{1, 1}) {
+		t.Error("first point rejected")
+	}
+	if inc.Add(1, []float64{0.5, 0.5}) {
+		t.Error("dominated point accepted")
+	}
+	if !inc.Add(2, []float64{2, 0.5}) {
+		t.Error("incomparable point rejected")
+	}
+	// Dominates both current members: they must be evicted.
+	if !inc.Add(3, []float64{3, 3}) {
+		t.Error("dominating point rejected")
+	}
+	if got := inc.Indices(); len(got) != 1 || got[0] != 3 {
+		t.Errorf("Indices = %v, want [3]", got)
+	}
+}
+
+func TestIncrementalKeepsDuplicates(t *testing.T) {
+	inc := NewIncremental()
+	inc.Add(0, []float64{1, 2})
+	if !inc.Add(1, []float64{1, 2}) {
+		t.Error("duplicate of a frontier point rejected; Dominates requires a strict improvement")
+	}
+	if got := inc.Indices(); len(got) != 2 {
+		t.Errorf("Indices = %v, want both duplicates", got)
+	}
+}
+
+func TestIncrementalMismatchedDimensions(t *testing.T) {
+	inc := NewIncremental()
+	inc.Add(0, []float64{1, 1})
+	// Different-length vectors are incomparable, so both stay.
+	if !inc.Add(1, []float64{0.5, 0.5, 0.5}) {
+		t.Error("incomparable (different dims) point rejected")
+	}
+	if inc.Len() != 2 {
+		t.Errorf("Len = %d", inc.Len())
+	}
+}
+
+// TestIncrementalMatchesNaive cross-checks the streaming frontier against the
+// O(n²) oracle over random point clouds in several dimensions, including
+// clouds with many duplicates.
+func TestIncrementalMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, dims := range []int{1, 2, 3, 5} {
+		for trial := 0; trial < 20; trial++ {
+			n := 1 + rng.Intn(200)
+			pts := make([][]float64, n)
+			for i := range pts {
+				p := make([]float64, dims)
+				for d := range p {
+					// Coarse grid so dominance and duplicates both occur.
+					p[d] = float64(rng.Intn(8))
+				}
+				pts[i] = p
+			}
+			inc := NewIncremental()
+			for i, p := range pts {
+				inc.Add(i, p)
+			}
+			got := inc.Indices()
+			want := Naive(pts)
+			if len(got) != len(want) {
+				t.Fatalf("dims=%d trial=%d: incremental %v != naive %v", dims, trial, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("dims=%d trial=%d: incremental %v != naive %v", dims, trial, got, want)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkIncrementalAdd(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	pts := make([][]float64, 10000)
+	for i := range pts {
+		x := rng.Float64()
+		pts[i] = []float64{x, 1 - x + 0.05*rng.Float64(), rng.Float64()}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inc := NewIncremental()
+		for j, p := range pts {
+			inc.Add(j, p)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package xlm
+
+import (
+	"flag"
+	"os"
+	"testing"
+
+	"poiesis/internal/tpcds"
+)
+
+var regen = flag.Bool("regen", false, "regenerate golden fixtures from the exporters")
+
+// TestRegenGolden rewrites testdata/purchases.xlm from the xLM exporter when
+// run with -regen; otherwise it verifies the committed fixture is exactly
+// what the exporter produces today, so encoder drift is caught explicitly
+// rather than only through decode failures.
+func TestRegenGolden(t *testing.T) {
+	want, err := Encode(tpcds.PurchasesFlow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *regen {
+		if err := os.WriteFile("testdata/purchases.xlm", want, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	got, err := os.ReadFile("testdata/purchases.xlm")
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/xlm -run TestRegenGolden -regen` to create it)", err)
+	}
+	if string(got) != string(want) {
+		t.Error("testdata/purchases.xlm no longer matches the exporter output; rerun with -regen if the format change is intentional")
+	}
+}

@@ -16,6 +16,16 @@
 //	planner := poiesis.NewPlanner(nil, poiesis.Options{})
 //	result, err := planner.Plan(flow, poiesis.AutoBinding(flow, 5000, 1))
 //	for _, alt := range result.Skyline() { fmt.Println(alt.Label()) }
+//
+// Planning runs as a concurrent streaming pipeline by default: pattern
+// application feeds a bounded channel, the evaluation worker pool consumes
+// alternatives as they are generated, constraints filter in-stream, and the
+// Pareto frontier is maintained incrementally. Options.Streaming =
+// StreamingOff restores the strictly sequential three-stage path; both
+// produce identical results. Long runs can be cancelled mid-flight with
+// Planner.PlanContext (or Session.ExploreContext), and Options.Progress —
+// also installable late via Planner.WithProgress — receives one ProgressEvent
+// per alternative as the pipeline processes it.
 package poiesis
 
 import (
@@ -101,6 +111,21 @@ type Alternative = core.Alternative
 
 // Session drives the iterative explore-select loop.
 type Session = core.Session
+
+// StreamingMode selects the planner's execution pipeline (Options.Streaming).
+type StreamingMode = core.StreamingMode
+
+// Pipeline modes: StreamingOn (the zero value, hence the default) overlaps
+// generation, evaluation and skyline maintenance; StreamingOff runs the
+// stages strictly in sequence.
+const (
+	StreamingOn  = core.StreamingOn
+	StreamingOff = core.StreamingOff
+)
+
+// ProgressEvent is delivered to Options.Progress once per alternative as the
+// streaming pipeline finishes processing it.
+type ProgressEvent = core.ProgressEvent
 
 // Binding connects extract operations to synthetic sources.
 type Binding = sim.Binding
