@@ -9,7 +9,12 @@
 package poiesis_test
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 
@@ -780,6 +785,71 @@ func BenchmarkE2IterativeSession(b *testing.B) {
 			fmt.Printf("  iteration %d: %-64s mean score %.4f -> %.4f\n",
 				rec.Iteration, rec.Label, rec.ScoreBefore, rec.ScoreAfter)
 		}
+	})
+}
+
+// -----------------------------------------------------------------------
+// SV1 — service path: throughput of the HTTP planning service for the hot
+// case, a planning request served from the fingerprint-keyed plan cache.
+// This is the steady-state cost of the REST + JSON layer per request once
+// many analysts share one plan, the multi-user story of the ROADMAP.
+
+func BenchmarkServePlan(b *testing.B) {
+	srv := poiesis.NewServer(poiesis.ServerConfig{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	createBody := `{
+		"flow": {"builtin": "tpcds-purchases"},
+		"scale": 300,
+		"config": {"policy": "greedy", "topK": 2, "depth": 1, "sim": {"runs": 16, "defaultRows": 300}}
+	}`
+	resp, err := http.Post(ts.URL+"/v1/sessions", "application/json", strings.NewReader(createBody))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	planURL := ts.URL + "/v1/sessions/" + created.ID + "/plan"
+
+	// Warm the cache: the first request computes, all timed ones hit.
+	warm, err := http.Post(planURL, "application/json", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, warm.Body)
+	warm.Body.Close()
+	if warm.StatusCode != http.StatusOK {
+		b.Fatalf("warm plan: %d", warm.StatusCode)
+	}
+
+	var bytesRead int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(planURL, "application/json", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, _ := io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("plan: %d", resp.StatusCode)
+		}
+		bytesRead += n
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(float64(bytesRead)/float64(b.N), "respB/op")
+	}
+	once("sv1", func() {
+		fmt.Printf("[SV1] service path: cached plan responses of %d bytes per request\n",
+			bytesRead/int64(b.N))
 	})
 }
 

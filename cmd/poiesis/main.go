@@ -11,15 +11,25 @@
 //	measures  -in FLOW            estimate measures for one flow
 //	plan      -in FLOW [flags]    generate alternatives, print the skyline
 //	convert   -in FLOW -out FILE  convert between xLM and .ktr
+//	export    -in FLOW -out FILE  export to .dot or .json
+//	session   -in FLOW [flags]    interactive explore/select loop
+//	serve     [-addr HOST:PORT]   multi-session HTTP planning service
 //
 // FLOW is a path ending in .xlm or .ktr, or one of the built-in names
-// tpcds-purchases, tpcds-sales, tpch-revenue.
+// tpcds-purchases, tpcds-sales, tpcds-inventory, tpch-revenue,
+// tpch-pricing.
+//
+// The process exits 0 on success, 1 on runtime failures and 2 on usage
+// errors (bad flags or arguments), so scripts can tell misuse from genuine
+// failures.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"sort"
@@ -28,10 +38,62 @@ import (
 	"poiesis"
 )
 
+// Exit codes: scripts can distinguish misuse from genuine failures.
+const (
+	exitRuntime = 1 // the command ran and failed
+	exitUsage   = 2 // bad arguments or flags
+)
+
+// usageError marks a command-line usage mistake, as opposed to a runtime
+// failure; fatal exits 2 for the former and 1 for the latter.
+type usageError struct{ err error }
+
+func (u usageError) Error() string { return u.err.Error() }
+func (u usageError) Unwrap() error { return u.err }
+
+// usagef builds a usage error.
+func usagef(format string, args ...any) error {
+	return usageError{fmt.Errorf(format, args...)}
+}
+
+// fatal is the single error exit path of the CLI: every command's error
+// funnels through here instead of ad-hoc Fprintln+Exit sites.
+func fatal(err error) {
+	if errors.Is(err, flag.ErrHelp) {
+		os.Exit(0)
+	}
+	code := exitRuntime
+	var ue usageError
+	if errors.As(err, &ue) {
+		code = exitUsage
+	}
+	fmt.Fprintln(os.Stderr, "poiesis:", err)
+	os.Exit(code)
+}
+
+// parseFlags parses args, classifying flag mistakes as usage errors and
+// keeping -h/--help working (the flag set prints its defaults, fatal exits
+// 0 via flag.ErrHelp). Output is suppressed during Parse only so the error
+// is not printed twice — once here, once by fatal — but bad flags still get
+// the defaults listing.
+func parseFlags(fs *flag.FlagSet, args []string) error {
+	fs.SetOutput(io.Discard)
+	err := fs.Parse(args)
+	if err == nil {
+		return nil
+	}
+	fs.SetOutput(os.Stderr)
+	fs.Usage()
+	if errors.Is(err, flag.ErrHelp) {
+		return flag.ErrHelp
+	}
+	return usageError{err}
+}
+
 func main() {
 	if len(os.Args) < 2 {
 		usage()
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 	var err error
 	switch os.Args[1] {
@@ -47,16 +109,16 @@ func main() {
 		err = cmdExport(os.Args[2:])
 	case "session":
 		err = cmdSession(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
-		fmt.Fprintf(os.Stderr, "poiesis: unknown command %q\n", os.Args[1])
 		usage()
-		os.Exit(2)
+		err = usagef("unknown command %q", os.Args[1])
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "poiesis:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 }
 
@@ -70,9 +132,12 @@ commands:
   convert  -in FLOW -out FILE  convert between .xlm and .ktr
   export   -in FLOW -out FILE  export to .dot (Graphviz) or .json
   session  -in FLOW [flags]    interactive explore/select loop (stdin-driven)
+  serve    [-addr HOST:PORT]   HTTP planning service (multi-session API)
 
 FLOW: a .xlm or .ktr file, or one of tpcds-purchases | tpcds-sales |
 tpcds-inventory | tpch-revenue | tpch-pricing
+
+exit status: 0 on success, 1 on runtime failure, 2 on usage errors
 `)
 }
 
@@ -92,17 +157,8 @@ func withInterrupt(fn func(ctx context.Context) error) error {
 
 // loadFlow resolves a FLOW argument: built-in name or file path by extension.
 func loadFlow(arg string) (*poiesis.Graph, error) {
-	switch arg {
-	case "tpcds-purchases":
-		return poiesis.TPCDSPurchases(), nil
-	case "tpcds-sales":
-		return poiesis.TPCDSSales(), nil
-	case "tpcds-inventory":
-		return poiesis.TPCDSInventory(), nil
-	case "tpch-revenue":
-		return poiesis.TPCHRevenue(), nil
-	case "tpch-pricing":
-		return poiesis.TPCHPricingSummary(), nil
+	if g, ok := poiesis.BuiltinFlow(arg); ok {
+		return g, nil
 	}
 	switch {
 	case strings.HasSuffix(arg, ".xlm") || strings.HasSuffix(arg, ".xml"):
@@ -110,13 +166,13 @@ func loadFlow(arg string) (*poiesis.Graph, error) {
 	case strings.HasSuffix(arg, ".ktr"):
 		return poiesis.LoadPDI(arg)
 	default:
-		return nil, fmt.Errorf("cannot infer format of %q (want .xlm, .ktr or a built-in name)", arg)
+		return nil, usagef("cannot infer format of %q (want .xlm, .ktr or a built-in name)", arg)
 	}
 }
 
 func cmdPatterns(args []string) error {
-	fs := flag.NewFlagSet("patterns", flag.ExitOnError)
-	if err := fs.Parse(args); err != nil {
+	fs := flag.NewFlagSet("patterns", flag.ContinueOnError)
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	reg := poiesis.DefaultPatterns()
@@ -132,15 +188,15 @@ func cmdPatterns(args []string) error {
 }
 
 func cmdMeasures(args []string) error {
-	fs := flag.NewFlagSet("measures", flag.ExitOnError)
+	fs := flag.NewFlagSet("measures", flag.ContinueOnError)
 	in := fs.String("in", "", "flow to analyse (.xlm/.ktr/built-in)")
 	scale := fs.Int("scale", 5000, "source cardinality for the simulation")
 	seed := fs.Uint64("seed", 1, "random seed")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if *in == "" {
-		return fmt.Errorf("measures: -in required")
+		return usagef("measures: -in required")
 	}
 	g, err := loadFlow(*in)
 	if err != nil {
@@ -164,7 +220,7 @@ func cmdMeasures(args []string) error {
 }
 
 func cmdPlan(args []string) error {
-	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	fs := flag.NewFlagSet("plan", flag.ContinueOnError)
 	in := fs.String("in", "", "initial flow (.xlm/.ktr/built-in)")
 	depth := fs.Int("depth", 2, "pattern-combination depth")
 	maxAlts := fs.Int("max", 2000, "cap on generated alternatives")
@@ -179,11 +235,11 @@ func cmdPlan(args []string) error {
 	bars := fs.Bool("bars", true, "print Fig. 5 relative-change bars for the best design")
 	sequential := fs.Bool("sequential", false, "disable the streaming pipeline (ignored with -config)")
 	progress := fs.Bool("progress", false, "stream per-alternative progress to stderr")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if *in == "" {
-		return fmt.Errorf("plan: -in required")
+		return usagef("plan: -in required")
 	}
 	g, err := loadFlow(*in)
 	if err != nil {
@@ -308,14 +364,14 @@ func cmdPlan(args []string) error {
 }
 
 func cmdConvert(args []string) error {
-	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	fs := flag.NewFlagSet("convert", flag.ContinueOnError)
 	in := fs.String("in", "", "input flow (.xlm/.ktr/built-in)")
 	out := fs.String("out", "", "output file (.xlm or .ktr)")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if *in == "" || *out == "" {
-		return fmt.Errorf("convert: -in and -out required")
+		return usagef("convert: -in and -out required")
 	}
 	g, err := loadFlow(*in)
 	if err != nil {
@@ -328,7 +384,7 @@ func cmdConvert(args []string) error {
 	case strings.HasSuffix(*out, ".ktr"):
 		b, err = poiesis.EncodePDI(g)
 	default:
-		return fmt.Errorf("convert: cannot infer format of %q", *out)
+		return usagef("convert: cannot infer format of %q", *out)
 	}
 	if err != nil {
 		return err
@@ -341,14 +397,14 @@ func cmdConvert(args []string) error {
 }
 
 func cmdExport(args []string) error {
-	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	fs := flag.NewFlagSet("export", flag.ContinueOnError)
 	in := fs.String("in", "", "input flow (.xlm/.ktr/built-in)")
 	out := fs.String("out", "", "output file (.dot or .json)")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if *in == "" || *out == "" {
-		return fmt.Errorf("export: -in and -out required")
+		return usagef("export: -in and -out required")
 	}
 	g, err := loadFlow(*in)
 	if err != nil {
@@ -361,7 +417,7 @@ func cmdExport(args []string) error {
 	case strings.HasSuffix(*out, ".json"):
 		b, err = poiesis.EncodeJSON(g)
 	default:
-		return fmt.Errorf("export: cannot infer format of %q (want .dot or .json)", *out)
+		return usagef("export: cannot infer format of %q (want .dot or .json)", *out)
 	}
 	if err != nil {
 		return err

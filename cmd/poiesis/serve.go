@@ -1,0 +1,73 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"poiesis"
+)
+
+// cmdServe runs the multi-session HTTP planning service: the explore-select
+// loop of the paper's interactive tool exposed over a REST + SSE API, backed
+// by a TTL-evicting session store and a fingerprint-keyed plan cache. See
+// the "Run as a service" section of the README for the endpoint walkthrough.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (HOST:PORT)")
+	sessionTTL := fs.Duration("session-ttl", 30*time.Minute, "evict sessions idle longer than this (0 = never)")
+	maxSessions := fs.Int("max-sessions", 1024, "cap on live sessions")
+	cacheSize := fs.Int("cache", 128, "plan cache capacity (results)")
+	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown budget for in-flight requests")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+
+	ttl := *sessionTTL
+	if ttl == 0 {
+		// The flag's 0 means "never expire"; the server config treats 0 as
+		// unset (default 30m) and negative as disabled.
+		ttl = -1
+	}
+	handler := poiesis.NewServer(poiesis.ServerConfig{
+		SessionTTL:    ttl,
+		MaxSessions:   *maxSessions,
+		CacheCapacity: *cacheSize,
+	})
+	httpSrv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Ctrl-C / SIGINT triggers a graceful drain: the listener closes, in-
+	// flight plans get the drain budget to finish (their SSE clients keep
+	// receiving progress), then the process exits. A second interrupt
+	// force-quits via withInterrupt's handler reset.
+	return withInterrupt(func(ctx context.Context) error {
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "poiesis serve: listening on http://%s (session TTL %s, cache %d)\n",
+			ln.Addr(), *sessionTTL, *cacheSize)
+
+		errCh := make(chan error, 1)
+		go func() { errCh <- httpSrv.Serve(ln) }()
+		select {
+		case err := <-errCh:
+			return err
+		case <-ctx.Done():
+			shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+			defer cancel()
+			if err := httpSrv.Shutdown(shutCtx); err != nil {
+				return fmt.Errorf("serve: shutdown: %w", err)
+			}
+			fmt.Fprintln(os.Stderr, "poiesis serve: drained, shut down")
+			return nil
+		}
+	})
+}

@@ -19,7 +19,7 @@ import (
 // measures, drills into composite measures, and selects designs across
 // iterations. Commands are read from stdin so the session is scriptable.
 func cmdSession(args []string) error {
-	fs := flag.NewFlagSet("session", flag.ExitOnError)
+	fs := flag.NewFlagSet("session", flag.ContinueOnError)
 	in := fs.String("in", "", "initial flow (.xlm/.ktr/built-in)")
 	scale := fs.Int("scale", 1000, "source cardinality for the simulation")
 	seed := fs.Uint64("seed", 1, "random seed")
@@ -27,11 +27,11 @@ func cmdSession(args []string) error {
 	topK := fs.Int("topk", 2, "greedy policy: best points per pattern")
 	configPath := fs.String("config", "", "JSON configuration document")
 	progress := fs.Bool("progress", false, "stream per-alternative progress to stderr during explore")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if *in == "" {
-		return fmt.Errorf("session: -in required")
+		return usagef("session: -in required")
 	}
 	g, err := loadFlow(*in)
 	if err != nil {

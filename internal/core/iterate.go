@@ -2,7 +2,9 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sync"
 
 	"poiesis/internal/etl"
 	"poiesis/internal/measures"
@@ -14,14 +16,31 @@ import (
 // implements this decision by integrating the corresponding patterns to the
 // existing process ... Subsequently, new iteration cycles commence, until
 // the user considers that the flow adequately satisfies quality goals."
+//
+// Concurrency contract: a Session is safe for concurrent use by multiple
+// goroutines. Accessors (Current, History, LastResult, Binding, Planner) and
+// the state-changing calls (Select, AdoptResult) serialize on an internal
+// mutex. An exploration marks the session busy for the duration of the
+// planning run without holding the mutex, so accessors stay responsive while
+// a long run is in flight; a second Explore — or a Select/AdoptResult —
+// issued during that window fails fast with ErrSessionBusy instead of racing
+// the iteration state. The binding is immutable after construction.
 type Session struct {
 	planner *Planner
 	bind    sim.Binding
 
+	mu      sync.Mutex
+	busy    bool
 	current *etl.Graph
 	history []SelectionRecord
 	last    *Result
 }
+
+// ErrSessionBusy reports that a Session operation was rejected because an
+// exploration is already in flight on another goroutine. The session state
+// is untouched; retry after the running exploration finishes (or cancel it
+// via its context).
+var ErrSessionBusy = errors.New("core: session busy: exploration in flight")
 
 // SelectionRecord captures one accepted redesign step.
 type SelectionRecord struct {
@@ -39,15 +58,32 @@ func NewSession(planner *Planner, initial *etl.Graph, bind sim.Binding) *Session
 }
 
 // Current returns the present process design.
-func (s *Session) Current() *etl.Graph { return s.current }
+func (s *Session) Current() *etl.Graph {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.current
+}
 
 // History returns the accepted steps so far.
 func (s *Session) History() []SelectionRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return append([]SelectionRecord(nil), s.history...)
 }
 
 // LastResult returns the most recent planning result (nil before Explore).
-func (s *Session) LastResult() *Result { return s.last }
+func (s *Session) LastResult() *Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.last
+}
+
+// Binding returns the source binding the session was created with. The
+// binding is shared, not copied; callers must treat it as read-only.
+func (s *Session) Binding() sim.Binding { return s.bind }
+
+// Planner returns the session's default planner.
+func (s *Session) Planner() *Planner { return s.planner }
 
 // Explore runs one planning cycle on the current design and returns the
 // result whose skyline the user chooses from.
@@ -60,18 +96,76 @@ func (s *Session) Explore() (*Result, error) {
 // returns ctx's error) without tearing down the session — the current design
 // and history are untouched, and a fresh Explore can follow.
 func (s *Session) ExploreContext(ctx context.Context) (*Result, error) {
-	res, err := s.planner.PlanContext(ctx, s.current, s.bind)
+	return s.ExploreWith(ctx, nil)
+}
+
+// ExploreWith runs one planning cycle with a caller-supplied planner instead
+// of the session default (nil keeps the default) — the hook a multi-tenant
+// service uses to honour per-request options, constraints and goals without
+// rebuilding the session. Only one exploration may be in flight per session;
+// a concurrent call returns ErrSessionBusy.
+func (s *Session) ExploreWith(ctx context.Context, p *Planner) (*Result, error) {
+	s.mu.Lock()
+	if s.busy {
+		s.mu.Unlock()
+		return nil, ErrSessionBusy
+	}
+	if p == nil {
+		p = s.planner
+	}
+	s.busy = true
+	cur := s.current
+	s.mu.Unlock()
+
+	res, err := p.PlanContext(ctx, cur, s.bind)
+
+	s.mu.Lock()
+	s.busy = false
+	if err == nil {
+		s.last = res
+	}
+	s.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
-	s.last = res
 	return res, nil
+}
+
+// AdoptResult installs a planning result produced outside Explore — e.g.
+// served from a fingerprint-keyed plan cache — as the session's last
+// exploration, so a following Select can integrate one of its skyline
+// designs. The result's initial flow must match the session's current design
+// by canonical fingerprint; adopting a result computed for a different flow
+// is rejected. Adopted results may be shared between sessions: planning and
+// selection never mutate the graphs they carry (patterns always apply to
+// clones), so the shared graphs are read-only.
+func (s *Session) AdoptResult(res *Result) error {
+	if res == nil || res.Initial.Graph == nil {
+		return fmt.Errorf("core: AdoptResult: nil result")
+	}
+	fp := res.Initial.Graph.Fingerprint()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.busy {
+		return ErrSessionBusy
+	}
+	if cur := s.current.Fingerprint(); cur != fp {
+		return fmt.Errorf("core: AdoptResult: result initial flow %s does not match current design %s", fp, cur)
+	}
+	s.last = res
+	return nil
 }
 
 // Select accepts the skyline alternative with the given index into
 // Result.SkylineIdx; the chosen design becomes the session's current
-// process, and the next Explore iterates from it.
+// process, and the next Explore iterates from it. Select during an in-flight
+// exploration returns ErrSessionBusy.
 func (s *Session) Select(skyIdx int) (*Alternative, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.busy {
+		return nil, ErrSessionBusy
+	}
 	if s.last == nil {
 		return nil, fmt.Errorf("core: Select before Explore")
 	}

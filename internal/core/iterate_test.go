@@ -1,0 +1,142 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"poiesis/internal/tpcds"
+)
+
+func newTestSession(t testing.TB) *Session {
+	t.Helper()
+	g := tpcds.PurchasesFlow()
+	return NewSession(NewPlanner(nil, smallOptions()), g, tpcds.Binding(g, 400, 1))
+}
+
+// A second exploration issued while one is in flight must fail fast with
+// ErrSessionBusy, and Select/AdoptResult during the window likewise.
+func TestSessionBusyGuard(t *testing.T) {
+	s := newTestSession(t)
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	// Progress fires once per alternative from inside the run: use the first
+	// event to hold the exploration open deterministically.
+	var once sync.Once
+	p := NewPlanner(nil, smallOptions())
+	p.WithProgress(func(ProgressEvent) {
+		once.Do(func() {
+			close(started)
+			<-release
+		})
+	})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := s.ExploreWith(context.Background(), p); err != nil {
+			t.Errorf("explore failed: %v", err)
+		}
+	}()
+	<-started
+
+	if _, err := s.ExploreContext(context.Background()); !errors.Is(err, ErrSessionBusy) {
+		t.Errorf("concurrent Explore: got %v, want ErrSessionBusy", err)
+	}
+	if _, err := s.Select(0); !errors.Is(err, ErrSessionBusy) {
+		t.Errorf("Select during explore: got %v, want ErrSessionBusy", err)
+	}
+	if err := s.AdoptResult(&Result{Initial: Alternative{Graph: s.Current()}}); !errors.Is(err, ErrSessionBusy) {
+		t.Errorf("AdoptResult during explore: got %v, want ErrSessionBusy", err)
+	}
+	// Accessors stay responsive while the run is in flight.
+	if s.Current() == nil {
+		t.Error("Current nil during explore")
+	}
+	close(release)
+	wg.Wait()
+
+	if s.LastResult() == nil {
+		t.Fatal("no result adopted after explore")
+	}
+	if _, err := s.Select(0); err != nil {
+		t.Errorf("Select after explore: %v", err)
+	}
+}
+
+func TestSessionAdoptResult(t *testing.T) {
+	s := newTestSession(t)
+	res, err := s.Planner().Plan(s.Current(), s.Binding())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a cache hit on a second session over the same flow.
+	s2 := newTestSession(t)
+	if err := s2.AdoptResult(res); err != nil {
+		t.Fatalf("adopting matching result: %v", err)
+	}
+	alt, err := s2.Select(0)
+	if err != nil {
+		t.Fatalf("select after adopt: %v", err)
+	}
+	if s2.Current() != alt.Graph {
+		t.Error("select did not advance the session")
+	}
+
+	// The session has moved on: the old result no longer matches.
+	if err := s2.AdoptResult(res); err == nil {
+		t.Error("adopting a result for a different flow must fail")
+	}
+	if err := s2.AdoptResult(nil); err == nil {
+		t.Error("adopting nil must fail")
+	}
+}
+
+// Hammer a session from many goroutines: go test -race verifies the
+// iteration state is never corrupted, and the busy guard means every call
+// either succeeds or reports ErrSessionBusy.
+func TestSessionConcurrentUse(t *testing.T) {
+	s := newTestSession(t)
+	var explored, busy atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				_, err := s.Explore()
+				switch {
+				case err == nil:
+					explored.Add(1)
+					_, serr := s.Select(0)
+					if serr != nil && !errors.Is(serr, ErrSessionBusy) &&
+						serr.Error() != "core: Select before Explore" {
+						// Another goroutine may have consumed the result first;
+						// anything else is a real failure.
+						t.Errorf("select: %v", serr)
+					}
+				case errors.Is(err, ErrSessionBusy):
+					busy.Add(1)
+				default:
+					t.Errorf("explore: %v", err)
+				}
+				s.Current()
+				s.History()
+				s.LastResult()
+			}
+		}()
+	}
+	wg.Wait()
+	if explored.Load() == 0 {
+		t.Error("no exploration ever ran")
+	}
+	if int(explored.Load()) < len(s.History()) {
+		t.Errorf("history (%d) longer than successful explorations (%d)",
+			len(s.History()), explored.Load())
+	}
+}

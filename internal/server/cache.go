@@ -1,0 +1,133 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"poiesis/internal/core"
+)
+
+// planCache is the fingerprint-keyed result cache: planning is deterministic
+// in (flow fingerprint, canonical options, binding) — the key produced by
+// core.PlanKey — so identical plans across sessions are served from cache
+// instead of recomputed. Entries are kept LRU-bounded, and concurrent
+// requests for the same key are collapsed: one leader computes while waiters
+// block, then share the leader's result. If the leader fails (e.g. its
+// client disconnected, cancelling the run), one waiter takes over as the new
+// leader rather than inheriting the failure.
+//
+// Cached Results are shared by reference. This is safe because planning and
+// selection treat result graphs as read-only (patterns apply to clones); see
+// core.Session.AdoptResult.
+type planCache struct {
+	max int
+
+	mu       sync.Mutex
+	ll       *list.List // front = most recently used
+	entries  map[string]*list.Element
+	inflight map[string]chan struct{}
+	hits     int64
+	misses   int64
+}
+
+type cacheEntry struct {
+	key string
+	res *core.Result
+	// memo holds the derived response payload for the result, built at most
+	// once per entry: serving a cache hit must not re-derive explanations,
+	// pattern usage and the full-space scatter projection per request.
+	memoOnce sync.Once
+	memo     any
+}
+
+func newPlanCache(max int) *planCache {
+	if max <= 0 {
+		max = 128
+	}
+	return &planCache{
+		max:      max,
+		ll:       list.New(),
+		entries:  map[string]*list.Element{},
+		inflight: map[string]chan struct{}{},
+	}
+}
+
+// do returns the cached result for key, or runs compute to produce it.
+// hit reports whether the result was served from cache (directly, or by
+// waiting on a concurrent leader computing the same key). On compute failure
+// the error is returned and nothing is cached.
+func (c *planCache) do(ctx context.Context, key string, compute func() (*core.Result, error)) (res *core.Result, hit bool, err error) {
+	for {
+		c.mu.Lock()
+		if e, ok := c.entries[key]; ok {
+			c.ll.MoveToFront(e)
+			c.hits++
+			res := e.Value.(*cacheEntry).res
+			c.mu.Unlock()
+			return res, true, nil
+		}
+		if ch, ok := c.inflight[key]; ok {
+			// Another request is computing this key: wait for it, then loop —
+			// on its success the entry is present; on its failure we take over.
+			c.mu.Unlock()
+			select {
+			case <-ch:
+				continue
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+		}
+		ch := make(chan struct{})
+		c.inflight[key] = ch
+		c.misses++
+		c.mu.Unlock()
+
+		res, err = compute()
+
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if err == nil {
+			c.addLocked(key, res)
+		}
+		c.mu.Unlock()
+		close(ch)
+		return res, false, err
+	}
+}
+
+// memo returns the entry's derived payload, building it once via build; ok
+// is false when the entry has been evicted (the caller then derives the
+// payload itself). The once-guard means concurrent first hits block on one
+// build instead of all paying for it.
+func (c *planCache) memo(key string, build func(*core.Result) any) (any, bool) {
+	c.mu.Lock()
+	e, found := c.entries[key]
+	c.mu.Unlock()
+	if !found {
+		return nil, false
+	}
+	ce := e.Value.(*cacheEntry)
+	ce.memoOnce.Do(func() { ce.memo = build(ce.res) })
+	return ce.memo, true
+}
+
+// addLocked inserts a freshly computed entry. The key cannot already be
+// present: do() registers an inflight marker before computing, so concurrent
+// requests for the key either hit the existing entry or wait on the marker —
+// which also makes cacheEntry immutable after insertion, the property
+// memo()'s unlocked e.Value read relies on.
+func (c *planCache) addLocked(key string, res *core.Result) {
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *planCache) stats() (hits, misses int64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len()
+}

@@ -1,0 +1,204 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"poiesis/internal/core"
+)
+
+func resultStub(n int) *core.Result {
+	return &core.Result{Stats: core.Stats{Evaluated: n}}
+}
+
+// cached probes whether key is in the cache through the public do path: a
+// probe that would compute fails instead, leaving the cache untouched (a
+// probe hit still counts as use for the LRU order, like any real hit).
+func cached(t testing.TB, c *planCache, key string) bool {
+	t.Helper()
+	computed := false
+	_, hit, _ := c.do(context.Background(), key, func() (*core.Result, error) {
+		computed = true
+		return nil, errors.New("probe miss")
+	})
+	return hit && !computed
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := newPlanCache(4)
+	ctx := context.Background()
+
+	var computes int
+	res, hit, err := c.do(ctx, "k1", func() (*core.Result, error) {
+		computes++
+		return resultStub(1), nil
+	})
+	if err != nil || hit || res.Stats.Evaluated != 1 {
+		t.Fatalf("first do: res=%+v hit=%v err=%v", res, hit, err)
+	}
+	res, hit, err = c.do(ctx, "k1", func() (*core.Result, error) {
+		computes++
+		return resultStub(2), nil
+	})
+	if err != nil || !hit || res.Stats.Evaluated != 1 {
+		t.Fatalf("second do: res=%+v hit=%v err=%v", res, hit, err)
+	}
+	if computes != 1 {
+		t.Errorf("computed %d times, want 1", computes)
+	}
+	hits, misses, size := c.stats()
+	if hits != 1 || misses != 1 || size != 1 {
+		t.Errorf("stats: hits=%d misses=%d size=%d", hits, misses, size)
+	}
+}
+
+func TestCacheComputeErrorNotCached(t *testing.T) {
+	c := newPlanCache(4)
+	ctx := context.Background()
+	boom := errors.New("boom")
+	if _, _, err := c.do(ctx, "k", func() (*core.Result, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if cached(t, c, "k") {
+		t.Error("failed compute was cached")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newPlanCache(2)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if i == 2 {
+			// Touch k0 so k1 is the LRU victim.
+			if !cached(t, c, "k0") {
+				t.Fatal("k0 missing before eviction")
+			}
+		}
+		_, _, err := c.do(ctx, key, func() (*core.Result, error) { return resultStub(i), nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cached(t, c, "k1") {
+		t.Error("LRU entry k1 not evicted")
+	}
+	if !cached(t, c, "k0") {
+		t.Error("recently used k0 evicted")
+	}
+	if !cached(t, c, "k2") {
+		t.Error("newest k2 evicted")
+	}
+}
+
+// Concurrent requests for one key collapse onto a single computation, and
+// every caller gets the same result.
+func TestCacheSingleflight(t *testing.T) {
+	c := newPlanCache(4)
+	ctx := context.Background()
+	var computes atomic.Int64
+	gate := make(chan struct{})
+
+	const callers = 8
+	var wg sync.WaitGroup
+	results := make([]*core.Result, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, _, err := c.do(ctx, "k", func() (*core.Result, error) {
+				computes.Add(1)
+				<-gate
+				return resultStub(7), nil
+			})
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			results[i] = res
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	if got := computes.Load(); got != 1 {
+		t.Errorf("computed %d times, want 1", got)
+	}
+	for i, res := range results {
+		if res != results[0] {
+			t.Errorf("caller %d got a different result pointer", i)
+		}
+	}
+}
+
+// When the leader fails (e.g. its client disconnected, cancelling the run),
+// a waiter takes over instead of inheriting the failure.
+func TestCacheLeaderFailureHandsOver(t *testing.T) {
+	c := newPlanCache(4)
+	ctx := context.Background()
+
+	leaderIn := make(chan struct{})
+	leaderFail := make(chan struct{})
+	var leaderDone sync.WaitGroup
+	leaderDone.Add(1)
+	go func() {
+		defer leaderDone.Done()
+		_, _, err := c.do(ctx, "k", func() (*core.Result, error) {
+			close(leaderIn)
+			<-leaderFail
+			return nil, context.Canceled
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("leader err = %v", err)
+		}
+	}()
+
+	<-leaderIn
+	waiterComputed := false
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		res, hit, err := c.do(ctx, "k", func() (*core.Result, error) {
+			waiterComputed = true
+			return resultStub(9), nil
+		})
+		if err != nil || hit || res.Stats.Evaluated != 9 {
+			t.Errorf("waiter: res=%+v hit=%v err=%v", res, hit, err)
+		}
+	}()
+	close(leaderFail)
+	leaderDone.Wait()
+	<-done
+	if !waiterComputed {
+		t.Error("waiter did not take over after leader failure")
+	}
+}
+
+// A waiter whose own context dies while waiting gives up with that error.
+func TestCacheWaiterContextCancel(t *testing.T) {
+	c := newPlanCache(4)
+
+	leaderIn := make(chan struct{})
+	leaderOut := make(chan struct{})
+	go func() {
+		_, _, _ = c.do(context.Background(), "k", func() (*core.Result, error) {
+			close(leaderIn)
+			<-leaderOut
+			return resultStub(1), nil
+		})
+	}()
+	<-leaderIn
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := c.do(ctx, "k", func() (*core.Result, error) {
+		t.Error("cancelled waiter must not compute")
+		return nil, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("waiter err = %v", err)
+	}
+	close(leaderOut)
+}

@@ -1,0 +1,52 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"poiesis/internal/etl"
+	"poiesis/internal/pdi"
+	"poiesis/internal/workloads"
+	"poiesis/internal/xlm"
+)
+
+// flowSpec is the wire format for uploading a flow: exactly one of the
+// fields must be set. Builtin names a demo flow; XLM and KTR carry a full
+// document inline; Graph carries the JSON wire format of internal/etl.
+type flowSpec struct {
+	Builtin string          `json:"builtin,omitempty"`
+	XLM     string          `json:"xlm,omitempty"`
+	KTR     string          `json:"ktr,omitempty"`
+	Graph   json.RawMessage `json:"graph,omitempty"`
+}
+
+// resolve materialises the flow a spec describes.
+func (f flowSpec) resolve() (*etl.Graph, error) {
+	set := 0
+	for _, present := range []bool{f.Builtin != "", f.XLM != "", f.KTR != "", len(f.Graph) > 0} {
+		if present {
+			set++
+		}
+	}
+	if set != 1 {
+		return nil, fmt.Errorf("flow: exactly one of builtin, xlm, ktr, graph required")
+	}
+	switch {
+	case f.Builtin != "":
+		g, ok := workloads.Get(f.Builtin)
+		if !ok {
+			return nil, fmt.Errorf("flow: unknown builtin %q (have %v)", f.Builtin, workloads.Names())
+		}
+		return g, nil
+	case f.XLM != "":
+		return xlm.Decode([]byte(f.XLM))
+	case f.KTR != "":
+		return pdi.Decode([]byte(f.KTR))
+	default:
+		var g etl.Graph
+		if err := g.UnmarshalJSON(f.Graph); err != nil {
+			return nil, err
+		}
+		return &g, nil
+	}
+}

@@ -1,0 +1,513 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"poiesis/internal/config"
+	"poiesis/internal/core"
+	"poiesis/internal/etl"
+	"poiesis/internal/fcp"
+	"poiesis/internal/pdi"
+	"poiesis/internal/sim"
+	"poiesis/internal/workloads"
+	"poiesis/internal/xlm"
+)
+
+// maxBodyBytes bounds uploaded payloads (flows can be large, plans cannot).
+const maxBodyBytes = 16 << 20
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody decodes a JSON body into v; an empty body leaves v untouched.
+func decodeBody(r *http.Request, v any) error {
+	b, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	if err != nil {
+		return fmt.Errorf("reading body: %w", err)
+	}
+	if len(b) == 0 {
+		return nil
+	}
+	if err := json.Unmarshal(b, v); err != nil {
+		return fmt.Errorf("parsing body: %w", err)
+	}
+	return nil
+}
+
+// plannerFromDoc materialises a planner from a configuration document; a nil
+// document yields the default planner.
+func plannerFromDoc(doc *config.Document) (*core.Planner, error) {
+	if doc == nil {
+		return core.NewPlanner(nil, core.Options{}), nil
+	}
+	reg, err := doc.Registry()
+	if err != nil {
+		return nil, err
+	}
+	opts, err := doc.Options()
+	if err != nil {
+		return nil, err
+	}
+	return core.NewPlanner(reg, opts), nil
+}
+
+// registryKeyFromDoc canonicalizes the part of a configuration document that
+// shapes the pattern registry rather than the Options — the custom pattern
+// declarations. core.PlanKey cannot see the registry, so this string
+// partitions the plan cache: documents without custom patterns share the
+// empty suffix (the default registry), documents with them only match
+// identical declarations. CustomPatternDoc is plain data (encoding/json
+// sorts the Params map keys), so the serialization is deterministic.
+func registryKeyFromDoc(doc *config.Document) string {
+	if doc == nil || len(doc.CustomPatterns) == 0 {
+		return ""
+	}
+	b, err := json.Marshal(doc.CustomPatterns)
+	if err != nil {
+		// Unserializable declarations cannot be canonicalized; an impossible
+		// suffix keeps the request out of every other request's cache slot.
+		return fmt.Sprintf("uncacheable:%p", doc)
+	}
+	return string(b)
+}
+
+// Liveness, service stats, palette and builtin listings -----------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	hits, misses, size := s.cache.stats()
+	writeJSON(w, http.StatusOK, serverStatsJSON{
+		Sessions:      s.store.len(),
+		PlansComputed: s.plansComputed.Load(),
+		PlansCached:   s.plansCached.Load(),
+		Evaluations:   s.evaluations.Load(),
+		CacheHits:     hits,
+		CacheMisses:   misses,
+		CacheSize:     size,
+	})
+}
+
+func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
+	type patternJSON struct {
+		Name     string `json:"name"`
+		Kind     string `json:"kind"`
+		Improves string `json:"improves"`
+	}
+	reg := fcp.DefaultRegistry()
+	var out []patternJSON
+	for _, name := range reg.Names() {
+		p, _ := reg.Get(name)
+		out = append(out, patternJSON{
+			Name:     p.Name(),
+			Kind:     fmt.Sprint(p.Kind()),
+			Improves: fmt.Sprint(p.Improves()),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"patterns": out})
+}
+
+func (s *Server) handleFlows(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"flows": workloads.Names()})
+}
+
+// Session lifecycle -----------------------------------------------------------
+
+type createSessionRequest struct {
+	Name string   `json:"name,omitempty"`
+	Flow flowSpec `json:"flow"`
+	// Scale and Seed drive the synthetic source binding (sim.AutoBinding).
+	Scale int    `json:"scale,omitempty"`
+	Seed  uint64 `json:"seed,omitempty"`
+	// Config is the session's default planning configuration; per-request
+	// documents on POST .../plan replace it for that request.
+	Config *config.Document `json:"config,omitempty"`
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req createSessionRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	g, err := req.Flow.resolve()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := g.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid flow: %v", err)
+		return
+	}
+	planner, err := plannerFromDoc(req.Config)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	scale := req.Scale
+	if scale <= 0 {
+		scale = 2000
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	st := &sessionState{
+		id:     newSessionID(),
+		name:   req.Name,
+		sess:   core.NewSession(planner, g, sim.AutoBinding(g, scale, seed)),
+		regKey: registryKeyFromDoc(req.Config),
+	}
+	if err := s.store.add(st); err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	w.Header().Set("Location", "/v1/sessions/"+st.id)
+	writeJSON(w, http.StatusCreated, toSessionJSON(st, true))
+}
+
+func (s *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
+	states := s.store.list()
+	out := make([]sessionJSON, 0, len(states))
+	for _, st := range states {
+		out = append(out, toSessionJSON(st, false))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": out})
+}
+
+func (s *Server) session(w http.ResponseWriter, r *http.Request) (*sessionState, bool) {
+	id := r.PathValue("id")
+	st, ok := s.store.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session %q", id)
+		return nil, false
+	}
+	return st, true
+}
+
+func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, toSessionJSON(st, true))
+}
+
+func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	// Like the TTL sweep, never remove a session mid-operation: deleting
+	// under an in-flight plan would orphan the run's result and history.
+	// (Acquiring store.mu while holding opMu is safe: the sweep only ever
+	// TryLocks opMu, so the reversed order cannot deadlock.)
+	if !st.opMu.TryLock() {
+		writeError(w, http.StatusConflict, "session busy: another plan or select is in flight")
+		return
+	}
+	defer st.opMu.Unlock()
+	if !s.store.remove(st.id) {
+		writeError(w, http.StatusNotFound, "unknown session %q", st.id)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// Planning --------------------------------------------------------------------
+
+type planRequest struct {
+	// Config, when present, replaces the session's default configuration for
+	// this run only (per-request options, constraints and goals).
+	Config *config.Document `json:"config,omitempty"`
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	var req planRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	base := st.sess.Planner()
+	regKey := st.regKey
+	if req.Config != nil {
+		var err error
+		if base, err = plannerFromDoc(req.Config); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		regKey = registryKeyFromDoc(req.Config)
+	}
+
+	// One state-changing operation per session at a time: a concurrent plan
+	// or select fails fast instead of queueing behind a long run.
+	if !st.opMu.TryLock() {
+		writeError(w, http.StatusConflict, "session busy: another plan or select is in flight")
+		return
+	}
+	defer st.opMu.Unlock()
+
+	// A dropped client cancels the in-flight run through the request context.
+	ctx := r.Context()
+
+	var stream *sseWriter
+	if wantsSSE(r) {
+		sse, ok := newSSEWriter(w)
+		if !ok {
+			writeError(w, http.StatusInternalServerError, "response writer does not support streaming")
+			return
+		}
+		stream = sse
+	}
+
+	// The per-request planner is always a fresh instance so installing the
+	// progress callback never mutates a planner shared with other requests.
+	planner := core.NewPlanner(base.Registry(), base.Options())
+	if stream != nil {
+		every := 1
+		if n, err := strconv.Atoi(r.URL.Query().Get("every")); err == nil && n > 1 {
+			every = n
+		}
+		planner.WithProgress(func(e core.ProgressEvent) {
+			if e.Seq%every != 0 {
+				return
+			}
+			errStr := ""
+			if e.Err != nil {
+				errStr = e.Err.Error()
+			}
+			_ = stream.event("progress", progressJSON{
+				Seq:         e.Seq,
+				Label:       e.Label,
+				Error:       errStr,
+				Generated:   e.Generated,
+				Evaluated:   e.Evaluated,
+				Kept:        e.Kept,
+				SkylineSize: e.SkylineSize,
+			})
+		})
+	}
+
+	key, cacheable := core.PlanKey(st.sess.Current(), st.sess.Binding(), planner.Options())
+	// Partition the cache by registry shape: PlanKey canonicalizes Options
+	// only, so custom-pattern declarations must contribute to the key.
+	key += "|" + regKey
+	run := func() (*core.Result, error) {
+		res, err := st.sess.ExploreWith(ctx, planner)
+		if err != nil {
+			return nil, err
+		}
+		s.plansComputed.Add(1)
+		s.evaluations.Add(int64(res.Stats.Evaluated))
+		return res, nil
+	}
+
+	var res *core.Result
+	var hit bool
+	var err error
+	if cacheable {
+		res, hit, err = s.cache.do(ctx, key, run)
+		if err == nil && hit {
+			s.plansCached.Add(1)
+			err = st.sess.AdoptResult(res)
+		}
+	} else {
+		res, err = run()
+	}
+	if err != nil {
+		s.planError(w, stream, ctx, err)
+		return
+	}
+	st.planDone(s.cfg.Now())
+
+	payload := s.planPayload(key, cacheable, res)
+	payload.Cached = hit
+	if stream != nil {
+		_ = stream.event("result", payload)
+		return
+	}
+	writeJSON(w, http.StatusOK, payload)
+}
+
+// planPayload derives the response body for a plan result. For cacheable
+// results the derivation (skyline explanations, pattern usage, full-space
+// scatter) is memoized on the cache entry, so the steady-state hot path —
+// repeated cache hits — pays only a shallow copy plus encoding.
+func (s *Server) planPayload(key string, cacheable bool, res *core.Result) resultJSON {
+	if cacheable {
+		if m, ok := s.cache.memo(key, func(r *core.Result) any {
+			p := toResultJSON(r, false)
+			return &p
+		}); ok {
+			return *(m.(*resultJSON))
+		}
+	}
+	return toResultJSON(res, false)
+}
+
+// planError reports a failed plan on whichever channel is open. When the
+// client is already gone (context cancelled) nothing useful can be written;
+// the attempt is best-effort.
+func (s *Server) planError(w http.ResponseWriter, stream *sseWriter, ctx context.Context, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, core.ErrSessionBusy):
+		status = http.StatusConflict
+	case errors.Is(err, core.ErrInvalidFlow):
+		status = http.StatusUnprocessableEntity
+	case ctx.Err() != nil:
+		// Client disconnect cancelled the run.
+		status = statusClientClosedRequest
+	}
+	if stream != nil {
+		_ = stream.event("error", errorJSON{Error: err.Error()})
+		return
+	}
+	writeError(w, status, "%v", err)
+}
+
+// statusClientClosedRequest is nginx's non-standard 499 — the run was
+// cancelled because the client went away, so nobody will read this anyway.
+const statusClientClosedRequest = 499
+
+// Results ---------------------------------------------------------------------
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	res := st.sess.LastResult()
+	if res == nil {
+		writeError(w, http.StatusNotFound, "no planning result; POST /v1/sessions/%s/plan first", st.id)
+		return
+	}
+	includeReports := r.URL.Query().Get("reports") == "1"
+	writeJSON(w, http.StatusOK, toResultJSON(res, includeReports))
+}
+
+func (s *Server) handleSkyline(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	res := st.sess.LastResult()
+	if res == nil {
+		writeError(w, http.StatusNotFound, "no planning result; POST /v1/sessions/%s/plan first", st.id)
+		return
+	}
+	// Lean path: the frontier is small, so don't pay for the full-space
+	// scatter projection and pattern-usage analysis on every poll.
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dims":           dimsOf(res.Dims),
+		"skyline":        skylineEntries(res, true),
+		"frontierSpread": frontierSpreadJSON(res),
+	})
+}
+
+func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	g := st.sess.Current()
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "json"
+	}
+	var b []byte
+	var err error
+	contentType := "application/json"
+	switch format {
+	case "json":
+		b, err = g.MarshalJSON()
+	case "dot":
+		b, contentType = []byte(g.DOT()), "text/vnd.graphviz"
+	case "xlm":
+		b, err = xlm.Encode(g)
+		contentType = "application/xml"
+	case "ktr":
+		b, err = pdi.Encode(g)
+		contentType = "application/xml"
+	default:
+		writeError(w, http.StatusBadRequest, "unknown format %q (want json, dot, xlm or ktr)", format)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", contentType)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(b)
+}
+
+// Selection -------------------------------------------------------------------
+
+type selectRequest struct {
+	// Index is the skyline position reported by plan/skyline responses.
+	Index int `json:"index"`
+}
+
+func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	req := selectRequest{Index: -1}
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !st.opMu.TryLock() {
+		writeError(w, http.StatusConflict, "session busy: another plan or select is in flight")
+		return
+	}
+	defer st.opMu.Unlock()
+
+	before := st.sess.Current()
+	alt, err := st.sess.Select(req.Index)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, core.ErrSessionBusy) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	history := st.sess.History()
+	rec := history[len(history)-1]
+	writeJSON(w, http.StatusOK, selectResponseJSON{
+		Selection: selectionJSON{
+			Iteration:   rec.Iteration,
+			Label:       rec.Label,
+			ScoreBefore: rec.ScoreBefore,
+			ScoreAfter:  rec.ScoreAfter,
+		},
+		Delta: etl.DiffFlows(before, alt.Graph).String(),
+		Flow:  alt.Graph.Name,
+		Nodes: alt.Graph.Len(),
+		Edges: alt.Graph.EdgeCount(),
+	})
+}

@@ -1,0 +1,123 @@
+// Package server exposes the POIESIS explore-select loop as a multi-session
+// HTTP service: the paper describes an interactive tool where an analyst
+// uploads an ETL flow, explores quality-improved alternatives and
+// iteratively selects redesigns from the Pareto frontier — this package
+// serves that loop to many concurrent analysts from one process.
+//
+// Architecture:
+//
+//	session store — concurrency-safe in-memory registry of live sessions
+//	                with TTL eviction; state-changing operations on one
+//	                session serialize (concurrent ones fail fast with 409),
+//	                so the underlying core.Session is never raced;
+//	plan cache    — fingerprint-keyed (flow fingerprint + canonicalized
+//	                options + binding, see core.PlanKey): identical plans
+//	                across sessions are served from cache instead of
+//	                recomputed, and concurrent identical requests collapse
+//	                onto one computation;
+//	handlers      — REST + Server-Sent Events: per-alternative progress
+//	                streams over SSE, and a dropped client cancels its
+//	                in-flight run through the request context.
+//
+// Endpoints (all under /v1):
+//
+//	GET    /v1/healthz                  liveness
+//	GET    /v1/stats                    service counters (cache, sessions)
+//	GET    /v1/patterns                 the pattern palette
+//	GET    /v1/flows                    builtin flow names
+//	POST   /v1/sessions                 create a session from a flow upload
+//	GET    /v1/sessions                 list sessions
+//	GET    /v1/sessions/{id}            session detail + history
+//	DELETE /v1/sessions/{id}            drop a session
+//	POST   /v1/sessions/{id}/plan       run one exploration (SSE optional)
+//	GET    /v1/sessions/{id}/result     full last result as JSON
+//	GET    /v1/sessions/{id}/skyline    frontier with full measure reports
+//	GET    /v1/sessions/{id}/flow       current design (json|dot|xlm|ktr)
+//	POST   /v1/sessions/{id}/select     integrate a skyline design
+package server
+
+import (
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes the service.
+type Config struct {
+	// SessionTTL evicts sessions idle longer than this. Default 30m; <0
+	// disables eviction.
+	SessionTTL time.Duration
+	// MaxSessions caps live sessions (creation returns 503 beyond it).
+	// Default 1024.
+	MaxSessions int
+	// CacheCapacity bounds the plan cache (LRU entries). Default 128.
+	CacheCapacity int
+	// Now is the clock; tests inject a fake. Default time.Now.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.SessionTTL == 0 {
+		c.SessionTTL = 30 * time.Minute
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 1024
+	}
+	if c.CacheCapacity <= 0 {
+		c.CacheCapacity = 128
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Server is the POIESIS planning service. It implements http.Handler; mount
+// it directly on an http.Server.
+type Server struct {
+	cfg   Config
+	store *sessionStore
+	cache *planCache
+	mux   *http.ServeMux
+
+	plansComputed atomic.Int64
+	plansCached   atomic.Int64
+	evaluations   atomic.Int64
+}
+
+// New builds the service.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ttl := cfg.SessionTTL
+	if ttl < 0 {
+		ttl = 0 // sessionStore treats 0 as "no eviction"
+	}
+	s := &Server{
+		cfg:   cfg,
+		store: newSessionStore(ttl, cfg.MaxSessions, cfg.Now),
+		cache: newPlanCache(cfg.CacheCapacity),
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/patterns", s.handlePatterns)
+	s.mux.HandleFunc("GET /v1/flows", s.handleFlows)
+	s.mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
+	s.mux.HandleFunc("GET /v1/sessions", s.handleListSessions)
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleGetSession)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDeleteSession)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/plan", s.handlePlan)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/skyline", s.handleSkyline)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/flow", s.handleFlow)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/select", s.handleSelect)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Sessions reports the number of live sessions (after TTL sweep).
+func (s *Server) Sessions() int { return s.store.len() }

@@ -1,0 +1,60 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// sseWriter emits Server-Sent Events. Writes happen from at most one
+// goroutine at a time by construction: during a plan only the planner's
+// progress callback writes (delivered from a single goroutine, see
+// core.ProgressEvent), and the handler writes the terminal event only after
+// the plan returns.
+type sseWriter struct {
+	w       http.ResponseWriter
+	flusher http.Flusher
+}
+
+// newSSEWriter prepares the response for an event stream; ok is false when
+// the ResponseWriter cannot flush (SSE needs incremental delivery).
+func newSSEWriter(w http.ResponseWriter) (*sseWriter, bool) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		return nil, false
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	return &sseWriter{w: w, flusher: flusher}, true
+}
+
+// event writes one named event with a JSON payload and flushes it.
+func (s *sseWriter) event(name string, payload any) error {
+	b, err := json.Marshal(payload)
+	if err != nil {
+		return err
+	}
+	// JSON never contains raw newlines, but guard anyway: a newline would
+	// break SSE framing.
+	data := strings.ReplaceAll(string(b), "\n", "")
+	if _, err := fmt.Fprintf(s.w, "event: %s\ndata: %s\n\n", name, data); err != nil {
+		return err
+	}
+	s.flusher.Flush()
+	return nil
+}
+
+// wantsSSE reports whether the client asked for an event stream, via either
+// the Accept header or the stream=sse query parameter.
+func wantsSSE(r *http.Request) bool {
+	if r.URL.Query().Get("stream") == "sse" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+}

@@ -1,0 +1,179 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"poiesis/internal/core"
+)
+
+// sessionState is one live analyst session: the underlying core.Session plus
+// the service-level metadata (identity, defaults, liveness).
+type sessionState struct {
+	id      string
+	name    string
+	created time.Time
+
+	sess *core.Session
+	// regKey canonicalizes the custom patterns of the session's creation
+	// config: core.PlanKey sees only Options, not the pattern registry, so
+	// plans made with custom patterns must be cache-partitioned by this
+	// suffix or sessions with different registries would share results.
+	regKey string
+
+	// opMu serializes state-changing HTTP operations (plan, select) on this
+	// session at the handler layer: plan holds it for the whole run, and a
+	// concurrent plan/select fails fast with 409 instead of queueing. The
+	// core.Session's own guard remains as the library-level backstop.
+	opMu sync.Mutex
+
+	// mu guards the mutable metadata below.
+	mu       sync.Mutex
+	lastUsed time.Time
+	plans    int
+}
+
+func (st *sessionState) touch(now time.Time) {
+	st.mu.Lock()
+	st.lastUsed = now
+	st.mu.Unlock()
+}
+
+func (st *sessionState) meta() (lastUsed time.Time, plans int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.lastUsed, st.plans
+}
+
+// planDone records a completed plan and refreshes liveness: a long run must
+// not leave lastUsed pointing at the request's start, or the session would
+// look idle for the whole run's duration.
+func (st *sessionState) planDone(now time.Time) {
+	st.mu.Lock()
+	st.plans++
+	st.lastUsed = now
+	st.mu.Unlock()
+}
+
+// errTooManySessions is returned when the store is at capacity and nothing
+// is expired.
+var errTooManySessions = errors.New("server: session limit reached")
+
+// sessionStore is the concurrency-safe in-memory session registry with TTL
+// eviction: a session idle (no HTTP operation) for longer than ttl is
+// dropped on the next store access. Eviction is opportunistic — every store
+// operation sweeps — which keeps the store dependency-free and makes expiry
+// deterministic under an injected clock in tests.
+type sessionStore struct {
+	ttl time.Duration
+	max int
+	now func() time.Time
+
+	mu sync.Mutex
+	m  map[string]*sessionState
+}
+
+func newSessionStore(ttl time.Duration, max int, now func() time.Time) *sessionStore {
+	return &sessionStore{ttl: ttl, max: max, now: now, m: map[string]*sessionState{}}
+}
+
+// sweepLocked drops sessions idle past the TTL. Callers hold s.mu. A
+// session whose opMu is held is mid-operation (e.g. a plan running longer
+// than the TTL) and is never evicted — deleting it would orphan the run's
+// result and history. Lock order is store.mu → opMu (try-only); handlers
+// never acquire store.mu while holding opMu, so this cannot deadlock.
+func (s *sessionStore) sweepLocked(now time.Time) {
+	if s.ttl <= 0 {
+		return
+	}
+	for id, st := range s.m {
+		lastUsed, _ := st.meta()
+		if now.Sub(lastUsed) <= s.ttl {
+			continue
+		}
+		if !st.opMu.TryLock() {
+			continue
+		}
+		st.opMu.Unlock()
+		delete(s.m, id)
+	}
+}
+
+func (s *sessionStore) add(st *sessionState) error {
+	now := s.now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepLocked(now)
+	if s.max > 0 && len(s.m) >= s.max {
+		return errTooManySessions
+	}
+	st.created = now
+	st.lastUsed = now
+	s.m[st.id] = st
+	return nil
+}
+
+// get returns the session and refreshes its liveness; ok is false for
+// unknown or expired IDs.
+func (s *sessionStore) get(id string) (*sessionState, bool) {
+	now := s.now()
+	s.mu.Lock()
+	s.sweepLocked(now)
+	st, ok := s.m[id]
+	s.mu.Unlock()
+	if ok {
+		st.touch(now)
+	}
+	return st, ok
+}
+
+func (s *sessionStore) remove(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[id]; !ok {
+		return false
+	}
+	delete(s.m, id)
+	return true
+}
+
+// list returns the live sessions sorted by creation time (stable ties by ID).
+func (s *sessionStore) list() []*sessionState {
+	now := s.now()
+	s.mu.Lock()
+	s.sweepLocked(now)
+	out := make([]*sessionState, 0, len(s.m))
+	for _, st := range s.m {
+		out = append(out, st)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].created.Equal(out[j].created) {
+			return out[i].created.Before(out[j].created)
+		}
+		return out[i].id < out[j].id
+	})
+	return out
+}
+
+func (s *sessionStore) len() int {
+	now := s.now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepLocked(now)
+	return len(s.m)
+}
+
+// newSessionID returns a 128-bit random hex identifier.
+func newSessionID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("server: reading random session id: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}

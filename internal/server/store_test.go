@@ -1,0 +1,109 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"poiesis/internal/core"
+	"poiesis/internal/sim"
+	"poiesis/internal/tpcds"
+)
+
+func testState(id string) *sessionState {
+	g := tpcds.PurchasesFlow()
+	return &sessionState{
+		id:   id,
+		sess: core.NewSession(core.NewPlanner(nil, core.Options{}), g, sim.AutoBinding(g, 100, 1)),
+	}
+}
+
+func TestStoreTTLEviction(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	store := newSessionStore(time.Minute, 10, clock)
+
+	if err := store.add(testState("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.add(testState("b")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Touch "a" halfway through the TTL; "b" stays idle.
+	now = now.Add(40 * time.Second)
+	if _, ok := store.get("a"); !ok {
+		t.Fatal("a disappeared early")
+	}
+
+	// At +70s from creation, "b" (idle 70s) is evicted, "a" (idle 30s) lives.
+	now = now.Add(30 * time.Second)
+	if _, ok := store.get("b"); ok {
+		t.Error("b not evicted after TTL")
+	}
+	if _, ok := store.get("a"); !ok {
+		t.Error("a evicted despite recent use")
+	}
+	if got := store.len(); got != 1 {
+		t.Errorf("store size %d, want 1", got)
+	}
+}
+
+func TestStoreNoTTL(t *testing.T) {
+	now := time.Unix(1000, 0)
+	store := newSessionStore(0, 10, func() time.Time { return now })
+	if err := store.add(testState("a")); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(1000 * time.Hour)
+	if _, ok := store.get("a"); !ok {
+		t.Error("TTL 0 must disable eviction")
+	}
+}
+
+func TestStoreCapacity(t *testing.T) {
+	now := time.Unix(1000, 0)
+	store := newSessionStore(time.Minute, 2, func() time.Time { return now })
+	if err := store.add(testState("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.add(testState("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.add(testState("c")); err == nil {
+		t.Fatal("third session admitted past the cap")
+	}
+	// Capacity frees up when an idle session expires.
+	now = now.Add(2 * time.Minute)
+	if err := store.add(testState("c")); err != nil {
+		t.Errorf("add after expiry: %v", err)
+	}
+}
+
+func TestStoreListOrder(t *testing.T) {
+	now := time.Unix(1000, 0)
+	store := newSessionStore(time.Hour, 10, func() time.Time { return now })
+	for _, id := range []string{"z", "m", "a"} {
+		if err := store.add(testState(id)); err != nil {
+			t.Fatal(err)
+		}
+		now = now.Add(time.Second)
+	}
+	got := store.list()
+	if len(got) != 3 || got[0].id != "z" || got[1].id != "m" || got[2].id != "a" {
+		t.Errorf("list order wrong: %v", ids(got))
+	}
+	if !store.remove("m") {
+		t.Error("remove existing failed")
+	}
+	if store.remove("m") {
+		t.Error("double remove succeeded")
+	}
+}
+
+func ids(states []*sessionState) []string {
+	out := make([]string, len(states))
+	for i, st := range states {
+		out[i] = st.id
+	}
+	return out
+}

@@ -1,0 +1,42 @@
+package sim
+
+import (
+	"poiesis/internal/data"
+	"poiesis/internal/etl"
+)
+
+// AutoBinding generates synthetic source bindings for any flow: every
+// extract node receives a deterministic source of the given scale with
+// moderate defect rates. The per-source seed mixes the caller's seed with
+// the node ID so distinct sources draw independent random streams while the
+// whole binding stays reproducible.
+func AutoBinding(g *etl.Graph, scale int, seed uint64) Binding {
+	if scale <= 0 {
+		scale = 5000
+	}
+	b := Binding{}
+	for _, src := range g.Sources() {
+		b[src.ID] = data.SourceSpec{
+			Name:           src.Name,
+			Schema:         src.Out,
+			Rows:           scale,
+			UpdatesPerHour: 1,
+			Seed:           seed ^ hashNodeID(src.ID),
+			Defects: data.Defects{
+				NullRate:  0.05,
+				DupRate:   0.02,
+				ErrorRate: 0.03,
+			},
+		}
+	}
+	return b
+}
+
+func hashNodeID(id etl.NodeID) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,47 @@
+package viz
+
+import (
+	"encoding/json"
+	"math"
+)
+
+// scatterDoc is the JSON wire format of the Fig. 4 scatter: the alternative
+// space with the Pareto frontier flagged, ready for a browser UI to plot
+// without re-deriving axes. Z is omitted per-point when NaN.
+type scatterDoc struct {
+	Title  string             `json:"title,omitempty"`
+	XLabel string             `json:"xLabel,omitempty"`
+	YLabel string             `json:"yLabel,omitempty"`
+	ZLabel string             `json:"zLabel,omitempty"`
+	Points []scatterPointJSON `json:"points"`
+}
+
+type scatterPointJSON struct {
+	Label   string   `json:"label"`
+	X       float64  `json:"x"`
+	Y       float64  `json:"y"`
+	Z       *float64 `json:"z,omitempty"`
+	Skyline bool     `json:"skyline,omitempty"`
+}
+
+// ScatterJSON exports the scatter plot data as a JSON document: the
+// machine-readable counterpart of ASCIIScatter/SVGScatter for UI and API
+// consumers.
+func ScatterJSON(points []ScatterPoint, cfg ScatterConfig) ([]byte, error) {
+	doc := scatterDoc{
+		Title:  cfg.Title,
+		XLabel: cfg.XLabel,
+		YLabel: cfg.YLabel,
+		ZLabel: cfg.ZLabel,
+		Points: make([]scatterPointJSON, 0, len(points)),
+	}
+	for _, p := range points {
+		jp := scatterPointJSON{Label: p.Label, X: p.X, Y: p.Y, Skyline: p.Skyline}
+		if !math.IsNaN(p.Z) {
+			z := p.Z
+			jp.Z = &z
+		}
+		doc.Points = append(doc.Points, jp)
+	}
+	return json.Marshal(doc)
+}

@@ -1,0 +1,45 @@
+package viz
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestScatterJSON(t *testing.T) {
+	points := []ScatterPoint{
+		{Label: "initial", X: 0.1, Y: 0.2, Z: 0.3},
+		{Label: "alt", X: 0.4, Y: 0.5, Z: math.NaN(), Skyline: true},
+	}
+	b, err := ScatterJSON(points, ScatterConfig{
+		Title: "t", XLabel: "performance", YLabel: "data_quality", ZLabel: "reliability",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Title  string `json:"title"`
+		XLabel string `json:"xLabel"`
+		Points []struct {
+			Label   string   `json:"label"`
+			X       float64  `json:"x"`
+			Z       *float64 `json:"z"`
+			Skyline bool     `json:"skyline"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("round trip: %v in %s", err, b)
+	}
+	if doc.Title != "t" || doc.XLabel != "performance" || len(doc.Points) != 2 {
+		t.Fatalf("doc incomplete: %+v", doc)
+	}
+	if doc.Points[0].Z == nil || *doc.Points[0].Z != 0.3 {
+		t.Error("finite Z dropped")
+	}
+	if doc.Points[1].Z != nil {
+		t.Error("NaN Z must be omitted, not serialized")
+	}
+	if !doc.Points[1].Skyline || doc.Points[0].Skyline {
+		t.Error("skyline flags wrong")
+	}
+}

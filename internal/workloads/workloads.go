@@ -1,0 +1,39 @@
+// Package workloads is the single registry of built-in demo flows, shared
+// by the CLI FLOW-argument resolver and the HTTP service's flow uploads so
+// the two surfaces can never advertise different sets.
+package workloads
+
+import (
+	"sort"
+
+	"poiesis/internal/etl"
+	"poiesis/internal/tpcds"
+	"poiesis/internal/tpch"
+)
+
+var flows = map[string]func() *etl.Graph{
+	"tpcds-purchases": tpcds.PurchasesFlow,
+	"tpcds-sales":     tpcds.SalesETL,
+	"tpcds-inventory": tpcds.InventoryETL,
+	"tpch-revenue":    tpch.RevenueETL,
+	"tpch-pricing":    tpch.PricingSummaryETL,
+}
+
+// Get builds the named built-in flow; ok is false for unknown names.
+func Get(name string) (*etl.Graph, bool) {
+	mk, ok := flows[name]
+	if !ok {
+		return nil, false
+	}
+	return mk(), true
+}
+
+// Names lists the built-in flow names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(flows))
+	for name := range flows {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -40,11 +40,13 @@ import (
 	"poiesis/internal/measures"
 	"poiesis/internal/pdi"
 	"poiesis/internal/policy"
+	"poiesis/internal/server"
 	"poiesis/internal/sim"
 	"poiesis/internal/tpcds"
 	"poiesis/internal/tpch"
 	"poiesis/internal/trace"
 	"poiesis/internal/viz"
+	"poiesis/internal/workloads"
 	"poiesis/internal/xlm"
 )
 
@@ -144,10 +146,43 @@ func NewPlanner(reg *PatternRegistry, opts Options) *Planner {
 	return core.NewPlanner(reg, opts)
 }
 
-// NewSession starts an iterative redesign session.
+// NewSession starts an iterative redesign session. Sessions are safe for
+// concurrent use: explorations serialize against Select, and a second
+// operation issued while an exploration is in flight fails fast with
+// ErrSessionBusy (see core.Session's concurrency contract).
 func NewSession(p *Planner, initial *Graph, bind Binding) *Session {
 	return core.NewSession(p, initial, bind)
 }
+
+// ErrSessionBusy is returned by Session operations rejected because an
+// exploration is in flight on another goroutine.
+var ErrSessionBusy = core.ErrSessionBusy
+
+// PlanCacheKey returns a canonical cache key identifying a planning request
+// (flow fingerprint + canonicalized options + binding). Planning is
+// deterministic in these inputs, so equal keys yield identical Results; the
+// HTTP service's plan cache is keyed by it. ok is false when the options
+// contain components that cannot be canonicalized (custom measures or a
+// non-built-in policy), in which case the request must not be cached.
+func PlanCacheKey(g *Graph, bind Binding, opts Options) (string, bool) {
+	return core.PlanKey(g, bind, opts)
+}
+
+// Service -------------------------------------------------------------------
+
+// ServerConfig tunes the HTTP planning service (session TTL, session cap,
+// plan cache capacity).
+type ServerConfig = server.Config
+
+// PlanServer is the multi-session HTTP planning service: it exposes the
+// full explore-select loop over REST + Server-Sent Events, backed by a
+// TTL-evicting session store and a fingerprint-keyed plan cache. It
+// implements http.Handler; mount it on any http.Server (the `poiesis serve`
+// command does exactly that).
+type PlanServer = server.Server
+
+// NewServer builds the HTTP planning service.
+func NewServer(cfg ServerConfig) *PlanServer { return server.New(cfg) }
 
 // Measures ------------------------------------------------------------------
 
@@ -268,30 +303,20 @@ func TPCHRevenue() *Graph { return tpch.RevenueETL() }
 // TPCHPricingSummary builds the TPC-H Q1-style pricing summary process.
 func TPCHPricingSummary() *Graph { return tpch.PricingSummaryETL() }
 
+// BuiltinFlow builds a demo flow by its registry name (the names the CLI
+// accepts for FLOW arguments and the HTTP service accepts in flow uploads);
+// ok is false for unknown names.
+func BuiltinFlow(name string) (*Graph, bool) { return workloads.Get(name) }
+
+// BuiltinFlowNames lists the built-in demo flow names, sorted.
+func BuiltinFlowNames() []string { return workloads.Names() }
+
 // AutoBinding generates synthetic source bindings for any flow: every
 // extract node receives a deterministic source of the given scale with
 // moderate defect rates. Use tpcds.Binding / tpch.Binding proportions via
 // TPCDSBinding / TPCHBinding for the demo flows.
 func AutoBinding(g *Graph, scale int, seed uint64) Binding {
-	if scale <= 0 {
-		scale = 5000
-	}
-	b := Binding{}
-	for _, src := range g.Sources() {
-		b[src.ID] = SourceSpec{
-			Name:           src.Name,
-			Schema:         src.Out,
-			Rows:           scale,
-			UpdatesPerHour: 1,
-			Seed:           seed ^ hashID(src.ID),
-			Defects: Defects{
-				NullRate:  0.05,
-				DupRate:   0.02,
-				ErrorRate: 0.03,
-			},
-		}
-	}
-	return b
+	return sim.AutoBinding(g, scale, seed)
 }
 
 // TPCDSBinding returns the TPC-DS-proportioned binding for flows from this
@@ -303,15 +328,6 @@ func TPCDSBinding(g *Graph, scale int, seed uint64) Binding {
 // TPCHBinding returns the TPC-H-proportioned binding.
 func TPCHBinding(g *Graph, scale int, seed uint64) Binding {
 	return tpch.Binding(g, scale, seed)
-}
-
-func hashID(id NodeID) uint64 {
-	h := uint64(1469598103934665603)
-	for i := 0; i < len(id); i++ {
-		h ^= uint64(id[i])
-		h *= 1099511628211
-	}
-	return h
 }
 
 // Visualization ---------------------------------------------------------------
