@@ -1,0 +1,98 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// array of benchmark records on stdout, so CI can persist benchstat-
+// comparable numbers (name, ns/op, B/op, allocs/op plus custom metrics) as
+// an artifact — BENCH_<n>.json — and the performance trajectory of the
+// planner stays visible across PRs.
+//
+// Usage:
+//
+//	go test -run xxx -bench 'Fig3|Fig4|A5' -benchmem -count=1 . | go run ./cmd/benchjson > BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Record is one benchmark result line.
+type Record struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_op"`
+	BytesPerOp  float64            `json:"b_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	out := []Record{}
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		rec, ok := parseLine(line)
+		if ok {
+			out = append(out, rec)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	// No parseable result lines means the bench run produced nothing — fail
+	// loudly (after emitting a valid empty array) so CI cannot publish a
+	// hollow trajectory artifact with a green check.
+	if len(out) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark result lines on stdin")
+		os.Exit(1)
+	}
+}
+
+// parseLine decodes one result line of the standard bench output format:
+//
+//	BenchmarkName/sub-8   	     100	  12345 ns/op	  678 B/op	  9 allocs/op	  4096 alternatives
+func parseLine(line string) (Record, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Record{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Record{}, false
+	}
+	rec := Record{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	// The remainder alternates value / unit.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Record{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			rec.NsPerOp = v
+		case "B/op":
+			rec.BytesPerOp = v
+		case "allocs/op":
+			rec.AllocsPerOp = v
+		default:
+			rec.Metrics[unit] = v
+		}
+	}
+	if len(rec.Metrics) == 0 {
+		rec.Metrics = nil
+	}
+	return rec, rec.NsPerOp > 0
+}

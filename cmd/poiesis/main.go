@@ -234,6 +234,7 @@ func cmdPlan(args []string) error {
 	xlmOut := fs.String("select", "", "write the best-utility design to this .xlm file")
 	bars := fs.Bool("bars", true, "print Fig. 5 relative-change bars for the best design")
 	sequential := fs.Bool("sequential", false, "disable the streaming pipeline (ignored with -config)")
+	fullEval := fs.Bool("full-eval", false, "disable delta evaluation: re-simulate every alternative from its sources (ignored with -config)")
 	progress := fs.Bool("progress", false, "stream per-alternative progress to stderr")
 	if err := parseFlags(fs, args); err != nil {
 		return err
@@ -262,6 +263,9 @@ func cmdPlan(args []string) error {
 		}
 		if *sequential {
 			opts.Streaming = poiesis.StreamingOff
+		}
+		if *fullEval {
+			opts.DeltaEval = poiesis.DeltaOff
 		}
 		if *exhaustive {
 			opts.Policy = poiesis.ExhaustivePolicy{}

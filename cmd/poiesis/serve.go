@@ -21,7 +21,8 @@ func cmdServe(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address (HOST:PORT)")
 	sessionTTL := fs.Duration("session-ttl", 30*time.Minute, "evict sessions idle longer than this (0 = never)")
 	maxSessions := fs.Int("max-sessions", 1024, "cap on live sessions")
-	cacheSize := fs.Int("cache", 128, "plan cache capacity (results)")
+	cacheSize := fs.Int("cache", 128, "plan cache capacity (entries, secondary bound)")
+	cacheMB := fs.Int("cache-mb", 64, "plan cache byte budget in MiB (entries weigh alternatives x dims)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown budget for in-flight requests")
 	if err := parseFlags(fs, args); err != nil {
 		return err
@@ -37,6 +38,7 @@ func cmdServe(args []string) error {
 		SessionTTL:    ttl,
 		MaxSessions:   *maxSessions,
 		CacheCapacity: *cacheSize,
+		CacheMaxBytes: int64(*cacheMB) << 20,
 	})
 	httpSrv := &http.Server{
 		Handler:           handler,
@@ -52,8 +54,8 @@ func cmdServe(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "poiesis serve: listening on http://%s (session TTL %s, cache %d)\n",
-			ln.Addr(), *sessionTTL, *cacheSize)
+		fmt.Fprintf(os.Stderr, "poiesis serve: listening on http://%s (session TTL %s, cache %d entries / %d MiB)\n",
+			ln.Addr(), *sessionTTL, *cacheSize, *cacheMB)
 
 		errCh := make(chan error, 1)
 		go func() { errCh <- httpSrv.Serve(ln) }()

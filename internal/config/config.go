@@ -52,6 +52,12 @@ type Document struct {
 
 	// Sim tunes the execution engine.
 	Sim *SimDoc `json:"sim,omitempty"`
+
+	// FullEval disables delta evaluation: every alternative is re-simulated
+	// from its sources instead of reusing memoized upstream cones. Results
+	// are identical either way; the switch exists for ablations and
+	// debugging.
+	FullEval bool `json:"fullEval,omitempty"`
 }
 
 // ConstraintDoc is one measure constraint: exactly one of Max/Min/MinScore
@@ -117,6 +123,9 @@ func (d *Document) Options() (core.Options, error) {
 		Palette:         append([]string(nil), d.Palette...),
 		Depth:           d.Depth,
 		MaxAlternatives: d.MaxAlternatives,
+	}
+	if d.FullEval {
+		opts.DeltaEval = core.DeltaOff
 	}
 	goals, err := d.GoalSet()
 	if err != nil {

@@ -154,3 +154,25 @@ func TestParseErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestFullEvalOption(t *testing.T) {
+	d, err := Parse([]byte(`{"policy": "greedy", "fullEval": true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts, err := d.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.DeltaEval != core.DeltaOff {
+		t.Errorf("fullEval=true should select DeltaOff, got %v", opts.DeltaEval)
+	}
+	d2, _ := Parse([]byte(`{"policy": "greedy"}`))
+	opts2, err := d2.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts2.DeltaEval != core.DeltaOn {
+		t.Errorf("delta evaluation should default on, got %v", opts2.DeltaEval)
+	}
+}

@@ -21,8 +21,10 @@ import (
 // session's result to another.
 //
 // Components that do not influence the result are excluded from the key:
-// Workers, Progress, and Streaming (the streaming and sequential pipelines
-// produce identical alternative sets, stats and skylines).
+// Workers, Progress, Streaming (the streaming and sequential pipelines
+// produce identical alternative sets, stats and skylines) and DeltaEval
+// (delta evaluation is enforced byte-identical to full evaluation, so both
+// modes may share cached results).
 //
 // ok is false when the options contain components the canonicalization
 // cannot see through — custom measures, or a Policy implementation other

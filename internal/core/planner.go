@@ -43,6 +43,7 @@ import (
 	"poiesis/internal/policy"
 	"poiesis/internal/sim"
 	"poiesis/internal/skyline"
+	"poiesis/internal/trace"
 )
 
 // Options configures one planning run.
@@ -77,6 +78,12 @@ type Options struct {
 	// sequential three-stage path for the A-series ablations. Both produce
 	// identical alternative sets, stats and skylines.
 	Streaming StreamingMode
+	// DeltaEval selects the per-alternative evaluation strategy. The zero
+	// value (DeltaOn) shares one sim.EvalCache across the run, so each
+	// candidate re-simulates only the dirty cone downstream of its pattern
+	// application point; DeltaOff re-executes every flow from its sources
+	// (the oracle for the A5 ablation). Both produce identical results.
+	DeltaEval DeltaMode
 	// Progress, when non-nil, receives one event per alternative as the
 	// streaming pipeline finishes processing it, in generation order from a
 	// single goroutine. The sequential path does not emit events.
@@ -242,10 +249,12 @@ func (p *Planner) PlanContext(ctx context.Context, initial *etl.Graph, bind sim.
 		return nil, err
 	}
 	engine := sim.NewEngine(p.opts.Sim)
+	ev := newEvaluator(engine, p.opts.DeltaEval)
 
 	// Baseline evaluation anchors the measure normalisation and Fig. 5
-	// relative changes.
-	baseProfile, baseBatch, err := engine.Evaluate(initial, bind)
+	// relative changes — and, under delta evaluation, seeds the shared cache
+	// with the initial flow's cones, the common prefix of every alternative.
+	baseProfile, baseBatch, err := ev.evaluate(initial, bind)
 	if err != nil {
 		return nil, fmt.Errorf("core: evaluating initial flow: %w", err)
 	}
@@ -260,9 +269,9 @@ func (p *Planner) PlanContext(ctx context.Context, initial *etl.Graph, bind sim.
 	}
 
 	if p.opts.Streaming == StreamingOff {
-		err = p.planSequential(ctx, initial, bind, palette, engine, est, res)
+		err = p.planSequential(ctx, initial, bind, palette, ev, est, res)
 	} else {
-		err = p.planStream(ctx, initial, bind, palette, engine, est, res)
+		err = p.planStream(ctx, initial, bind, palette, ev, est, res)
 	}
 	if err != nil {
 		return nil, err
@@ -270,10 +279,32 @@ func (p *Planner) PlanContext(ctx context.Context, initial *etl.Graph, bind sim.
 	return res, nil
 }
 
+// evaluator binds an engine to the run's evaluation strategy: under DeltaOn
+// it carries the run-scoped sim.EvalCache every evaluation worker shares, so
+// alternatives re-simulate only the cones their pattern applications dirtied.
+// One evaluator serves exactly one (engine config, binding) pair — the
+// cache-sharing contract of sim.EvalCache.
+type evaluator struct {
+	engine *sim.Engine
+	cache  *sim.EvalCache
+}
+
+func newEvaluator(engine *sim.Engine, mode DeltaMode) *evaluator {
+	ev := &evaluator{engine: engine}
+	if mode == DeltaOn {
+		ev.cache = sim.NewEvalCache()
+	}
+	return ev
+}
+
+func (ev *evaluator) evaluate(g *etl.Graph, bind sim.Binding) (*sim.Profile, *trace.Batch, error) {
+	return ev.engine.EvaluateDelta(g, bind, ev.cache)
+}
+
 // planSequential runs the three stages strictly in order: full generation,
 // then pooled evaluation, then constraint filtering and one skyline pass.
 // It is the behavioural oracle for the streaming pipeline.
-func (p *Planner) planSequential(ctx context.Context, initial *etl.Graph, bind sim.Binding, palette []fcp.Pattern, engine *sim.Engine, est *measures.Estimator, res *Result) error {
+func (p *Planner) planSequential(ctx context.Context, initial *etl.Graph, bind sim.Binding, palette []fcp.Pattern, ev *evaluator, est *measures.Estimator, res *Result) error {
 	// Pattern generation + application: breadth-first over rounds.
 	alts, stats, err := p.generate(ctx, initial, palette)
 	if err != nil {
@@ -282,7 +313,7 @@ func (p *Planner) planSequential(ctx context.Context, initial *etl.Graph, bind s
 	res.Stats = stats
 
 	// Measures estimation on the worker pool.
-	if err := p.evaluate(ctx, alts, bind, engine, est, &res.Stats); err != nil {
+	if err := p.evaluate(ctx, alts, bind, ev, est, &res.Stats); err != nil {
 		return err
 	}
 
@@ -368,7 +399,7 @@ func (p *Planner) generate(ctx context.Context, initial *etl.Graph, palette []fc
 // land at their input index, keeping the output deterministic regardless of
 // scheduling. On cancellation the remaining jobs are drained without work
 // and ctx's error is returned.
-func (p *Planner) evaluate(ctx context.Context, alts []Alternative, bind sim.Binding, engine *sim.Engine, est *measures.Estimator, stats *Stats) error {
+func (p *Planner) evaluate(ctx context.Context, alts []Alternative, bind sim.Binding, ev *evaluator, est *measures.Estimator, stats *Stats) error {
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	workers := p.opts.Workers
@@ -384,7 +415,7 @@ func (p *Planner) evaluate(ctx context.Context, alts []Alternative, bind sim.Bin
 					continue
 				}
 				a := &alts[idx]
-				profile, batch, err := engine.Evaluate(a.Graph, bind)
+				profile, batch, err := ev.evaluate(a.Graph, bind)
 				if err != nil {
 					a.Err = err
 				} else {

@@ -28,6 +28,24 @@ const (
 	StreamingOff
 )
 
+// DeltaMode selects the planner's per-alternative evaluation strategy
+// (Options.DeltaEval).
+type DeltaMode int
+
+const (
+	// DeltaOn (the zero value, hence the default) shares one sim.EvalCache
+	// across the planning run: every node's materialized output is memoized
+	// by its upstream-cone fingerprint, so evaluating a candidate costs work
+	// proportional to the region its pattern application changed, not to the
+	// whole flow. The cache is scoped to the run (one engine configuration,
+	// one binding) and is safe under the concurrent evaluation pool.
+	DeltaOn DeltaMode = iota
+	// DeltaOff evaluates every alternative from scratch — the behavioural
+	// oracle delta evaluation is tested against, and the baseline of the A5
+	// ablation benchmark.
+	DeltaOff
+)
+
 // ProgressEvent describes one alternative as the streaming pipeline finishes
 // processing it. Events are delivered in generation order from a single
 // goroutine, so callbacks need no synchronisation of their own.
@@ -72,7 +90,7 @@ type streamItem struct {
 //
 // The committed order equals the sequential path's, so the resulting
 // alternative set, stats and skyline are identical to StreamingOff.
-func (p *Planner) planStream(ctx context.Context, initial *etl.Graph, bind sim.Binding, palette []fcp.Pattern, engine *sim.Engine, est *measures.Estimator, res *Result) error {
+func (p *Planner) planStream(ctx context.Context, initial *etl.Graph, bind sim.Binding, palette []fcp.Pattern, ev *evaluator, est *measures.Estimator, res *Result) error {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -103,7 +121,7 @@ func (p *Planner) planStream(ctx context.Context, initial *etl.Graph, bind sim.B
 				if ctx.Err() != nil {
 					return
 				}
-				profile, batch, err := engine.Evaluate(it.alt.Graph, bind)
+				profile, batch, err := ev.evaluate(it.alt.Graph, bind)
 				if err != nil {
 					it.alt.Err = err
 				} else {

@@ -6,7 +6,7 @@ import "sort"
 // It is the manageability measure "length of process workflow's longest path"
 // of Fig. 1. Returns 0 for an empty or cyclic graph.
 func (g *Graph) LongestPath() int {
-	order, err := g.TopoSort()
+	order, err := g.TopoOrder()
 	if err != nil {
 		return 0
 	}
@@ -32,7 +32,7 @@ func (g *Graph) LongestPath() int {
 // with per-node execution time to obtain the process cycle time contribution
 // of pipelined segments.
 func (g *Graph) CriticalPath(weight func(*Node) float64) ([]NodeID, float64) {
-	order, err := g.TopoSort()
+	order, err := g.TopoOrder()
 	if err != nil {
 		return nil, 0
 	}
@@ -149,7 +149,7 @@ func (g *Graph) Reachable(id NodeID) map[NodeID]bool {
 // with a small upstream distance ("as close as possible to the operations for
 // inputting data sources").
 func (g *Graph) UpstreamDistance() map[NodeID]int {
-	order, err := g.TopoSort()
+	order, err := g.TopoOrder()
 	if err != nil {
 		return map[NodeID]int{}
 	}

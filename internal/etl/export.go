@@ -168,7 +168,7 @@ func (g *Graph) UnmarshalJSON(b []byte) error {
 	if err := fresh.Validate(); err != nil {
 		return fmt.Errorf("etl: invalid JSON flow: %w", err)
 	}
-	*g = *fresh
+	g.adopt(fresh)
 	return nil
 }
 

@@ -87,7 +87,7 @@ func TestDiffFlows(t *testing.T) {
 		t.Fatal(err)
 	}
 	// And change a node's configuration.
-	next.Node("drv").SetParam("expr", "a+b")
+	next.MutableNode("drv").SetParam("expr", "a+b")
 	d := DiffFlows(base, next)
 	if len(d.AddedNodes) != 1 || d.AddedNodes[0] != n.ID {
 		t.Errorf("added nodes = %v", d.AddedNodes)

@@ -1,10 +1,10 @@
 package etl
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"sort"
-	"strings"
 )
 
 // Fingerprint returns a canonical hash of the flow structure and operation
@@ -17,48 +17,137 @@ import (
 // canonical() description plus the multiset of their predecessors' labels,
 // iterated to a fixpoint (a Weisfeiler-Leman style refinement bounded by the
 // longest path), then sorted.
+//
+// The result is cached on the graph and invalidated by structural mutations
+// and MutableNode, so the planner's dedup probe and the measure report pay
+// for one computation per design. Like the topo cache, the cached value is
+// swapped atomically: concurrent readers may fill it lazily.
 func (g *Graph) Fingerprint() string {
-	labels := make(map[NodeID]string, g.Len())
-	for _, n := range g.Nodes() {
-		labels[n.ID] = n.canonical()
+	if fp := g.fp.Load(); fp != nil {
+		return *fp
 	}
-	// Refine along topological order; for a DAG one pass per depth level
+	s := g.fingerprintUncached()
+	g.fp.Store(&s)
+	return s
+}
+
+type wlLabel [16]byte
+
+func (g *Graph) fingerprintUncached() string {
+	n := len(g.order)
+	idx := make(map[NodeID]int, n)
+	for i, id := range g.order {
+		idx[id] = i
+	}
+	// Refinement labels are fixed-size hashes, not hex strings: one WL round
+	// over a flow of |V| nodes is allocation-free, which matters because the
+	// planner fingerprints every generated alternative.
+	labels := make([]wlLabel, n)
+	buf := make([]byte, 0, 256)
+	for i, id := range g.order {
+		buf = append(buf[:0], g.nodes[id].canonical()...)
+		sum := sha256.Sum256(buf)
+		copy(labels[i][:], sum[:16])
+	}
+	// Refine along topological depth; for a DAG one pass per depth level
 	// suffices, and LongestPath bounds the number of levels. A fixed small
 	// cap guards pathological inputs.
 	rounds := g.LongestPath()
 	if rounds > 64 {
 		rounds = 64
 	}
-	for i := 0; i < rounds; i++ {
-		next := make(map[NodeID]string, len(labels))
+	next := make([]wlLabel, n)
+	var preds []wlLabel
+	for r := 0; r < rounds; r++ {
 		changed := false
-		for _, id := range g.order {
-			preds := make([]string, 0, len(g.pred[id]))
+		for i, id := range g.order {
+			preds = preds[:0]
 			for _, p := range g.pred[id] {
-				preds = append(preds, labels[p])
+				preds = append(preds, labels[idx[p]])
 			}
-			sort.Strings(preds)
-			nl := shortHash(labels[id] + "<" + strings.Join(preds, ";"))
-			if nl != labels[id] {
+			sort.Slice(preds, func(a, b int) bool {
+				return bytes.Compare(preds[a][:], preds[b][:]) < 0
+			})
+			buf = append(buf[:0], labels[i][:]...)
+			buf = append(buf, '<')
+			for _, pl := range preds {
+				buf = append(buf, pl[:]...)
+			}
+			sum := sha256.Sum256(buf)
+			var nl wlLabel
+			copy(nl[:], sum[:16])
+			if nl != labels[i] {
 				changed = true
 			}
-			next[id] = nl
+			next[i] = nl
 		}
-		labels = next
+		labels, next = next, labels
 		if !changed {
 			break
 		}
 	}
-	all := make([]string, 0, len(labels))
-	for _, id := range g.order {
-		all = append(all, labels[id])
+	all := append([]wlLabel(nil), labels...)
+	sort.Slice(all, func(a, b int) bool { return bytes.Compare(all[a][:], all[b][:]) < 0 })
+	buf = append(buf[:0], g.Name...)
+	buf = append(buf, '\n')
+	for _, l := range all {
+		buf = append(buf, l[:]...)
 	}
-	sort.Strings(all)
-	sum := sha256.Sum256([]byte(g.Name + "\n" + strings.Join(all, "\n")))
+	sum := sha256.Sum256(buf)
 	return hex.EncodeToString(sum[:16])
 }
 
-func shortHash(s string) string {
-	sum := sha256.Sum256([]byte(s))
-	return hex.EncodeToString(sum[:12])
+// ConeKey identifies the full upstream simulation history of one node: its
+// own data-semantic configuration plus, transitively, that of every ancestor
+// and the exact routing ports connecting them. Two nodes (possibly in
+// different alternative flows cloned from the same parent) with equal cone
+// keys consume byte-identical inputs and produce byte-identical outputs under
+// the same engine configuration and binding — the property the simulator's
+// delta-evaluation cache is keyed on.
+type ConeKey [16]byte
+
+// ConeKeys computes the upstream-cone fingerprint of every node, aligned
+// with the given topological order (as returned by TopoOrder/TopoSort).
+//
+// The key of a node hashes:
+//
+//   - the node's ID (bindings and default source seeds are ID-keyed),
+//   - its canonical description (kind, name, output schema, parallelism,
+//     params) plus its row-semantic cost parameters (selectivity),
+//   - for every predecessor, in input order: the predecessor's cone key, the
+//     output port this node occupies among the predecessor's successors, and
+//     the predecessor's fan-out — partition and hash-split routing assign
+//     rows by port, so the port wiring is part of the input identity.
+//
+// Purely timing-related cost fields (startup, per-tuple work, failure rate)
+// are deliberately excluded: the engine recomputes timing from the concrete
+// graph on every evaluation, so designs that differ only in those fields
+// (e.g. UpgradeResources rewrites) still share cached row simulation.
+func (g *Graph) ConeKeys(order []NodeID) []ConeKey {
+	keys := make([]ConeKey, len(order))
+	pos := make(map[NodeID]int, len(order))
+	buf := make([]byte, 0, 512)
+	for i, id := range order {
+		pos[id] = i
+		n := g.nodes[id]
+		buf = buf[:0]
+		buf = append(buf, id...)
+		buf = append(buf, 0)
+		buf = n.appendCone(buf)
+		for _, p := range g.pred[id] {
+			pk := keys[pos[p]]
+			buf = append(buf, pk[:]...)
+			port, fan := 0, len(g.succ[p])
+			for j, s := range g.succ[p] {
+				if s == id {
+					port = j
+					break
+				}
+			}
+			buf = append(buf, byte(port), byte(port>>8), byte(fan), byte(fan>>8))
+		}
+		sum := sha256.Sum256(buf)
+		copy(keys[i][:], sum[:16])
+	}
+	return keys
 }

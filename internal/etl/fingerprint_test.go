@@ -68,14 +68,14 @@ func TestFingerprintSensitivity(t *testing.T) {
 
 	// Changing a parameter changes the fingerprint.
 	g2 := base.Clone()
-	g2.Node("flt").SetParam("predicate", "amount > 10")
+	g2.MutableNode("flt").SetParam("predicate", "amount > 10")
 	if base.Fingerprint() == g2.Fingerprint() {
 		t.Error("parameter change should change fingerprint")
 	}
 
 	// Changing parallelism changes the fingerprint.
 	g3 := base.Clone()
-	g3.Node("drv").Parallelism = 4
+	g3.MutableNode("drv").Parallelism = 4
 	if base.Fingerprint() == g3.Fingerprint() {
 		t.Error("parallelism change should change fingerprint")
 	}
@@ -157,5 +157,56 @@ func BenchmarkFingerprint(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = g.Fingerprint()
+	}
+}
+
+// Cone keys: the upstream-cone fingerprint of a node changes exactly when
+// its own configuration or anything upstream of it changes — downstream
+// edits leave it untouched, which is what lets the simulator splice cached
+// upstream results into a modified flow.
+func TestConeKeys(t *testing.T) {
+	keysOf := func(g *Graph) map[NodeID]ConeKey {
+		order, err := g.TopoOrder()
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys := g.ConeKeys(order)
+		out := make(map[NodeID]ConeKey, len(order))
+		for i, id := range order {
+			out[id] = keys[i]
+		}
+		return out
+	}
+	base := linearFlow(t)
+	k0 := keysOf(base)
+
+	// Insertion in the middle: upstream cones unchanged, the insertion point
+	// and everything downstream dirty.
+	g2 := base.Clone()
+	n := NewNode(g2.FreshID("x"), "x", OpFilterNull, g2.Node("src").Out)
+	if err := g2.InsertOnEdge("flt", "drv", n); err != nil {
+		t.Fatal(err)
+	}
+	k2 := keysOf(g2)
+	if k2["src"] != k0["src"] || k2["flt"] != k0["flt"] {
+		t.Error("upstream cone keys should survive a downstream insertion")
+	}
+	if k2["drv"] == k0["drv"] || k2["load"] == k0["load"] {
+		t.Error("nodes downstream of the insertion must get new cone keys")
+	}
+
+	// Selectivity is row-semantic and must dirty the downstream cone;
+	// per-tuple cost is timing-only and must not.
+	g3 := base.Clone()
+	g3.MutableNode("flt").Cost.Selectivity = 0.123
+	k3 := keysOf(g3)
+	if k3["flt"] == k0["flt"] || k3["load"] == k0["load"] {
+		t.Error("selectivity change should dirty the node and its downstream cone")
+	}
+	g4 := base.Clone()
+	g4.MutableNode("flt").Cost.PerTuple *= 7
+	k4 := keysOf(g4)
+	if k4["load"] != k0["load"] {
+		t.Error("timing-only cost change should not dirty cone keys")
 	}
 }

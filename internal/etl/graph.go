@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Common graph construction and validation errors.
@@ -25,6 +26,14 @@ var (
 // whose directed edges are transitions between consecutive operations.
 //
 // The zero value is not usable; create graphs with New.
+//
+// Cloning is copy-on-write: Clone copies the adjacency indexes but shares the
+// Node values (and their schemas and parameter maps) between the original and
+// the copy. Structural mutations (AddNode, AddEdge, InsertOnEdge, ...) are
+// always safe on either graph; to modify a node in place after a Clone, use
+// MutableNode, which unshares the node first. Mutating a Node obtained from
+// Node() directly on a graph that has live clones writes through to every
+// clone sharing it.
 type Graph struct {
 	// Name labels the process (e.g. "tpcds_purchases").
 	Name string
@@ -38,6 +47,41 @@ type Graph struct {
 
 	// seq generates fresh node IDs for pattern-inserted operations.
 	seq int
+
+	// epoch counts how many times this graph has been cloned; 0 means never,
+	// so every node is exclusively owned. owned records, per node, the epoch
+	// at which this graph unshared (or added) it — entries stamped with an
+	// older epoch are stale, because a clone taken since then shares the
+	// node again. The counter is atomic so that many workers may clone the
+	// same parent flow concurrently; the owned map itself is only touched by
+	// mutations, which are single-goroutine by the graph's contract.
+	epoch atomic.Uint64
+	owned map[NodeID]uint64
+
+	// topo caches the topological order and fp the canonical fingerprint;
+	// mutators (and MutableNode, for fp) invalidate them. The cached values
+	// are immutable: invalidation swaps the pointer, never the contents, so
+	// previously returned values stay valid. Atomic so that concurrent
+	// readers (evaluation workers cloning the same parent flow) may fill
+	// them lazily without a lock.
+	topo atomic.Pointer[[]NodeID]
+	fp   atomic.Pointer[string]
+}
+
+// adopt moves the fully built src graph's state into g (UnmarshalJSON
+// decodes into a temporary and installs it here). A plain struct assignment
+// would copy the atomic topo cache, which the race detector forbids.
+func (g *Graph) adopt(src *Graph) {
+	g.Name = src.Name
+	g.nodes = src.nodes
+	g.succ = src.succ
+	g.pred = src.pred
+	g.order = src.order
+	g.seq = src.seq
+	g.owned = src.owned
+	g.epoch.Store(src.epoch.Load())
+	g.topo.Store(src.topo.Load())
+	g.fp.Store(src.fp.Load())
 }
 
 // New creates an empty graph with the given name.
@@ -72,6 +116,14 @@ func (g *Graph) AddNode(n *Node) error {
 	}
 	g.nodes[n.ID] = n
 	g.order = append(g.order, n.ID)
+	if ep := g.epoch.Load(); ep != 0 {
+		if g.owned == nil {
+			g.owned = map[NodeID]uint64{}
+		}
+		g.owned[n.ID] = ep
+	}
+	g.topo.Store(nil)
+	g.fp.Store(nil)
 	return nil
 }
 
@@ -98,12 +150,15 @@ func (g *Graph) RemoveNode(id NodeID) error {
 	delete(g.nodes, id)
 	delete(g.succ, id)
 	delete(g.pred, id)
+	delete(g.owned, id)
 	for i, o := range g.order {
 		if o == id {
 			g.order = append(g.order[:i], g.order[i+1:]...)
 			break
 		}
 	}
+	g.topo.Store(nil)
+	g.fp.Store(nil)
 	return nil
 }
 
@@ -126,6 +181,8 @@ func (g *Graph) AddEdge(from, to NodeID) error {
 	}
 	g.succ[from] = append(g.succ[from], to)
 	g.pred[to] = append(g.pred[to], from)
+	g.topo.Store(nil)
+	g.fp.Store(nil)
 	return nil
 }
 
@@ -150,12 +207,19 @@ func (g *Graph) RemoveEdge(from, to NodeID) error {
 func (g *Graph) removeEdge(from, to NodeID) {
 	g.succ[from] = removeID(g.succ[from], to)
 	g.pred[to] = removeID(g.pred[to], from)
+	g.topo.Store(nil)
+	g.fp.Store(nil)
 }
 
+// removeID returns list without id. It always allocates a fresh slice: the
+// adjacency slices may be shared with clones of the graph (copy-on-write
+// Clone), so shifting elements in place would corrupt the sharers' views.
 func removeID(list []NodeID, id NodeID) []NodeID {
 	for i, v := range list {
 		if v == id {
-			return append(list[:i], list[i+1:]...)
+			out := make([]NodeID, 0, len(list)-1)
+			out = append(out, list[:i]...)
+			return append(out, list[i+1:]...)
 		}
 	}
 	return list
@@ -171,8 +235,38 @@ func (g *Graph) HasEdge(from, to NodeID) bool {
 	return false
 }
 
-// Node returns the node with the given ID, or nil.
+// Node returns the node with the given ID, or nil. The returned node may be
+// shared with clones of this graph; callers that intend to modify it must go
+// through MutableNode instead.
 func (g *Graph) Node(id NodeID) *Node { return g.nodes[id] }
+
+// MutableNode returns the node with the given ID for in-place modification,
+// first unsharing it (deep copy) when it is shared with clones of this graph.
+// Pattern implementations and any other code that edits node fields, params
+// or costs on a cloned flow must use this accessor; plain Node() reads stay
+// allocation-free.
+func (g *Graph) MutableNode(id NodeID) *Node {
+	n := g.nodes[id]
+	if n == nil {
+		return nil
+	}
+	ep := g.epoch.Load()
+	if ep == 0 || g.owned[id] == ep {
+		// Never cloned, or unshared since the most recent clone. The caller
+		// is about to modify the node, so the cached fingerprint dies here
+		// too.
+		g.fp.Store(nil)
+		return n
+	}
+	c := n.Clone()
+	g.nodes[id] = c
+	if g.owned == nil {
+		g.owned = map[NodeID]uint64{}
+	}
+	g.owned[id] = ep
+	g.fp.Store(nil)
+	return c
+}
 
 // Nodes returns all nodes in insertion order.
 func (g *Graph) Nodes() []*Node {
@@ -209,6 +303,16 @@ func (g *Graph) Succ(id NodeID) []NodeID {
 func (g *Graph) Pred(id NodeID) []NodeID {
 	return append([]NodeID(nil), g.pred[id]...)
 }
+
+// SuccView returns the successors of id without copying. The returned slice
+// is a view into the graph's adjacency index: callers must not modify it, and
+// it is only valid until the next graph mutation. Hot paths (the simulator)
+// use it to avoid one allocation per node per execution.
+func (g *Graph) SuccView(id NodeID) []NodeID { return g.succ[id] }
+
+// PredView returns the predecessors of id without copying; same contract as
+// SuccView.
+func (g *Graph) PredView(id NodeID) []NodeID { return g.pred[id] }
 
 // InDegree returns the number of incoming edges of id.
 func (g *Graph) InDegree(id NodeID) int { return len(g.pred[id]) }
@@ -250,31 +354,81 @@ func (g *Graph) FreshID(prefix string) NodeID {
 	}
 }
 
-// Clone returns a deep copy of the graph. Node IDs are preserved.
+// Clone returns a copy-on-write copy of the graph. Node IDs are preserved.
+//
+// The adjacency indexes are copied, but the Node values (with their schemas
+// and parameter maps) are shared between the two graphs until one of them
+// modifies a node through MutableNode — the planner clones every frontier
+// design once per candidate pattern application, and deep-copying ~|V| nodes
+// per clone dominated generation cost. Structural mutations on either graph
+// never affect the other: the shared adjacency slices are capacity-clamped so
+// appends reallocate, and removeID always copies.
 func (g *Graph) Clone() *Graph {
-	c := New(g.Name)
-	c.seq = g.seq
-	c.order = append([]NodeID(nil), g.order...)
+	c := &Graph{
+		Name:  g.Name,
+		seq:   g.seq,
+		nodes: make(map[NodeID]*Node, len(g.nodes)),
+		succ:  make(map[NodeID][]NodeID, len(g.succ)),
+		pred:  make(map[NodeID][]NodeID, len(g.pred)),
+		order: append(make([]NodeID, 0, len(g.order)), g.order...),
+	}
+	c.epoch.Store(1)
 	for id, n := range g.nodes {
-		c.nodes[id] = n.Clone()
+		c.nodes[id] = n
 	}
 	for id, s := range g.succ {
 		if len(s) > 0 {
-			c.succ[id] = append([]NodeID(nil), s...)
+			c.succ[id] = s[:len(s):len(s)]
 		}
 	}
 	for id, p := range g.pred {
 		if len(p) > 0 {
-			c.pred[id] = append([]NodeID(nil), p...)
+			c.pred[id] = p[:len(p):len(p)]
 		}
 	}
+	// The structure is identical, so the clone inherits the cached topological
+	// order and fingerprint; its own mutations will invalidate only its
+	// copies of the pointers.
+	c.topo.Store(g.topo.Load())
+	c.fp.Store(g.fp.Load())
+	// From now on this graph's nodes are shared too: bumping the epoch makes
+	// every existing ownership entry stale, so further in-place edits on
+	// either side go back through MutableNode's unsharing copy. The bump is
+	// atomic because many evaluation workers clone the same parent flow
+	// concurrently.
+	g.epoch.Add(1)
 	return c
 }
 
 // TopoSort returns the node IDs in a deterministic topological order
 // (Kahn's algorithm with insertion-order tie-breaking). It fails with
-// ErrCycle if the graph is not acyclic.
+// ErrCycle if the graph is not acyclic. The result is a fresh slice the
+// caller may keep or modify; TopoOrder returns the shared cached order.
 func (g *Graph) TopoSort() ([]NodeID, error) {
+	t, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	return append([]NodeID(nil), t...), nil
+}
+
+// TopoOrder returns the graph's topological order without copying. The slice
+// is cached on the graph (mutations invalidate it) and must be treated as
+// read-only; it stays valid even after later mutations, which replace rather
+// than rewrite it. Lazy fills from concurrent readers are safe.
+func (g *Graph) TopoOrder() ([]NodeID, error) {
+	if t := g.topo.Load(); t != nil {
+		return *t, nil
+	}
+	out, err := g.topoSortUncached()
+	if err != nil {
+		return nil, err
+	}
+	g.topo.Store(&out)
+	return out, nil
+}
+
+func (g *Graph) topoSortUncached() ([]NodeID, error) {
 	indeg := make(map[NodeID]int, len(g.nodes))
 	for _, id := range g.order {
 		indeg[id] = len(g.pred[id])
@@ -318,7 +472,7 @@ func (g *Graph) Validate() error {
 	if len(g.nodes) == 0 {
 		return ErrNoSource
 	}
-	if _, err := g.TopoSort(); err != nil {
+	if _, err := g.TopoOrder(); err != nil {
 		return err
 	}
 	srcs, sinks := g.Sources(), g.Sinks()
@@ -394,7 +548,7 @@ func checkEdgeSchema(from, to *Node) error {
 func (g *Graph) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "flow %q: %d nodes, %d edges\n", g.Name, g.Len(), g.EdgeCount())
-	order, err := g.TopoSort()
+	order, err := g.TopoOrder()
 	if err != nil {
 		order = g.NodeIDs()
 	}

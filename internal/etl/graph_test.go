@@ -226,16 +226,24 @@ func TestValidateSchemaMismatch(t *testing.T) {
 	}
 }
 
-func TestCloneIsDeep(t *testing.T) {
+func TestCloneIsolation(t *testing.T) {
 	g := linearFlow(t)
 	c := g.Clone()
-	c.Node("src").Name = "changed"
-	c.Node("src").SetParam("k", "v")
+	// Node edits go through MutableNode, which unshares copy-on-write nodes.
+	c.MutableNode("src").Name = "changed"
+	c.MutableNode("src").SetParam("k", "v")
 	if g.Node("src").Name == "changed" {
-		t.Error("Clone shares node")
+		t.Error("MutableNode edit leaked into the original")
 	}
 	if g.Node("src").Param("k") != "" {
-		t.Error("Clone shares params map")
+		t.Error("MutableNode params leaked into the original")
+	}
+	if c.Node("src").Name != "changed" || c.Node("src").Param("k") != "v" {
+		t.Error("MutableNode edit not visible on the clone")
+	}
+	// Unmodified nodes stay shared (the point of copy-on-write).
+	if g.Node("drv") != c.Node("drv") {
+		t.Error("untouched nodes should be shared between clone and original")
 	}
 	if err := c.RemoveNode("flt"); err != nil {
 		t.Fatal(err)
@@ -245,6 +253,47 @@ func TestCloneIsDeep(t *testing.T) {
 	}
 	if g.Fingerprint() == c.Fingerprint() {
 		t.Error("structurally different clones should fingerprint differently")
+	}
+}
+
+func TestCloneStructuralIndependence(t *testing.T) {
+	g := linearFlow(t)
+	a := g.Clone()
+	b := g.Clone()
+	// Divergent structural mutations on two clones of the same parent must
+	// not interfere with each other or the parent (shared adjacency slices
+	// are capacity-clamped, removals copy).
+	x := NewNode(a.FreshID("x"), "x", OpFilterNull, a.Node("src").Out)
+	if err := a.InsertOnEdge("src", "flt", x); err != nil {
+		t.Fatal(err)
+	}
+	y := NewNode(b.FreshID("y"), "y", OpCheckpoint, b.Node("src").Out)
+	if err := b.InsertOnEdge("src", "flt", y); err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge("src", "flt") {
+		t.Error("parent lost its edge after clone mutations")
+	}
+	if a.HasEdge("src", "flt") || b.HasEdge("src", "flt") {
+		t.Error("clones kept the replaced edge")
+	}
+	if a.Node("y_1") != nil || b.Node("x_1") != nil {
+		t.Error("clone mutations leaked across siblings")
+	}
+	for _, gr := range []*Graph{g, a, b} {
+		if err := gr.Validate(); err != nil {
+			t.Errorf("graph %q invalid after COW mutations: %v", gr.Name, err)
+		}
+	}
+}
+
+func TestMutableNodeOnFreshGraph(t *testing.T) {
+	g := linearFlow(t)
+	if g.Node("src") != g.MutableNode("src") {
+		t.Error("MutableNode on a never-cloned graph should not copy")
+	}
+	if g.MutableNode("absent") != nil {
+		t.Error("MutableNode of unknown id should be nil")
 	}
 }
 

@@ -2,6 +2,7 @@ package etl
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -337,6 +338,21 @@ func (n *Node) canonical() string {
 		b.WriteString(n.Params[k])
 	}
 	return b.String()
+}
+
+// appendCone appends the node's data-semantic description for upstream-cone
+// fingerprinting (Graph.ConeKeys): the canonical form plus the cost fields
+// that influence row contents. Selectivity drives the filter operation's
+// keep decisions; the remaining cost fields only shape timing, which the
+// simulator derives from the concrete graph on every run, so they are
+// excluded to maximise cache sharing.
+func (n *Node) appendCone(b []byte) []byte {
+	b = append(b, n.canonical()...)
+	b = append(b, 0)
+	bits := math.Float64bits(n.Cost.Selectivity)
+	return append(b,
+		byte(bits), byte(bits>>8), byte(bits>>16), byte(bits>>24),
+		byte(bits>>32), byte(bits>>40), byte(bits>>48), byte(bits>>56))
 }
 
 // Edge is one transition between two operations: the edge set E of the

@@ -310,7 +310,7 @@ func (t *tuneRecurrence) Apply(g *etl.Graph, p Point) (Application, error) {
 		return Application{}, fmt.Errorf("fcp: %s not applicable at %s", t.Name(), p)
 	}
 	cur := graphParam(g, "schedule.period_minutes", 60)
-	carrier := scheduleCarrier(g)
+	carrier := g.MutableNode(scheduleCarrier(g))
 	if carrier == nil {
 		return Application{}, fmt.Errorf("fcp: %s: flow has no nodes", t.Name())
 	}
@@ -360,28 +360,33 @@ func (u *upgradeResources) Apply(g *etl.Graph, p Point) (Application, error) {
 		return Application{}, fmt.Errorf("fcp: %s not applicable at %s", u.Name(), p)
 	}
 	cur := graphParam(g, "resources.cost_factor", 1)
-	carrier := scheduleCarrier(g)
-	if carrier == nil {
+	if scheduleCarrier(g) == "" {
 		return Application{}, fmt.Errorf("fcp: %s: flow has no nodes", u.Name())
 	}
-	for _, n := range g.Nodes() {
+	for _, id := range g.NodeIDs() {
+		// MutableNode: the clone shares node values with its parent flow
+		// until they are written (copy-on-write).
+		n := g.MutableNode(id)
 		n.Cost.PerTuple *= u.speedup
 		n.Cost.Startup *= u.speedup
 	}
+	carrier := g.MutableNode(scheduleCarrier(g))
 	carrier.SetParam("resources.cost_factor", formatFloat(cur*u.costFactor))
 	return Application{Pattern: u.Name(), Point: p}, nil
 }
 
 // scheduleCarrier picks the deterministic node that carries graph-wide
-// parameters: the first source, falling back to the first node.
-func scheduleCarrier(g *etl.Graph) *etl.Node {
+// parameters: the first source, falling back to the first node. It returns
+// the node's ID so callers can decide between read-only access and a
+// copy-on-write MutableNode.
+func scheduleCarrier(g *etl.Graph) etl.NodeID {
 	if srcs := g.Sources(); len(srcs) > 0 {
-		return srcs[0]
+		return srcs[0].ID
 	}
 	if ns := g.Nodes(); len(ns) > 0 {
-		return ns[0]
+		return ns[0].ID
 	}
-	return nil
+	return ""
 }
 
 func formatFloat(f float64) string {

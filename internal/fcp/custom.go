@@ -112,7 +112,7 @@ func (c *customPattern) Apply(g *etl.Graph, p Point) (Application, error) {
 		return Application{Pattern: c.Name(), Point: p, Added: []etl.NodeID{n.ID}}, nil
 
 	case GraphPoint:
-		carrier := scheduleCarrier(g)
+		carrier := g.MutableNode(scheduleCarrier(g))
 		if carrier == nil {
 			return Application{}, fmt.Errorf("fcp: %s: flow has no nodes", c.Name())
 		}

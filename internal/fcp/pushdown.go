@@ -113,12 +113,14 @@ func (p *pushDownSelection) Apply(g *etl.Graph, pt Point) (Application, error) {
 	if !Applicable(p, g, pt) {
 		return Application{}, fmt.Errorf("fcp: %s not applicable at %s", p.Name(), pt)
 	}
-	n := g.Node(pt.Node)
 	preds := g.Pred(pt.Node)
-	prev := g.Node(preds[0])
 	if err := g.SwapWithPredecessor(pt.Node); err != nil {
 		return Application{}, err
 	}
+	// MutableNode: both reordered operations are edited in place and may be
+	// shared with the parent flow (copy-on-write clones).
+	n := g.MutableNode(pt.Node)
+	prev := g.MutableNode(preds[0])
 	// After the swap the filter consumes the predecessor's former input;
 	// its output schema narrows accordingly (pass-through semantics), and
 	// the predecessor's output is unchanged.

@@ -123,7 +123,7 @@ func TestPushDownSelectionFitness(t *testing.T) {
 	}
 	// A more selective filter saves more work -> higher fitness.
 	g2 := g.Clone()
-	g2.Node("flt").Cost.Selectivity = 0.1
+	g2.MutableNode("flt").Cost.Selectivity = 0.1
 	if pat.Fitness(g2, AtNode("flt")) <= f {
 		t.Error("higher selectivity should raise fitness")
 	}

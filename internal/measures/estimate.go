@@ -258,8 +258,8 @@ func checkpointCoverage(g *etl.Graph, p *sim.Profile) float64 {
 		return 0
 	}
 	n := 0
-	for _, id := range p.Order {
-		if p.RestartFromCheckpoint[id] {
+	for _, cp := range p.RestartFromCheckpoint {
+		if cp {
 			n++
 		}
 	}
@@ -295,12 +295,12 @@ func (e *Estimator) cost(g *etl.Graph, p *sim.Profile, b *trace.Batch) Character
 }
 
 func totalWork(p *sim.Profile) float64 {
-	// Summation follows the topological order: float addition is not
-	// associative, and map-order iteration would make reports
-	// non-deterministic.
+	// Summation follows the topological order (TimeMs is aligned with
+	// p.Order): float addition is not associative, so the iteration order is
+	// part of the determinism contract.
 	sum := 0.0
-	for _, id := range p.Order {
-		sum += p.TimeMs[id]
+	for _, t := range p.TimeMs {
+		sum += t
 	}
 	return sum
 }

@@ -157,7 +157,7 @@ func TestBaselineConfigAnchorsScores(t *testing.T) {
 
 	// A faster variant must score above the baseline.
 	g2 := g.Clone()
-	g2.Node("drv").Parallelism = 8
+	g2.MutableNode("drv").Parallelism = 8
 	p2, b2 := evaluate(t, g2, data.Defects{})
 	r2 := est.Estimate(g2, p2, b2)
 	if r2.Score(Performance) <= r.Score(Performance) {

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"poiesis/internal/core"
+	"poiesis/internal/tpcds"
 )
 
 func resultStub(n int) *core.Result {
@@ -29,7 +30,7 @@ func cached(t testing.TB, c *planCache, key string) bool {
 }
 
 func TestCacheHitMiss(t *testing.T) {
-	c := newPlanCache(4)
+	c := newPlanCache(4, 0)
 	ctx := context.Background()
 
 	var computes int
@@ -50,14 +51,14 @@ func TestCacheHitMiss(t *testing.T) {
 	if computes != 1 {
 		t.Errorf("computed %d times, want 1", computes)
 	}
-	hits, misses, size := c.stats()
+	hits, misses, size, _ := c.stats()
 	if hits != 1 || misses != 1 || size != 1 {
 		t.Errorf("stats: hits=%d misses=%d size=%d", hits, misses, size)
 	}
 }
 
 func TestCacheComputeErrorNotCached(t *testing.T) {
-	c := newPlanCache(4)
+	c := newPlanCache(4, 0)
 	ctx := context.Background()
 	boom := errors.New("boom")
 	if _, _, err := c.do(ctx, "k", func() (*core.Result, error) { return nil, boom }); !errors.Is(err, boom) {
@@ -69,7 +70,7 @@ func TestCacheComputeErrorNotCached(t *testing.T) {
 }
 
 func TestCacheLRUEviction(t *testing.T) {
-	c := newPlanCache(2)
+	c := newPlanCache(2, 0)
 	ctx := context.Background()
 	for i := 0; i < 3; i++ {
 		key := fmt.Sprintf("k%d", i)
@@ -98,7 +99,7 @@ func TestCacheLRUEviction(t *testing.T) {
 // Concurrent requests for one key collapse onto a single computation, and
 // every caller gets the same result.
 func TestCacheSingleflight(t *testing.T) {
-	c := newPlanCache(4)
+	c := newPlanCache(4, 0)
 	ctx := context.Background()
 	var computes atomic.Int64
 	gate := make(chan struct{})
@@ -136,7 +137,7 @@ func TestCacheSingleflight(t *testing.T) {
 // When the leader fails (e.g. its client disconnected, cancelling the run),
 // a waiter takes over instead of inheriting the failure.
 func TestCacheLeaderFailureHandsOver(t *testing.T) {
-	c := newPlanCache(4)
+	c := newPlanCache(4, 0)
 	ctx := context.Background()
 
 	leaderIn := make(chan struct{})
@@ -178,7 +179,7 @@ func TestCacheLeaderFailureHandsOver(t *testing.T) {
 
 // A waiter whose own context dies while waiting gives up with that error.
 func TestCacheWaiterContextCancel(t *testing.T) {
-	c := newPlanCache(4)
+	c := newPlanCache(4, 0)
 
 	leaderIn := make(chan struct{})
 	leaderOut := make(chan struct{})
@@ -201,4 +202,69 @@ func TestCacheWaiterContextCancel(t *testing.T) {
 		t.Errorf("waiter err = %v", err)
 	}
 	close(leaderOut)
+}
+
+// bigResult builds a result whose weight scales with the alternative count,
+// like a real MaxAlternatives-heavy exploration.
+func bigResult(alts int) *core.Result {
+	res := &core.Result{}
+	g := tpcds.PurchasesFlow()
+	for i := 0; i < alts; i++ {
+		res.Alternatives = append(res.Alternatives, core.Alternative{Graph: g})
+	}
+	return res
+}
+
+func TestCacheWeightsBySize(t *testing.T) {
+	small := resultWeight(resultStub(1))
+	large := resultWeight(bigResult(512))
+	if large < 100*small {
+		t.Errorf("512-alternative result should weigh far more than an empty one: %d vs %d", large, small)
+	}
+}
+
+// Eviction is driven by the byte budget, not the entry count: many small
+// entries fit, one oversized arrival evicts them.
+func TestCacheByteBudgetEviction(t *testing.T) {
+	ctx := context.Background()
+	budget := 4 * resultWeight(resultStub(0))
+	c := newPlanCache(1024, budget)
+
+	for i := 0; i < 4; i++ {
+		key := fmt.Sprintf("small%d", i)
+		if _, _, err := c.do(ctx, key, func() (*core.Result, error) { return resultStub(i), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _, size, bytes := c.stats()
+	if size != 4 || bytes > budget {
+		t.Fatalf("4 small entries should fit: size=%d bytes=%d budget=%d", size, bytes, budget)
+	}
+
+	// A heavy result blows the budget: the small entries are evicted
+	// oldest-first, but the newcomer itself stays resident.
+	if _, _, err := c.do(ctx, "big", func() (*core.Result, error) { return bigResult(256), nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !cached(t, c, "big") {
+		t.Error("over-budget newest entry must stay resident")
+	}
+	if cached(t, c, "small0") || cached(t, c, "small1") || cached(t, c, "small2") {
+		t.Error("byte budget did not evict older entries")
+	}
+	_, _, size, bytes = c.stats()
+	if size != 1 {
+		t.Errorf("size = %d after oversized insert, want 1", size)
+	}
+	if bytes != resultWeight(bigResult(256)) {
+		t.Errorf("bytes accounting drifted: %d", bytes)
+	}
+
+	// Small entries cycle back in normally afterwards.
+	if _, _, err := c.do(ctx, "after", func() (*core.Result, error) { return resultStub(5), nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !cached(t, c, "after") {
+		t.Error("cache stuck after oversized entry")
+	}
 }

@@ -93,7 +93,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	hits, misses, size := s.cache.stats()
+	hits, misses, size, bytes := s.cache.stats()
 	writeJSON(w, http.StatusOK, serverStatsJSON{
 		Sessions:      s.store.len(),
 		PlansComputed: s.plansComputed.Load(),
@@ -102,6 +102,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CacheHits:     hits,
 		CacheMisses:   misses,
 		CacheSize:     size,
+		CacheBytes:    bytes,
 	})
 }
 

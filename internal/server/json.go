@@ -149,6 +149,7 @@ type serverStatsJSON struct {
 	CacheHits     int64 `json:"cacheHits"`
 	CacheMisses   int64 `json:"cacheMisses"`
 	CacheSize     int   `json:"cacheSize"`
+	CacheBytes    int64 `json:"cacheBytes"`
 }
 
 // dimsOf renders characteristic dims as strings.

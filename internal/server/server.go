@@ -50,8 +50,13 @@ type Config struct {
 	// MaxSessions caps live sessions (creation returns 503 beyond it).
 	// Default 1024.
 	MaxSessions int
-	// CacheCapacity bounds the plan cache (LRU entries). Default 128.
+	// CacheCapacity bounds the plan cache entry count (secondary LRU bound).
+	// Default 128.
 	CacheCapacity int
+	// CacheMaxBytes bounds the plan cache by estimated result size: entries
+	// weigh alternatives × (graph + report) bytes, so one huge exploration
+	// cannot pin hundreds of small ones out — nor vice versa. Default 64 MiB.
+	CacheMaxBytes int64
 	// Now is the clock; tests inject a fake. Default time.Now.
 	Now func() time.Time
 }
@@ -65,6 +70,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheCapacity <= 0 {
 		c.CacheCapacity = 128
+	}
+	if c.CacheMaxBytes <= 0 {
+		c.CacheMaxBytes = 64 << 20
 	}
 	if c.Now == nil {
 		c.Now = time.Now
@@ -95,7 +103,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:   cfg,
 		store: newSessionStore(ttl, cfg.MaxSessions, cfg.Now),
-		cache: newPlanCache(cfg.CacheCapacity),
+		cache: newPlanCache(cfg.CacheCapacity, cfg.CacheMaxBytes),
 		mux:   http.NewServeMux(),
 	}
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)

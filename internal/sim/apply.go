@@ -9,7 +9,7 @@ import (
 
 // apply executes one operation on its input batches and returns the output
 // batches (one logical output stream; routing to successors happens later).
-func (e *Engine) apply(g *etl.Graph, n *etl.Node, in [][]etl.Row, bind Binding) ([][]etl.Row, error) {
+func (e *Engine) apply(g *etl.Graph, n *etl.Node, in [][]etl.Row, bind Binding, ar *batchArena) ([][]etl.Row, error) {
 	switch n.Kind {
 	case etl.OpExtract:
 		spec, ok := bind[n.ID]
@@ -28,37 +28,37 @@ func (e *Engine) apply(g *etl.Graph, n *etl.Node, in [][]etl.Row, bind Binding) 
 		return in, nil
 
 	case etl.OpFilter:
-		return [][]etl.Row{e.filter(g, n, flatten(in))}, nil
+		return [][]etl.Row{e.filter(g, n, flatten(in, ar), ar)}, nil
 
 	case etl.OpFilterNull:
-		return [][]etl.Row{filterNulls(g, n, flatten(in))}, nil
+		return [][]etl.Row{filterNulls(g, n, flatten(in, ar), ar)}, nil
 
 	case etl.OpDedup:
-		return [][]etl.Row{dedup(g, n, flatten(in))}, nil
+		return [][]etl.Row{dedup(g, n, flatten(in, ar), ar)}, nil
 
 	case etl.OpCrosscheck:
-		return [][]etl.Row{crosscheck(n, in)}, nil
+		return [][]etl.Row{crosscheck(n, in, ar)}, nil
 
 	case etl.OpDerive:
-		return [][]etl.Row{derive(g, n, flatten(in))}, nil
+		return [][]etl.Row{derive(g, n, flatten(in, ar))}, nil
 
 	case etl.OpProject:
-		return [][]etl.Row{project(g, n, flatten(in))}, nil
+		return [][]etl.Row{project(g, n, flatten(in, ar))}, nil
 
 	case etl.OpConvert, etl.OpEncrypt, etl.OpNoop, etl.OpCheckpoint,
 		etl.OpSplit, etl.OpPartition, etl.OpMerge, etl.OpUnion, etl.OpSort:
 		// Pass-through for data purposes (sort order is irrelevant to the
 		// measures; checkpoint persists a snapshot which costs time, modelled
 		// in the cost model).
-		return [][]etl.Row{flatten(in)}, nil
+		return [][]etl.Row{flatten(in, ar)}, nil
 
 	case etl.OpSurrogate:
-		return [][]etl.Row{surrogate(g, n, flatten(in))}, nil
+		return [][]etl.Row{surrogate(g, n, flatten(in, ar))}, nil
 
 	case etl.OpJoin, etl.OpLookup:
 		if len(in) < 2 {
 			// Degenerate join with a single input behaves as pass-through.
-			return [][]etl.Row{flatten(in)}, nil
+			return [][]etl.Row{flatten(in, ar)}, nil
 		}
 		out, err := join(g, n, in[0], in[1])
 		if err != nil {
@@ -67,7 +67,7 @@ func (e *Engine) apply(g *etl.Graph, n *etl.Node, in [][]etl.Row, bind Binding) 
 		return [][]etl.Row{out}, nil
 
 	case etl.OpAggregate:
-		return [][]etl.Row{aggregate(g, n, flatten(in))}, nil
+		return [][]etl.Row{aggregate(g, n, flatten(in, ar), ar)}, nil
 
 	default:
 		return nil, fmt.Errorf("unsupported operation kind %s (inputs %s)", n.Kind, describe(in))
@@ -77,12 +77,12 @@ func (e *Engine) apply(g *etl.Graph, n *etl.Node, in [][]etl.Row, bind Binding) 
 // filter drops rows according to the node's selectivity, deterministically
 // (hash of the row ordinal), keeping erroneous rows in the stream so that
 // downstream cleaning patterns still have work to do.
-func (e *Engine) filter(g *etl.Graph, n *etl.Node, rows []etl.Row) []etl.Row {
+func (e *Engine) filter(g *etl.Graph, n *etl.Node, rows []etl.Row, ar *batchArena) []etl.Row {
 	sel := n.Cost.Selectivity
 	if sel >= 1 {
 		return rows
 	}
-	out := rows[:0:0]
+	out := scratchFor(ar, rows)
 	for i, r := range rows {
 		// Deterministic pseudo-random keep decision per row.
 		h := hashRow(r, i) % 10000
@@ -97,10 +97,10 @@ func (e *Engine) filter(g *etl.Graph, n *etl.Node, rows []etl.Row) []etl.Row {
 // "attrs" parameter (comma-separated), or in any attribute when unset. This
 // is the FilterNullValues pattern's operation: "a filter that deletes
 // entries with null values from its input".
-func filterNulls(g *etl.Graph, n *etl.Node, rows []etl.Row) []etl.Row {
+func filterNulls(g *etl.Graph, n *etl.Node, rows []etl.Row, ar *batchArena) []etl.Row {
 	schema := g.InputSchema(n.ID)
 	positions := attrPositions(schema, n.Param("attrs"))
-	out := rows[:0:0]
+	out := scratchFor(ar, rows)
 	for _, r := range rows {
 		null := false
 		if len(positions) == 0 {
@@ -127,11 +127,11 @@ func filterNulls(g *etl.Graph, n *etl.Node, rows []etl.Row) []etl.Row {
 
 // dedup removes duplicate rows by key attributes (or all attributes when the
 // schema has no keys): the RemoveDuplicateEntries pattern's operation.
-func dedup(g *etl.Graph, n *etl.Node, rows []etl.Row) []etl.Row {
+func dedup(g *etl.Graph, n *etl.Node, rows []etl.Row, ar *batchArena) []etl.Row {
 	schema := g.InputSchema(n.ID)
 	positions := keyOrAllPositions(schema)
 	seen := make(map[string]bool, len(rows))
-	out := rows[:0:0]
+	out := scratchFor(ar, rows)
 	for _, r := range rows {
 		k := r.KeyString(positions)
 		if seen[k] {
@@ -148,9 +148,9 @@ func dedup(g *etl.Graph, n *etl.Node, rows []etl.Row) []etl.Row {
 // when the alternative disagrees. Detection power comes from the oracle on
 // injected defects, mirroring how a real crosscheck would catch out-of-domain
 // values.
-func crosscheck(n *etl.Node, in [][]etl.Row) []etl.Row {
+func crosscheck(n *etl.Node, in [][]etl.Row, ar *batchArena) []etl.Row {
 	primary := in[0]
-	out := primary[:0:0]
+	out := scratchFor(ar, primary)
 	for _, r := range primary {
 		bad := false
 		for _, v := range r {
@@ -318,7 +318,7 @@ func join(g *etl.Graph, n *etl.Node, left, right []etl.Row) ([]etl.Row, error) {
 // aggregate groups rows by the "group_by" parameter attributes (or key
 // attributes, or the first attribute) and emits one representative row per
 // group.
-func aggregate(g *etl.Graph, n *etl.Node, rows []etl.Row) []etl.Row {
+func aggregate(g *etl.Graph, n *etl.Node, rows []etl.Row, ar *batchArena) []etl.Row {
 	in := g.InputSchema(n.ID)
 	positions := attrPositions(in, n.Param("group_by"))
 	if len(positions) == 0 {
@@ -328,7 +328,7 @@ func aggregate(g *etl.Graph, n *etl.Node, rows []etl.Row) []etl.Row {
 		}
 	}
 	seen := make(map[string]bool, len(rows)/4)
-	out := rows[:0:0]
+	out := scratchFor(ar, rows)
 	for _, r := range rows {
 		k := r.KeyString(positions)
 		if seen[k] {

@@ -9,12 +9,21 @@
 // from the stochastic failure path (sampled many times per design via
 // Monte-Carlo), so evaluating reliability over N runs does not re-execute
 // the row pipeline N times.
+//
+// For the planner's explore loop — thousands of alternatives that each differ
+// from a parent flow by a single pattern application — the engine supports
+// delta evaluation: ExecuteDelta memoizes every node's materialized output in
+// an EvalCache keyed by the node's upstream-cone fingerprint
+// (etl.Graph.ConeKeys), so a candidate flow re-simulates only the dirty cone
+// downstream of the application point and splices cached upstream results in.
 package sim
 
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 
 	"poiesis/internal/data"
 	"poiesis/internal/etl"
@@ -58,23 +67,32 @@ func DefaultConfig() Config {
 // Profile is the deterministic execution profile of one flow: per-node
 // timings and cardinalities plus output data quality. The failure sampler
 // and the measures both read it.
+//
+// Per-node values are stored in dense slices indexed by the node's position
+// in Order (the topological order of the flow), not in maps: the planner
+// builds one profile per alternative, and the dense layout removes a map
+// allocation and hashing per node per field. Use IndexOf (or the *Of
+// accessors) to address a node by ID.
 type Profile struct {
 	Flow  string
 	Order []etl.NodeID
+	pos   map[etl.NodeID]int
 
-	RowsIn  map[etl.NodeID]int
-	RowsOut map[etl.NodeID]int
+	// RowsIn and RowsOut are per-node input/output cardinalities, indexed by
+	// topo position (aligned with Order).
+	RowsIn  []int
+	RowsOut []int
 	// TimeMs is the busy time of each node (startup + per-tuple work over
 	// parallelism).
-	TimeMs map[etl.NodeID]float64
+	TimeMs []float64
 	// Completion is the finish time of each node under the (partially
 	// pipelined) stage model.
-	Completion map[etl.NodeID]float64
+	Completion []float64
 	// RestartMs is, per node, the re-execution time needed when the node
 	// fails: time back to the nearest upstream savepoint (or the sources).
-	RestartMs map[etl.NodeID]float64
+	RestartMs []float64
 	// RestartFromCheckpoint marks nodes whose recovery starts at a savepoint.
-	RestartFromCheckpoint map[etl.NodeID]bool
+	RestartFromCheckpoint []bool
 
 	// FirstPassMs is the failure-free makespan.
 	FirstPassMs float64
@@ -91,6 +109,83 @@ type Profile struct {
 
 	// MemRowsPeak is the largest materialisation by a blocking operation.
 	MemRowsPeak int
+}
+
+func newProfile(flow string, order []etl.NodeID) *Profile {
+	nn := len(order)
+	pos := make(map[etl.NodeID]int, nn)
+	for i, id := range order {
+		pos[id] = i
+	}
+	return &Profile{
+		Flow:                  flow,
+		Order:                 order,
+		pos:                   pos,
+		RowsIn:                make([]int, nn),
+		RowsOut:               make([]int, nn),
+		TimeMs:                make([]float64, nn),
+		Completion:            make([]float64, nn),
+		RestartMs:             make([]float64, nn),
+		RestartFromCheckpoint: make([]bool, nn),
+	}
+}
+
+// IndexOf returns the topo position of the node in the profile's Order, or
+// -1 when the node is unknown.
+func (p *Profile) IndexOf(id etl.NodeID) int {
+	if i, ok := p.pos[id]; ok {
+		return i
+	}
+	return -1
+}
+
+// RowsInOf returns the input cardinality of the node, 0 for unknown IDs.
+func (p *Profile) RowsInOf(id etl.NodeID) int {
+	if i, ok := p.pos[id]; ok {
+		return p.RowsIn[i]
+	}
+	return 0
+}
+
+// RowsOutOf returns the output cardinality of the node, 0 for unknown IDs.
+func (p *Profile) RowsOutOf(id etl.NodeID) int {
+	if i, ok := p.pos[id]; ok {
+		return p.RowsOut[i]
+	}
+	return 0
+}
+
+// TimeOf returns the busy time of the node, 0 for unknown IDs.
+func (p *Profile) TimeOf(id etl.NodeID) float64 {
+	if i, ok := p.pos[id]; ok {
+		return p.TimeMs[i]
+	}
+	return 0
+}
+
+// CompletionOf returns the completion time of the node, 0 for unknown IDs.
+func (p *Profile) CompletionOf(id etl.NodeID) float64 {
+	if i, ok := p.pos[id]; ok {
+		return p.Completion[i]
+	}
+	return 0
+}
+
+// RestartOf returns the recovery re-execution time of the node, 0 for
+// unknown IDs.
+func (p *Profile) RestartOf(id etl.NodeID) float64 {
+	if i, ok := p.pos[id]; ok {
+		return p.RestartMs[i]
+	}
+	return 0
+}
+
+// RestartsFromCheckpoint reports whether the node recovers from a savepoint.
+func (p *Profile) RestartsFromCheckpoint(id etl.NodeID) bool {
+	if i, ok := p.pos[id]; ok {
+		return p.RestartFromCheckpoint[i]
+	}
+	return false
 }
 
 // Engine executes flows. It is stateless; methods are safe for concurrent
@@ -119,99 +214,216 @@ func NewEngine(cfg Config) *Engine {
 	return &Engine{cfg: cfg}
 }
 
+// batchArena recycles the []etl.Row backing arrays the engine uses for
+// routing and flattening scratch. Arenas are pooled via sync.Pool: a full
+// (uncached) execution borrows one, hands out buffers as needed and returns
+// the arena — with all its buffers — when the execution's profile has been
+// assembled, so steady-state full evaluations allocate no new batch arrays.
+//
+// Arenas are only used when no EvalCache is in play: cached node outputs (and
+// everything they alias through pass-through operations) outlive the
+// execution, so delta evaluation allocates its batches normally.
+type batchArena struct {
+	bufs [][]etl.Row
+	next int
+}
+
+var arenaPool = sync.Pool{New: func() any { return &batchArena{} }}
+
+// get returns a zero-length buffer with at least the given capacity,
+// reusing a pooled backing array when one is large enough.
+func (a *batchArena) get(n int) []etl.Row {
+	for i := a.next; i < len(a.bufs); i++ {
+		if cap(a.bufs[i]) >= n {
+			a.bufs[i], a.bufs[a.next] = a.bufs[a.next], a.bufs[i]
+			b := a.bufs[a.next][:0]
+			a.next++
+			return b
+		}
+	}
+	b := make([]etl.Row, 0, n)
+	a.bufs = append(a.bufs, b)
+	last := len(a.bufs) - 1
+	a.bufs[last], a.bufs[a.next] = a.bufs[a.next], a.bufs[last]
+	a.next++
+	return b
+}
+
+// release makes every buffer reusable and returns the arena to the pool. Row
+// pointers linger in the backing arrays until the next reuse or pool GC; the
+// rows are per-execution synthetic data, so the retention window is short.
+func (a *batchArena) release() {
+	a.next = 0
+	arenaPool.Put(a)
+}
+
+// scratchFor returns an output buffer for a row-dropping operation over rows:
+// arena-backed during full executions, freshly allocated (zero-cap append)
+// when results may be retained by an EvalCache.
+func scratchFor(ar *batchArena, rows []etl.Row) []etl.Row {
+	if ar != nil {
+		return ar.get(len(rows))
+	}
+	return rows[:0:0]
+}
+
 // Execute runs the data path of the flow once and returns its profile.
 func (e *Engine) Execute(g *etl.Graph, bind Binding) (*Profile, error) {
-	order, err := g.TopoSort()
+	return e.execute(g, bind, nil)
+}
+
+// ExecuteDelta runs the data path reusing (and populating) the per-node
+// results memoized in cache; a nil cache degenerates to Execute. Nodes whose
+// upstream-cone fingerprint hits the cache contribute their materialized
+// outputs without re-simulation, so the row-level work is proportional to
+// the dirty region of the flow, not its size. The resulting profile is
+// byte-identical to a full execution.
+//
+// The cache must only be shared between evaluations that use the same engine
+// configuration and the same binding (the planner scopes one cache per
+// planning run). Sharing a cache across concurrent goroutines is safe.
+func (e *Engine) ExecuteDelta(g *etl.Graph, bind Binding, cache *EvalCache) (*Profile, error) {
+	return e.execute(g, bind, cache)
+}
+
+func (e *Engine) execute(g *etl.Graph, bind Binding, cache *EvalCache) (*Profile, error) {
+	order, err := g.TopoOrder()
 	if err != nil {
 		return nil, err
 	}
-	p := &Profile{
-		Flow:                  g.Name,
-		Order:                 order,
-		RowsIn:                map[etl.NodeID]int{},
-		RowsOut:               map[etl.NodeID]int{},
-		TimeMs:                map[etl.NodeID]float64{},
-		Completion:            map[etl.NodeID]float64{},
-		RestartMs:             map[etl.NodeID]float64{},
-		RestartFromCheckpoint: map[etl.NodeID]bool{},
+	p := newProfile(g.Name, order)
+	nn := len(order)
+
+	var keys []etl.ConeKey
+	var recs []*coneRecord
+	if cache != nil {
+		keys = g.ConeKeys(order)
+		recs = make([]*coneRecord, nn)
+	}
+	var ar *batchArena
+	if cache == nil {
+		ar = arenaPool.Get().(*batchArena)
+		defer ar.release()
 	}
 
-	// outputs[n][succ] holds the rows node n sends to successor succ.
-	outputs := map[etl.NodeID]map[etl.NodeID][]etl.Row{}
-	sinkRows := map[etl.NodeID][]etl.Row{}
-	sinkSchema := map[etl.NodeID]etl.Schema{}
-
-	for _, id := range order {
-		n := g.Node(id)
-		in := gatherInputs(g, outputs, id)
-		rowsIn := 0
-		for _, batch := range in {
-			rowsIn += len(batch)
+	// outs[i] holds node i's pre-routing output batches; routing to specific
+	// successors is derived lazily, only when a (dirty) consumer needs it.
+	outs := make([][][]etl.Row, nn)
+	flat := make([]int, nn)
+	var routed []map[etl.NodeID][]etl.Row
+	routedFor := func(i int) map[etl.NodeID][]etl.Row {
+		if routed == nil {
+			routed = make([]map[etl.NodeID][]etl.Row, nn)
 		}
-		out, err := e.apply(g, n, in, bind)
+		if routed[i] == nil {
+			id := order[i]
+			routed[i] = route(g.Node(id), outs[i], g.SuccView(id), ar)
+		}
+		return routed[i]
+	}
+
+	for i, id := range order {
+		n := g.Node(id)
+		nsucc := len(g.SuccView(id))
+		if cache != nil {
+			if rec := cache.lookup(keys[i]); rec != nil {
+				recs[i] = rec
+				outs[i], flat[i] = rec.out, rec.flat
+				p.RowsIn[i] = rec.rowsIn
+				e.finishNode(p, n, i, flat[i], nsucc)
+				continue
+			}
+		}
+
+		var in [][]etl.Row
+		rowsIn := 0
+		for _, pred := range g.PredView(id) {
+			b := routedFor(p.pos[pred])[id]
+			in = append(in, b)
+			rowsIn += len(b)
+		}
+		out, err := e.apply(g, n, in, bind, ar)
 		if err != nil {
 			return nil, fmt.Errorf("sim: executing %s: %w", n, err)
 		}
-		p.RowsIn[id] = rowsIn
+		outs[i] = out
+		f := 0
+		for _, b := range out {
+			f += len(b)
+		}
+		flat[i] = f
 		if n.Kind.IsSource() {
-			p.RowsIn[id] = len(flatten(out))
+			rowsIn = f
 		}
+		p.RowsIn[i] = rowsIn
+		e.finishNode(p, n, i, f, nsucc)
 
-		// Route output rows to successors.
-		succs := g.Succ(id)
-		routed := route(n, out, succs)
-		outputs[id] = routed
-		totalOut := 0
-		for _, batch := range routed {
-			totalOut += len(batch)
-		}
-		if len(succs) == 0 {
-			all := flatten(out)
-			totalOut = len(all)
-			if n.Kind.IsSink() {
-				sinkRows[id] = all
-				sinkSchema[id] = g.InputSchema(id)
+		if cache != nil {
+			rec := &coneRecord{out: out, rowsIn: rowsIn, flat: f}
+			if n.Kind.IsSink() && nsucc == 0 {
+				rows := flatten(out, nil)
+				schema := g.InputSchema(id)
+				rec.sink = true
+				rec.sinkStats = data.Measure(schema, rows)
+				rec.sinkRows = len(rows)
+				rec.sinkCells = rec.sinkStats.Rows * schema.Len()
 			}
-		}
-		p.RowsOut[id] = totalOut
-
-		// Timing: startup + per-tuple work over parallelism.
-		work := float64(p.RowsIn[id])
-		if n.Kind.IsSource() {
-			work = float64(p.RowsOut[id])
-		}
-		t := n.Cost.Startup + work*n.WorkPerTuple()
-		p.TimeMs[id] = t
-		if n.Kind.IsBlocking() {
-			if m := p.RowsIn[id]; m > p.MemRowsPeak {
-				p.MemRowsPeak = m
-			}
+			cache.store(keys[i], rec)
+			recs[i] = rec
 		}
 	}
 
 	e.computeSchedule(g, p)
 	e.computeRecovery(g, p)
-	e.measureOutputs(g, p, sinkRows, sinkSchema)
+	e.measureOutputs(g, p, outs, recs)
 	return p, nil
 }
 
-// gatherInputs collects the row batches addressed to node id by its
-// predecessors, in predecessor order.
-func gatherInputs(g *etl.Graph, outputs map[etl.NodeID]map[etl.NodeID][]etl.Row, id etl.NodeID) [][]etl.Row {
-	var in [][]etl.Row
-	for _, pred := range g.Pred(id) {
-		if m := outputs[pred]; m != nil {
-			in = append(in, m[id])
+// finishNode derives the routing-dependent profile values of node i from its
+// flattened output cardinality. Both the full and the cached path go through
+// this single formula, which is what makes delta profiles byte-identical to
+// full ones: timing is always recomputed from the concrete graph (so cached
+// rows can be shared across designs that differ only in cost parameters).
+func (e *Engine) finishNode(p *Profile, n *etl.Node, i, flat, nsucc int) {
+	totalOut := flat
+	if nsucc > 1 {
+		switch {
+		case n.Kind == etl.OpPartition:
+			// Rows are distributed, not copied.
+		case n.Kind == etl.OpSplit && n.Param("route") == "hash":
+			// Ditto for hash routing.
+		default:
+			// Copy semantics: every successor receives the full stream.
+			totalOut = nsucc * flat
 		}
 	}
-	return in
+	p.RowsOut[i] = totalOut
+	work := float64(p.RowsIn[i])
+	if n.Kind.IsSource() {
+		work = float64(totalOut)
+	}
+	p.TimeMs[i] = n.Cost.Startup + work*n.WorkPerTuple()
+	if n.Kind.IsBlocking() && p.RowsIn[i] > p.MemRowsPeak {
+		p.MemRowsPeak = p.RowsIn[i]
+	}
 }
 
-func flatten(batches [][]etl.Row) []etl.Row {
+// flatten merges output batches into one stream; a single batch is returned
+// as-is. With an arena the merge buffer is recycled scratch.
+func flatten(batches [][]etl.Row, ar *batchArena) []etl.Row {
 	if len(batches) == 1 {
 		return batches[0]
 	}
+	total := 0
+	for _, b := range batches {
+		total += len(b)
+	}
 	var out []etl.Row
+	if ar != nil {
+		out = ar.get(total)
+	} else if total > 0 {
+		out = make([]etl.Row, 0, total)
+	}
 	for _, b := range batches {
 		out = append(out, b...)
 	}
@@ -220,27 +432,50 @@ func flatten(batches [][]etl.Row) []etl.Row {
 
 // route distributes a node's output rows across its successors according to
 // the node's routing semantics.
-func route(n *etl.Node, out [][]etl.Row, succs []etl.NodeID) map[etl.NodeID][]etl.Row {
+func route(n *etl.Node, out [][]etl.Row, succs []etl.NodeID, ar *batchArena) map[etl.NodeID][]etl.Row {
 	m := make(map[etl.NodeID][]etl.Row, len(succs))
 	if len(succs) == 0 {
 		return m
 	}
-	all := flatten(out)
+	all := flatten(out, ar)
 	switch n.Kind {
 	case etl.OpPartition:
 		// Horizontal partition: round-robin across branches.
-		for _, s := range succs {
-			m[s] = nil
+		k := len(succs)
+		dests := make([][]etl.Row, k)
+		for j := range dests {
+			cnt := len(all) / k
+			if j < len(all)%k {
+				cnt++
+			}
+			if ar != nil {
+				dests[j] = ar.get(cnt)
+			} else if cnt > 0 {
+				dests[j] = make([]etl.Row, 0, cnt)
+			}
 		}
 		for i, r := range all {
-			s := succs[i%len(succs)]
-			m[s] = append(m[s], r)
+			j := i % k
+			dests[j] = append(dests[j], r)
+		}
+		for j, s := range succs {
+			m[s] = dests[j]
 		}
 	case etl.OpSplit:
 		if n.Param("route") == "hash" && len(succs) > 1 {
+			k := len(succs)
+			dests := make([][]etl.Row, k)
+			if ar != nil {
+				for j := range dests {
+					dests[j] = ar.get(len(all)/k + 8)
+				}
+			}
 			for i, r := range all {
-				s := succs[hashRow(r, i)%uint64(len(succs))]
-				m[s] = append(m[s], r)
+				j := int(hashRow(r, i) % uint64(k))
+				dests[j] = append(dests[j], r)
+			}
+			for j, s := range succs {
+				m[s] = dests[j]
 			}
 		} else {
 			// Copy semantics: each branch receives the full stream (vertical
@@ -261,12 +496,35 @@ func route(n *etl.Node, out [][]etl.Row, succs []etl.NodeID) map[etl.NodeID][]et
 	return m
 }
 
+// hashRow hashes the row's first value (FNV-1a over its rendered form) mixed
+// with the row ordinal. The common value types take allocation-free fast
+// paths that hash exactly the bytes fmt.Sprintf("%v", ...) would produce, so
+// routing decisions are unchanged while hash-split flows stop paying one
+// allocation per routed row.
 func hashRow(r etl.Row, i int) uint64 {
 	h := uint64(1469598103934665603)
 	h ^= uint64(i)
 	h *= 1099511628211
 	if len(r) > 0 && r[0] != nil {
-		s := fmt.Sprintf("%v", r[0])
+		var buf [32]byte
+		var s string
+		switch v := r[0].(type) {
+		case string:
+			s = v
+		case int64:
+			return hashBytes(h, strconv.AppendInt(buf[:0], v, 10))
+		case int:
+			return hashBytes(h, strconv.AppendInt(buf[:0], int64(v), 10))
+		case float64:
+			return hashBytes(h, strconv.AppendFloat(buf[:0], v, 'g', -1, 64))
+		case bool:
+			s = "false"
+			if v {
+				s = "true"
+			}
+		default:
+			s = fmt.Sprintf("%v", r[0])
+		}
 		for j := 0; j < len(s); j++ {
 			h ^= uint64(s[j])
 			h *= 1099511628211
@@ -275,24 +533,33 @@ func hashRow(r etl.Row, i int) uint64 {
 	return h
 }
 
+func hashBytes(h uint64, b []byte) uint64 {
+	for j := 0; j < len(b); j++ {
+		h ^= uint64(b[j])
+		h *= 1099511628211
+	}
+	return h
+}
+
 // computeSchedule derives completion times under a partially pipelined stage
 // model: a node may start before its producer finished when both are
 // non-blocking, controlled by cfg.PipelineOverlap.
 func (e *Engine) computeSchedule(g *etl.Graph, p *Profile) {
-	for _, id := range p.Order {
+	for i, id := range p.Order {
 		n := g.Node(id)
 		start := 0.0
 		latestPred := 0.0
-		for _, pred := range g.Pred(id) {
+		for _, pred := range g.PredView(id) {
+			pi := p.pos[pred]
 			pn := g.Node(pred)
-			pc := p.Completion[pred]
+			pc := p.Completion[pi]
 			if pc > latestPred {
 				latestPred = pc
 			}
 			if !n.Kind.IsBlocking() && !pn.Kind.IsBlocking() {
 				// Overlap with the producer's busy window.
-				pc -= e.cfg.PipelineOverlap * p.TimeMs[pred]
-				if floor := p.Completion[pred] - p.TimeMs[pred]; pc < floor {
+				pc -= e.cfg.PipelineOverlap * p.TimeMs[pi]
+				if floor := p.Completion[pi] - p.TimeMs[pi]; pc < floor {
 					pc = floor
 				}
 			}
@@ -300,12 +567,12 @@ func (e *Engine) computeSchedule(g *etl.Graph, p *Profile) {
 				start = pc
 			}
 		}
-		c := start + p.TimeMs[id]
+		c := start + p.TimeMs[i]
 		// A consumer cannot finish before its producers stop delivering.
 		if c < latestPred {
 			c = latestPred
 		}
-		p.Completion[id] = c
+		p.Completion[i] = c
 		if c > p.FirstPassMs {
 			p.FirstPassMs = c
 		}
@@ -319,42 +586,57 @@ func (e *Engine) computeSchedule(g *etl.Graph, p *Profile) {
 // when it fails: the completion time distance back to the nearest upstream
 // savepoint, or back to time zero when none exists.
 func (e *Engine) computeRecovery(g *etl.Graph, p *Profile) {
-	// bestCheckpoint[id] = max completion time over upstream checkpoints.
-	best := map[etl.NodeID]float64{}
-	hasCP := map[etl.NodeID]bool{}
-	for _, id := range p.Order {
+	// best[i] = max completion time over upstream checkpoints of node i.
+	nn := len(p.Order)
+	best := make([]float64, nn)
+	hasCP := make([]bool, nn)
+	for i, id := range p.Order {
 		b, ok := 0.0, false
-		for _, pred := range g.Pred(id) {
-			pb, pok := best[pred], hasCP[pred]
+		for _, pred := range g.PredView(id) {
+			pi := p.pos[pred]
+			pb, pok := best[pi], hasCP[pi]
 			if g.Node(pred).Kind == etl.OpCheckpoint {
-				pb, pok = p.Completion[pred], true
+				pb, pok = p.Completion[pi], true
 			}
 			if pok && pb > b {
 				b, ok = pb, true
 			}
 		}
-		best[id], hasCP[id] = b, ok
-		restart := p.Completion[id] - b
+		best[i], hasCP[i] = b, ok
+		restart := p.Completion[i] - b
 		if restart < 0 {
 			restart = 0
 		}
-		p.RestartMs[id] = restart
-		p.RestartFromCheckpoint[id] = ok
+		p.RestartMs[i] = restart
+		p.RestartFromCheckpoint[i] = ok
 	}
 }
 
 // measureOutputs scans the rows delivered to the sinks and records quality
-// statistics.
-func (e *Engine) measureOutputs(g *etl.Graph, p *Profile, sinkRows map[etl.NodeID][]etl.Row, sinkSchema map[etl.NodeID]etl.Schema) {
-	ids := make([]string, 0, len(sinkRows))
-	for id := range sinkRows {
-		ids = append(ids, string(id))
+// statistics. Sinks whose upstream cone hit the cache contribute their
+// memoized statistics without re-scanning rows.
+func (e *Engine) measureOutputs(g *etl.Graph, p *Profile, outs [][][]etl.Row, recs []*coneRecord) {
+	var sinks []int
+	for i, id := range p.Order {
+		if g.Node(id).Kind.IsSink() && len(g.SuccView(id)) == 0 {
+			sinks = append(sinks, i)
+		}
 	}
-	sort.Strings(ids)
-	for _, ids := range ids {
-		id := etl.NodeID(ids)
-		rows := sinkRows[id]
-		schema := sinkSchema[id]
+	sort.Slice(sinks, func(a, b int) bool { return p.Order[sinks[a]] < p.Order[sinks[b]] })
+	for _, i := range sinks {
+		if recs != nil && recs[i] != nil && recs[i].sink {
+			rec := recs[i]
+			p.RowsLoaded += rec.sinkRows
+			p.OutRows += rec.sinkStats.Rows
+			p.OutNullCells += rec.sinkStats.NullCells
+			p.OutCells += rec.sinkCells
+			p.OutDupRows += rec.sinkStats.Duplicates
+			p.OutErrRows += rec.sinkStats.Errors
+			continue
+		}
+		id := p.Order[i]
+		rows := flatten(outs[i], nil)
+		schema := g.InputSchema(id)
 		st := data.Measure(schema, rows)
 		p.RowsLoaded += len(rows)
 		p.OutRows += st.Rows

@@ -50,15 +50,15 @@ func TestExecuteSimpleFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if p.RowsIn["src"] != 2000 {
-		t.Errorf("source rows = %d", p.RowsIn["src"])
+	if p.RowsInOf("src") != 2000 {
+		t.Errorf("source rows = %d", p.RowsInOf("src"))
 	}
 	// Filter selectivity 0.9 by default.
-	if p.RowsIn["drv"] < 1500 || p.RowsIn["drv"] > 2000 {
-		t.Errorf("derive input rows = %d", p.RowsIn["drv"])
+	if p.RowsInOf("drv") < 1500 || p.RowsInOf("drv") > 2000 {
+		t.Errorf("derive input rows = %d", p.RowsInOf("drv"))
 	}
-	if p.RowsLoaded != p.RowsIn["ld"] {
-		t.Errorf("rows loaded %d != sink input %d", p.RowsLoaded, p.RowsIn["ld"])
+	if p.RowsLoaded != p.RowsInOf("ld") {
+		t.Errorf("rows loaded %d != sink input %d", p.RowsLoaded, p.RowsInOf("ld"))
 	}
 	if p.FirstPassMs <= 0 {
 		t.Error("first pass time must be positive")
@@ -68,7 +68,7 @@ func TestExecuteSimpleFlow(t *testing.T) {
 	}
 	// Completion times must be monotone along edges.
 	for _, e := range g.Edges() {
-		if p.Completion[e.From] > p.Completion[e.To] {
+		if p.CompletionOf(e.From) > p.CompletionOf(e.To) {
 			t.Errorf("completion not monotone on %v", e)
 		}
 	}
@@ -206,8 +206,8 @@ func TestPartitionMergePreservesRows(t *testing.T) {
 		t.Errorf("partition+merge lost rows: %d", p.RowsLoaded)
 	}
 	// Round-robin split: each branch sees about half.
-	if p.RowsIn["d1"] != 500 || p.RowsIn["d2"] != 500 {
-		t.Errorf("branch rows = %d / %d", p.RowsIn["d1"], p.RowsIn["d2"])
+	if p.RowsInOf("d1") != 500 || p.RowsInOf("d2") != 500 {
+		t.Errorf("branch rows = %d / %d", p.RowsInOf("d1"), p.RowsInOf("d2"))
 	}
 }
 
@@ -324,14 +324,14 @@ func TestCheckpointReducesRestartCost(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !p2.RestartFromCheckpoint["drv"] {
+	if !p2.RestartsFromCheckpoint("drv") {
 		t.Error("derive should restart from checkpoint")
 	}
-	if p2.RestartMs["drv"] >= p1.RestartMs["drv"] {
+	if p2.RestartOf("drv") >= p1.RestartOf("drv") {
 		t.Errorf("restart cost with checkpoint (%f) not below without (%f)",
-			p2.RestartMs["drv"], p1.RestartMs["drv"])
+			p2.RestartOf("drv"), p1.RestartOf("drv"))
 	}
-	if p1.RestartFromCheckpoint["drv"] {
+	if p1.RestartsFromCheckpoint("drv") {
 		t.Error("no checkpoint in base flow")
 	}
 }

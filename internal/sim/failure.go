@@ -17,14 +17,20 @@ func (e *Engine) Sample(g *etl.Graph, p *Profile, runs int) []trace.Run {
 	}
 	root := data.NewRNG(e.cfg.Seed ^ hashString(p.Flow) ^ 0x5851F42D4C957F2D)
 	out := make([]trace.Run, 0, runs)
+	// One backing array serves every run's Ops slice: each run appends at
+	// most |V| entries into its own capacity-clamped segment, turning
+	// runs-many allocations into one.
+	nn := len(p.Order)
+	backing := make([]trace.OpStats, runs*nn)
 	for i := 0; i < runs; i++ {
 		rng := root.Fork()
-		out = append(out, e.sampleOne(g, p, i, rng))
+		seg := backing[i*nn : i*nn : (i+1)*nn]
+		out = append(out, e.sampleOne(g, p, i, rng, seg))
 	}
 	return out
 }
 
-func (e *Engine) sampleOne(g *etl.Graph, p *Profile, seq int, rng *data.RNG) trace.Run {
+func (e *Engine) sampleOne(g *etl.Graph, p *Profile, seq int, rng *data.RNG, ops []trace.OpStats) trace.Run {
 	run := trace.Run{
 		Flow:        p.Flow,
 		Seq:         seq,
@@ -39,25 +45,26 @@ func (e *Engine) sampleOne(g *etl.Graph, p *Profile, seq int, rng *data.RNG) tra
 		OutCells:     p.OutCells,
 	}
 	budget := e.cfg.RetryBudget
-	for _, id := range p.Order {
+	run.Ops = ops
+	for i, id := range p.Order {
 		n := g.Node(id)
 		st := trace.OpStats{
 			Node:    id,
 			Kind:    n.Kind,
-			RowsIn:  p.RowsIn[id],
-			RowsOut: p.RowsOut[id],
-			TimeMs:  p.TimeMs[id],
+			RowsIn:  p.RowsIn[i],
+			RowsOut: p.RowsOut[i],
+			TimeMs:  p.TimeMs[i],
 		}
 		if n.Kind.IsBlocking() {
-			st.MemRows = p.RowsIn[id]
+			st.MemRows = p.RowsIn[i]
 		}
 		// Each attempt of the operation may fail independently; a failed
 		// attempt forces re-execution from the nearest upstream savepoint.
 		for rng.Bool(n.Cost.FailureRate) {
 			st.Failures++
 			run.FailureCount++
-			run.RecoveryMs += p.RestartMs[id]
-			if p.RestartFromCheckpoint[id] {
+			run.RecoveryMs += p.RestartMs[i]
+			if p.RestartFromCheckpoint[i] {
 				run.CheckpointsUsed++
 			}
 			if run.FailureCount > budget {
@@ -81,7 +88,16 @@ func (e *Engine) sampleOne(g *etl.Graph, p *Profile, seq int, rng *data.RNG) tra
 // returning the full trace batch plus the profile. This is the per-design
 // evaluation step of the Planner's "Measures Estimation" stage (Fig. 3).
 func (e *Engine) Evaluate(g *etl.Graph, bind Binding) (*Profile, *trace.Batch, error) {
-	p, err := e.Execute(g, bind)
+	return e.EvaluateDelta(g, bind, nil)
+}
+
+// EvaluateDelta is Evaluate with delta evaluation of the data path: node
+// results memoized in cache (keyed by upstream-cone fingerprint) are spliced
+// in instead of re-simulated, so only the dirty cone of the flow runs. A nil
+// cache is a full evaluation. Results are identical to Evaluate; see
+// ExecuteDelta for the cache-sharing contract.
+func (e *Engine) EvaluateDelta(g *etl.Graph, bind Binding, cache *EvalCache) (*Profile, *trace.Batch, error) {
+	p, err := e.execute(g, bind, cache)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -187,7 +187,7 @@ func TestSampleInvariants(t *testing.T) {
 	}
 	prop := func(frPct uint8, runs uint8) bool {
 		g2 := g.Clone()
-		g2.Node("drv").Cost.FailureRate = float64(frPct%90) / 100
+		g2.MutableNode("drv").Cost.FailureRate = float64(frPct%90) / 100
 		p2, err := e.Execute(g2, binding(g2, 200, data.Defects{}))
 		if err != nil {
 			return false

@@ -64,22 +64,22 @@ func TestSplitHashRoutesDisjointly(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Hash routing partitions: totals add up, neither branch empty.
-	if p.RowsIn["ld1"]+p.RowsIn["ld2"] != 1000 {
-		t.Errorf("hash split lost rows: %d + %d", p.RowsIn["ld1"], p.RowsIn["ld2"])
+	if p.RowsInOf("ld1")+p.RowsInOf("ld2") != 1000 {
+		t.Errorf("hash split lost rows: %d + %d", p.RowsInOf("ld1"), p.RowsInOf("ld2"))
 	}
-	if p.RowsIn["ld1"] == 0 || p.RowsIn["ld2"] == 0 {
+	if p.RowsInOf("ld1") == 0 || p.RowsInOf("ld2") == 0 {
 		t.Error("hash split sent everything one way")
 	}
 
 	// Copy routing (default) duplicates the stream instead.
 	g2 := g.Clone()
-	g2.Node("spl").SetParam("route", "copy")
+	g2.MutableNode("spl").SetParam("route", "copy")
 	p2, err := e.Execute(g2, binding(g2, 1000, data.Defects{}))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if p2.RowsIn["ld1"] != 1000 || p2.RowsIn["ld2"] != 1000 {
-		t.Errorf("copy split rows: %d / %d", p2.RowsIn["ld1"], p2.RowsIn["ld2"])
+	if p2.RowsInOf("ld1") != 1000 || p2.RowsInOf("ld2") != 1000 {
+		t.Errorf("copy split rows: %d / %d", p2.RowsInOf("ld1"), p2.RowsInOf("ld2"))
 	}
 }
 
@@ -204,8 +204,8 @@ func TestUnboundExtractGetsDefaultSpec(t *testing.T) {
 	// The default spec injects duplicates, so physical rows slightly exceed
 	// the logical DefaultRows.
 	want := DefaultConfig().DefaultRows
-	if p.RowsIn["src"] < want || p.RowsIn["src"] > want+want/10 {
-		t.Errorf("default rows = %d, want ~%d", p.RowsIn["src"], want)
+	if p.RowsInOf("src") < want || p.RowsInOf("src") > want+want/10 {
+		t.Errorf("default rows = %d, want ~%d", p.RowsInOf("src"), want)
 	}
 	if f := e.SourceUpdatesPerHour(g, nil); f != 1 {
 		t.Errorf("default update frequency = %f", f)

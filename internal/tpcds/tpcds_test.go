@@ -87,9 +87,9 @@ func TestInventoryETLExecutes(t *testing.T) {
 		t.Error("no rows loaded")
 	}
 	// Union doubles the feed rows before dedup trims them.
-	if p.RowsIn["dedup_snap"] <= p.RowsIn["conv_store"] {
+	if p.RowsInOf("dedup_snap") <= p.RowsInOf("conv_store") {
 		t.Errorf("union did not combine feeds: %d vs %d",
-			p.RowsIn["dedup_snap"], p.RowsIn["conv_store"])
+			p.RowsInOf("dedup_snap"), p.RowsInOf("conv_store"))
 	}
 }
 

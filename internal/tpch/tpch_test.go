@@ -38,12 +38,12 @@ func TestRevenueETLExecutes(t *testing.T) {
 	}
 	// The recent-shipment filter and inner join must reduce cardinality
 	// below the lineitem scale.
-	if p.RowsIn["drv_revenue"] >= 2000 {
-		t.Errorf("derive input = %d, expected filtered+joined subset", p.RowsIn["drv_revenue"])
+	if p.RowsInOf("drv_revenue") >= 2000 {
+		t.Errorf("derive input = %d, expected filtered+joined subset", p.RowsInOf("drv_revenue"))
 	}
 	// Aggregates produce small outputs.
-	if p.RowsOut["agg_segment"] > 25 {
-		t.Errorf("segment aggregate rows = %d", p.RowsOut["agg_segment"])
+	if p.RowsOutOf("agg_segment") > 25 {
+		t.Errorf("segment aggregate rows = %d", p.RowsOutOf("agg_segment"))
 	}
 }
 
@@ -69,8 +69,8 @@ func TestPricingSummaryExecutes(t *testing.T) {
 	}
 	// The Q1 aggregate groups by return flag: the 20-word vocabulary plus a
 	// few corrupted (injected-error) variants.
-	if p.RowsOut["agg_flag"] > 45 {
-		t.Errorf("aggregate rows = %d", p.RowsOut["agg_flag"])
+	if p.RowsOutOf("agg_flag") > 45 {
+		t.Errorf("aggregate rows = %d", p.RowsOutOf("agg_flag"))
 	}
 	// The blocking sort materialises the filtered stream.
 	if p.MemRowsPeak == 0 {

@@ -125,6 +125,20 @@ const (
 	StreamingOff = core.StreamingOff
 )
 
+// DeltaMode selects the per-alternative evaluation strategy
+// (Options.DeltaEval).
+type DeltaMode = core.DeltaMode
+
+// Evaluation modes: DeltaOn (the zero value, hence the default) memoizes
+// per-node simulation results by upstream-cone fingerprint so each candidate
+// re-simulates only the region its pattern application changed; DeltaOff
+// re-executes every alternative from its sources. Both produce identical
+// results.
+const (
+	DeltaOn  = core.DeltaOn
+	DeltaOff = core.DeltaOff
+)
+
 // ProgressEvent is delivered to Options.Progress once per alternative as the
 // streaming pipeline finishes processing it.
 type ProgressEvent = core.ProgressEvent
