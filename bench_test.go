@@ -841,7 +841,23 @@ func BenchmarkE2IterativeSession(b *testing.B) {
 // many analysts share one plan, the multi-user story of the ROADMAP.
 
 func BenchmarkServePlan(b *testing.B) {
-	srv := poiesis.NewServer(poiesis.ServerConfig{})
+	benchServePlan(b, poiesis.ServerConfig{})
+}
+
+// BenchmarkServePlanDiskStore is SV1 with the crash-safe disk session
+// backend: every plan response additionally snapshots the session and
+// fsyncs the record, so the delta against BenchmarkServePlan is the
+// write-through cost of durability on the hot path.
+func BenchmarkServePlanDiskStore(b *testing.B) {
+	backend, err := poiesis.NewDiskSessionBackend(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchServePlan(b, poiesis.ServerConfig{Backend: backend})
+}
+
+func benchServePlan(b *testing.B, cfg poiesis.ServerConfig) {
+	srv := poiesis.NewServer(cfg)
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 

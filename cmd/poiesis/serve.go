@@ -14,8 +14,10 @@ import (
 
 // cmdServe runs the multi-session HTTP planning service: the explore-select
 // loop of the paper's interactive tool exposed over a REST + SSE API, backed
-// by a TTL-evicting session store and a fingerprint-keyed plan cache. See
-// the "Run as a service" section of the README for the endpoint walkthrough.
+// by a TTL-evicting session store and a fingerprint-keyed plan cache. With
+// -store-dir (or the storeDir key of a -config document) sessions are
+// snapshotted to disk and survive restarts. See the "Run as a service" and
+// "Persistence" sections of the README for the endpoint walkthrough.
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address (HOST:PORT)")
@@ -23,9 +25,44 @@ func cmdServe(args []string) error {
 	maxSessions := fs.Int("max-sessions", 1024, "cap on live sessions")
 	cacheSize := fs.Int("cache", 128, "plan cache capacity (entries, secondary bound)")
 	cacheMB := fs.Int("cache-mb", 64, "plan cache byte budget in MiB (entries weigh alternatives x dims)")
+	storeDir := fs.String("store-dir", "", "persist sessions as crash-safe JSON snapshots under this directory (empty = in-memory only)")
+	cfgPath := fs.String("config", "", "serve configuration document (JSON); explicit flags override it")
 	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown budget for in-flight requests")
 	if err := parseFlags(fs, args); err != nil {
 		return err
+	}
+
+	// A -config document supplies defaults for every flag the command line
+	// did not set explicitly; explicit flags win.
+	if *cfgPath != "" {
+		doc, err := poiesis.LoadServeConfig(*cfgPath)
+		if err != nil {
+			return err
+		}
+		set := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if doc.Addr != "" && !set["addr"] {
+			*addr = doc.Addr
+		}
+		if doc.StoreDir != "" && !set["store-dir"] {
+			*storeDir = doc.StoreDir
+		}
+		if doc.MaxSessions > 0 && !set["max-sessions"] {
+			*maxSessions = doc.MaxSessions
+		}
+		if doc.CacheEntries > 0 && !set["cache"] {
+			*cacheSize = doc.CacheEntries
+		}
+		if doc.CacheMB > 0 && !set["cache-mb"] {
+			*cacheMB = doc.CacheMB
+		}
+		// Durations were validated by ParseServe; nil means "key absent".
+		if d, _ := doc.SessionTTLDuration(); d != nil && !set["session-ttl"] {
+			*sessionTTL = *d
+		}
+		if d, _ := doc.DrainDuration(); d != nil && !set["drain"] {
+			*drain = *d
+		}
 	}
 
 	ttl := *sessionTTL
@@ -34,12 +71,22 @@ func cmdServe(args []string) error {
 		// unset (default 30m) and negative as disabled.
 		ttl = -1
 	}
-	handler := poiesis.NewServer(poiesis.ServerConfig{
+	cfg := poiesis.ServerConfig{
 		SessionTTL:    ttl,
 		MaxSessions:   *maxSessions,
 		CacheCapacity: *cacheSize,
 		CacheMaxBytes: int64(*cacheMB) << 20,
-	})
+	}
+	persistence := "in-memory sessions"
+	if *storeDir != "" {
+		backend, err := poiesis.NewDiskSessionBackend(*storeDir)
+		if err != nil {
+			return err
+		}
+		cfg.Backend = backend
+		persistence = "sessions persisted in " + *storeDir
+	}
+	handler := poiesis.NewServer(cfg)
 	httpSrv := &http.Server{
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
@@ -54,8 +101,12 @@ func cmdServe(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "poiesis serve: listening on http://%s (session TTL %s, cache %d entries / %d MiB)\n",
-			ln.Addr(), *sessionTTL, *cacheSize, *cacheMB)
+		fmt.Fprintf(os.Stderr, "poiesis serve: listening on http://%s (session TTL %s, cache %d entries / %d MiB, %s",
+			ln.Addr(), *sessionTTL, *cacheSize, *cacheMB, persistence)
+		if n := handler.RestoredSessions(); n > 0 {
+			fmt.Fprintf(os.Stderr, ", %d restored", n)
+		}
+		fmt.Fprintln(os.Stderr, ")")
 
 		errCh := make(chan error, 1)
 		go func() { errCh <- httpSrv.Serve(ln) }()

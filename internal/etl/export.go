@@ -84,6 +84,26 @@ type jsonEdge struct {
 	To   string `json:"to"`
 }
 
+// MarshalJSON renders the attribute in the same shape the flow wire format
+// uses for node schemas (type as its lower-case name), so schemas embedded in
+// other documents — e.g. session snapshots carrying source bindings — share
+// one serialization with the graph export.
+func (a Attribute) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonAttr{
+		Name: a.Name, Type: a.Type.String(), Nullable: a.Nullable, Key: a.Key,
+	})
+}
+
+// UnmarshalJSON is the inverse of Attribute.MarshalJSON.
+func (a *Attribute) UnmarshalJSON(b []byte) error {
+	var ja jsonAttr
+	if err := json.Unmarshal(b, &ja); err != nil {
+		return fmt.Errorf("etl: parsing attribute: %w", err)
+	}
+	*a = Attribute{Name: ja.Name, Type: ParseAttrType(ja.Type), Nullable: ja.Nullable, Key: ja.Key}
+	return nil
+}
+
 // MarshalJSON implements json.Marshaler with a stable, UI-friendly format.
 func (g *Graph) MarshalJSON() ([]byte, error) {
 	doc := jsonGraph{Name: g.Name}

@@ -1,0 +1,466 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"poiesis/internal/core"
+)
+
+// backends enumerates the SessionBackend implementations; every suite below
+// runs against both, so the memory and disk paths stay behaviourally
+// identical.
+func backends(t *testing.T) map[string]func(t *testing.T) SessionBackend {
+	t.Helper()
+	return map[string]func(t *testing.T) SessionBackend{
+		"memory": func(t *testing.T) SessionBackend { return NewMemoryBackend() },
+		"disk": func(t *testing.T) SessionBackend {
+			b, err := NewDiskBackend(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			b.Logf = t.Logf
+			return b
+		},
+	}
+}
+
+func testRecord(id string, lastUsed time.Time) *SessionRecord {
+	return &SessionRecord{
+		Version:  SessionRecordVersion,
+		ID:       id,
+		Name:     "rec-" + id,
+		Created:  lastUsed.Add(-time.Minute),
+		LastUsed: lastUsed,
+		Plans:    2,
+		Session:  &core.SessionSnapshot{Version: core.SnapshotFormatVersion},
+	}
+}
+
+// TestBackendContract exercises put/get/delete/list/sweep identically on
+// both backends.
+func TestBackendContract(t *testing.T) {
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			b := mk(t)
+			base := time.Unix(5000, 0).UTC()
+
+			if _, err := b.Get("missing0000"); err != ErrRecordNotFound {
+				t.Errorf("Get missing: %v, want ErrRecordNotFound", err)
+			}
+			if err := b.Delete("missing0000"); err != nil {
+				t.Errorf("Delete missing must be idempotent: %v", err)
+			}
+
+			for i, id := range []string{"c3", "a1", "b2"} {
+				if err := b.Put(testRecord(id, base.Add(time.Duration(i)*time.Hour))); err != nil {
+					t.Fatalf("Put %s: %v", id, err)
+				}
+			}
+			got, err := b.Get("a1")
+			if err != nil {
+				t.Fatalf("Get: %v", err)
+			}
+			if got.Name != "rec-a1" || got.Plans != 2 || !got.LastUsed.Equal(base.Add(time.Hour)) {
+				t.Errorf("record did not round-trip: %+v", got)
+			}
+
+			// Put replaces.
+			upd := testRecord("a1", base.Add(2*time.Hour))
+			upd.Plans = 9
+			if err := b.Put(upd); err != nil {
+				t.Fatal(err)
+			}
+			if got, _ = b.Get("a1"); got.Plans != 9 {
+				t.Errorf("Put did not replace: %+v", got)
+			}
+
+			recs, err := b.List()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(recs) != 3 || recs[0].ID != "a1" || recs[1].ID != "b2" || recs[2].ID != "c3" {
+				t.Errorf("List wrong: %v", recordIDs(recs))
+			}
+
+			// Sweep drops records last used strictly before the cutoff:
+			// c3 sits at base, a1 (updated) and b2 at base+2h.
+			removed, err := b.Sweep(base.Add(90 * time.Minute))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(removed) != 1 || removed[0] != "c3" {
+				t.Errorf("Sweep removed %v, want [c3]", removed)
+			}
+			if recs, _ = b.List(); len(recs) != 2 || recs[0].ID != "a1" || recs[1].ID != "b2" {
+				t.Errorf("after sweep: %v", recordIDs(recs))
+			}
+
+			for _, id := range []string{"a1", "b2"} {
+				if err := b.Delete(id); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if recs, _ = b.List(); len(recs) != 0 {
+				t.Errorf("after delete: %v", recordIDs(recs))
+			}
+		})
+	}
+}
+
+func recordIDs(recs []*SessionRecord) []string {
+	out := make([]string, len(recs))
+	for i, r := range recs {
+		out[i] = r.ID
+	}
+	return out
+}
+
+// TestServerLifecycleBothBackends runs the full explore-select HTTP loop
+// against each backend: the responses must be backend-independent.
+func TestServerLifecycleBothBackends(t *testing.T) {
+	type capture struct{ create, get, plan, sel, list string }
+	runs := map[string]capture{}
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			s := New(Config{Backend: mk(t), Logf: t.Logf, Now: func() time.Time { return time.Unix(7000, 0) }})
+			var c capture
+
+			var sj sessionJSON
+			rr := do(t, s, "POST", "/v1/sessions", fastPlanBody("case"), &sj)
+			if rr.Code != http.StatusCreated {
+				t.Fatalf("create: %d %s", rr.Code, rr.Body.String())
+			}
+			id := sj.ID
+			c.create = stripID(rr.Body.String(), id)
+
+			if rr = do(t, s, "POST", "/v1/sessions/"+id+"/plan", "", nil); rr.Code != 200 {
+				t.Fatalf("plan: %d %s", rr.Code, rr.Body.String())
+			}
+			c.plan = rr.Body.String()
+
+			if rr = do(t, s, "POST", "/v1/sessions/"+id+"/select", `{"index":0}`, nil); rr.Code != 200 {
+				t.Fatalf("select: %d %s", rr.Code, rr.Body.String())
+			}
+			c.sel = rr.Body.String()
+
+			if rr = do(t, s, "GET", "/v1/sessions/"+id, "", nil); rr.Code != 200 {
+				t.Fatalf("get: %d", rr.Code)
+			}
+			c.get = stripID(rr.Body.String(), id)
+
+			if rr = do(t, s, "GET", "/v1/sessions", "", nil); rr.Code != 200 {
+				t.Fatalf("list: %d", rr.Code)
+			}
+			c.list = stripID(rr.Body.String(), id)
+
+			if rr = do(t, s, "DELETE", "/v1/sessions/"+id, "", nil); rr.Code != http.StatusNoContent {
+				t.Fatalf("delete: %d", rr.Code)
+			}
+			runs[name] = c
+		})
+	}
+	if len(runs) == 2 && runs["memory"] != runs["disk"] {
+		t.Errorf("memory and disk lifecycles diverge:\nmemory %+v\ndisk   %+v", runs["memory"], runs["disk"])
+	}
+}
+
+// stripID normalises random session IDs out of a response body so runs are
+// comparable.
+func stripID(body, id string) string { return strings.ReplaceAll(body, id, "SID") }
+
+// TestRestartDurability is the end-to-end crash-safety check: a server over
+// a disk backend is stopped (dropped) after create+plan+select+plan, a new
+// server starts over the same directory, and the restored session must be
+// byte-for-byte identical — detail, history, skyline, full last result —
+// and still accept a select.
+func TestRestartDurability(t *testing.T) {
+	dir := t.TempDir()
+	clock := func() time.Time { return time.Unix(9000, 0) }
+	open := func() *Server {
+		b, err := NewDiskBackend(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Logf = t.Logf
+		return New(Config{Backend: b, Logf: t.Logf, Now: clock})
+	}
+
+	s1 := open()
+	id := createSession(t, s1, "durable")
+	if rr := do(t, s1, "POST", "/v1/sessions/"+id+"/plan", "", nil); rr.Code != 200 {
+		t.Fatalf("plan: %d %s", rr.Code, rr.Body.String())
+	}
+	if rr := do(t, s1, "POST", "/v1/sessions/"+id+"/select", `{"index":0}`, nil); rr.Code != 200 {
+		t.Fatalf("select: %d %s", rr.Code, rr.Body.String())
+	}
+	if rr := do(t, s1, "POST", "/v1/sessions/"+id+"/plan", "", nil); rr.Code != 200 {
+		t.Fatalf("second plan: %d %s", rr.Code, rr.Body.String())
+	}
+	before := map[string]string{}
+	for _, path := range []string{
+		"/v1/sessions",
+		"/v1/sessions/" + id,
+		"/v1/sessions/" + id + "/result?reports=1",
+		"/v1/sessions/" + id + "/skyline",
+		"/v1/sessions/" + id + "/flow",
+	} {
+		rr := do(t, s1, "GET", path, "", nil)
+		if rr.Code != 200 {
+			t.Fatalf("GET %s: %d", path, rr.Code)
+		}
+		before[path] = rr.Body.String()
+	}
+
+	// "Kill" s1 (no shutdown hook exists or is needed: every state change
+	// was written through synchronously) and restart over the directory.
+	s2 := open()
+	if got := s2.RestoredSessions(); got != 1 {
+		t.Fatalf("restored %d sessions, want 1", got)
+	}
+	for path, want := range before {
+		rr := do(t, s2, "GET", path, "", nil)
+		if rr.Code != 200 {
+			t.Fatalf("after restart GET %s: %d", path, rr.Code)
+		}
+		if got := rr.Body.String(); got != want {
+			t.Errorf("GET %s differs after restart:\nbefore %s\nafter  %s", path, want, got)
+		}
+	}
+	// The restored session is live, not a read-only fossil: selecting from
+	// the restored skyline works and the explore-select loop continues.
+	if rr := do(t, s2, "POST", "/v1/sessions/"+id+"/select", `{"index":0}`, nil); rr.Code != 200 {
+		t.Fatalf("select after restart: %d %s", rr.Code, rr.Body.String())
+	}
+}
+
+// TestRestartSkipsCorruptedSnapshots plants broken files next to a healthy
+// snapshot: startup must log and skip them, restore the healthy session, and
+// clean up partial temp files.
+func TestRestartSkipsCorruptedSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	clock := func() time.Time { return time.Unix(9000, 0) }
+	var logMu sync.Mutex
+	var logs []string
+	logf := func(format string, args ...any) {
+		logMu.Lock()
+		logs = append(logs, fmt.Sprintf(format, args...))
+		logMu.Unlock()
+	}
+	open := func() *Server {
+		b, err := NewDiskBackend(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Logf = logf
+		return New(Config{Backend: b, Logf: logf, Now: clock})
+	}
+
+	s1 := open()
+	id := createSession(t, s1, "survivor")
+	if rr := do(t, s1, "POST", "/v1/sessions/"+id+"/plan", "", nil); rr.Code != 200 {
+		t.Fatalf("plan: %d", rr.Code)
+	}
+
+	// Corruption menagerie: truncated JSON, non-JSON garbage, a partial
+	// temp file from an interrupted write, a record whose ID contradicts its
+	// filename, and a record from a future format version.
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("truncated00.json", `{"version":1,"id":"truncated00","session":{"ver`)
+	write("garbage0000.json", "\x00\x01not json at all")
+	write(".tmp-partial0000.json", `{"version":1`)
+	write("mismatch000.json", `{"version":1,"id":"other","session":{"version":1}}`)
+	write("future00000.json", fmt.Sprintf(`{"version":%d,"id":"future00000","session":{"version":%d}}`,
+		SessionRecordVersion+5, core.SnapshotFormatVersion+5))
+
+	s2 := open()
+	if got := s2.RestoredSessions(); got != 1 {
+		t.Fatalf("restored %d sessions, want exactly the healthy one", got)
+	}
+	if rr := do(t, s2, "GET", "/v1/sessions/"+id, "", nil); rr.Code != 200 {
+		t.Errorf("healthy session lost: %d", rr.Code)
+	}
+	if _, err := os.Stat(filepath.Join(dir, ".tmp-partial0000.json")); !os.IsNotExist(err) {
+		t.Error("partial temp file not cleaned up")
+	}
+	logMu.Lock()
+	joined := strings.Join(logs, "\n")
+	logMu.Unlock()
+	for _, want := range []string{"truncated00", "garbage0000", "partial0000", "mismatch000", "future00000"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("no warning logged about %s; logs:\n%s", want, joined)
+		}
+	}
+}
+
+// TestRestartDropsExpiredRecords: sessions that out-idled the TTL while the
+// service was down are purged at startup, not resurrected.
+func TestRestartDropsExpiredRecords(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Unix(9000, 0)
+	open := func() *Server {
+		b, err := NewDiskBackend(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Logf = t.Logf
+		return New(Config{Backend: b, Logf: t.Logf, Now: func() time.Time { return now }, SessionTTL: time.Minute})
+	}
+	s1 := open()
+	createSession(t, s1, "stale")
+
+	now = now.Add(2 * time.Minute) // "downtime" beyond the TTL
+	s2 := open()
+	if got := s2.RestoredSessions(); got != 0 {
+		t.Errorf("restored %d expired sessions, want 0", got)
+	}
+	if entries, _ := os.ReadDir(dir); len(entries) != 0 {
+		t.Errorf("expired records left on disk: %d entries", len(entries))
+	}
+}
+
+// TestRestoreCapKeepsMostRecent: when more records survive than MaxSessions
+// admits, the most recently used sessions win — not the first IDs in sort
+// order.
+func TestRestoreCapKeepsMostRecent(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Unix(9000, 0)
+	open := func(max int) *Server {
+		b, err := NewDiskBackend(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return New(Config{Backend: b, Logf: t.Logf, Now: func() time.Time { return now }, MaxSessions: max})
+	}
+	s1 := open(10)
+	var ids []string
+	for i := 0; i < 3; i++ {
+		ids = append(ids, createSession(t, s1, fmt.Sprintf("s%d", i)))
+		now = now.Add(time.Minute)
+	}
+	// Touch the oldest session last so recency order differs from creation
+	// (and from ID) order: a plan refreshes the persisted lastUsed.
+	if rr := do(t, s1, "POST", "/v1/sessions/"+ids[0]+"/plan", "", nil); rr.Code != 200 {
+		t.Fatalf("plan: %d", rr.Code)
+	}
+
+	s2 := open(2)
+	if got := s2.RestoredSessions(); got != 2 {
+		t.Fatalf("restored %d, want 2", got)
+	}
+	for _, id := range []string{ids[0], ids[2]} { // most recently used pair
+		if rr := do(t, s2, "GET", "/v1/sessions/"+id, "", nil); rr.Code != 200 {
+			t.Errorf("recently-used session %s not restored: %d", id, rr.Code)
+		}
+	}
+	if rr := do(t, s2, "GET", "/v1/sessions/"+ids[1], "", nil); rr.Code != http.StatusNotFound {
+		t.Errorf("least-recently-used session restored past the cap: %d", rr.Code)
+	}
+}
+
+// TestOversizedBodyIs413: an upload past the MaxBytesReader limit reports
+// 413 with the limit in the message, not a generic 400.
+func TestOversizedBodyIs413(t *testing.T) {
+	s := newTestServer(t)
+	huge := `{"pad":"` + strings.Repeat("x", maxBodyBytes+1) + `"}`
+	rr := do(t, s, "POST", "/v1/sessions", huge, nil)
+	if rr.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", rr.Code)
+	}
+	if !strings.Contains(rr.Body.String(), fmt.Sprint(maxBodyBytes)) {
+		t.Errorf("413 body does not state the limit: %s", rr.Body.String())
+	}
+}
+
+// TestUncacheableKeyUnique: the fallback cache suffix for unserializable
+// pattern registries must never collide (the old pointer-based key could,
+// when an allocation reused an address).
+func TestUncacheableKeyUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		k := uncacheableKey()
+		if !strings.HasPrefix(k, "uncacheable:") {
+			t.Fatalf("unexpected shape: %q", k)
+		}
+		if seen[k] {
+			t.Fatalf("nonce collided after %d draws: %q", i, k)
+		}
+		seen[k] = true
+	}
+}
+
+// TestDiskBackendWriteThroughRace hammers the disk write-through path from
+// concurrent sessions (create, plan, select, delete), keeping -race coverage
+// over the persistence layer.
+func TestDiskBackendWriteThroughRace(t *testing.T) {
+	b, err := NewDiskBackend(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Logf = t.Logf
+	s := New(Config{Backend: b, Logf: t.Logf})
+
+	const workers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2; i++ {
+				id := createSession(t, s, fmt.Sprintf("w%d-%d", w, i))
+				if rr := do(t, s, "POST", "/v1/sessions/"+id+"/plan", "", nil); rr.Code != 200 {
+					t.Errorf("plan: %d %s", rr.Code, rr.Body.String())
+					return
+				}
+				if rr := do(t, s, "POST", "/v1/sessions/"+id+"/select", `{"index":0}`, nil); rr.Code != 200 {
+					t.Errorf("select: %d %s", rr.Code, rr.Body.String())
+					return
+				}
+				if i%2 == 1 {
+					do(t, s, "DELETE", "/v1/sessions/"+id, "", nil)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// On-disk records and live sessions must agree when the dust settles.
+	recs, err := b.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != s.Sessions() {
+		t.Errorf("disk has %d records, store has %d sessions", len(recs), s.Sessions())
+	}
+}
+
+// TestStatsReportBackend: /v1/stats names the backend and surfaces restore
+// and persist-error counters.
+func TestStatsReportBackend(t *testing.T) {
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			s := New(Config{Backend: mk(t), Logf: t.Logf})
+			var stats serverStatsJSON
+			if rr := do(t, s, "GET", "/v1/stats", "", &stats); rr.Code != 200 {
+				t.Fatalf("stats: %d", rr.Code)
+			}
+			if stats.Backend != name {
+				t.Errorf("backend %q, want %q", stats.Backend, name)
+			}
+			if stats.PersistErrors != 0 || stats.SessionsRestored != 0 {
+				t.Errorf("fresh server counters non-zero: %+v", stats)
+			}
+		})
+	}
+}

@@ -2,6 +2,8 @@ package server
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -49,6 +51,18 @@ func decodeBody(r *http.Request, v any) error {
 	return nil
 }
 
+// writeBodyError maps a decodeBody failure to its status: an upload past the
+// MaxBytesReader limit is 413 with the limit spelled out, not a generic 400.
+func writeBodyError(w http.ResponseWriter, err error) {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"request body exceeds the %d-byte limit", tooLarge.Limit)
+		return
+	}
+	writeError(w, http.StatusBadRequest, "%v", err)
+}
+
 // plannerFromDoc materialises a planner from a configuration document; a nil
 // document yields the default planner.
 func plannerFromDoc(doc *config.Document) (*core.Planner, error) {
@@ -79,11 +93,22 @@ func registryKeyFromDoc(doc *config.Document) string {
 	}
 	b, err := json.Marshal(doc.CustomPatterns)
 	if err != nil {
-		// Unserializable declarations cannot be canonicalized; an impossible
-		// suffix keeps the request out of every other request's cache slot.
-		return fmt.Sprintf("uncacheable:%p", doc)
+		// Unserializable declarations cannot be canonicalized; a random
+		// nonce keeps the request out of every other request's cache slot. A
+		// pointer-derived suffix would not: a later document allocated at a
+		// recycled address would silently share the slot.
+		return uncacheableKey()
 	}
 	return string(b)
+}
+
+// uncacheableKey returns a cache-key suffix that matches nothing else, ever.
+func uncacheableKey() string {
+	var nonce [16]byte
+	if _, err := rand.Read(nonce[:]); err != nil {
+		panic(fmt.Sprintf("server: reading random cache nonce: %v", err))
+	}
+	return "uncacheable:" + hex.EncodeToString(nonce[:])
 }
 
 // Liveness, service stats, palette and builtin listings -----------------------
@@ -95,14 +120,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	hits, misses, size, bytes := s.cache.stats()
 	writeJSON(w, http.StatusOK, serverStatsJSON{
-		Sessions:      s.store.len(),
-		PlansComputed: s.plansComputed.Load(),
-		PlansCached:   s.plansCached.Load(),
-		Evaluations:   s.evaluations.Load(),
-		CacheHits:     hits,
-		CacheMisses:   misses,
-		CacheSize:     size,
-		CacheBytes:    bytes,
+		Sessions:         s.store.len(),
+		Backend:          s.store.backend.Name(),
+		SessionsRestored: s.restored,
+		PersistErrors:    s.store.persistErrs.Load(),
+		PlansComputed:    s.plansComputed.Load(),
+		PlansCached:      s.plansCached.Load(),
+		Evaluations:      s.evaluations.Load(),
+		CacheHits:        hits,
+		CacheMisses:      misses,
+		CacheSize:        size,
+		CacheBytes:       bytes,
 	})
 }
 
@@ -145,7 +173,7 @@ type createSessionRequest struct {
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	var req createSessionRequest
 	if err := decodeBody(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeBodyError(w, err)
 		return
 	}
 	g, err := req.Flow.resolve()
@@ -174,10 +202,15 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		id:     newSessionID(),
 		name:   req.Name,
 		sess:   core.NewSession(planner, g, sim.AutoBinding(g, scale, seed)),
+		cfgDoc: req.Config,
 		regKey: registryKeyFromDoc(req.Config),
 	}
 	if err := s.store.add(st); err != nil {
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		status := http.StatusInternalServerError
+		if errors.Is(err, errTooManySessions) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, "%v", err)
 		return
 	}
 	w.Header().Set("Location", "/v1/sessions/"+st.id)
@@ -247,7 +280,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	}
 	var req planRequest
 	if err := decodeBody(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeBodyError(w, err)
 		return
 	}
 	base := st.sess.Planner()
@@ -341,6 +374,11 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st.planDone(s.cfg.Now())
+	// Write the new state (result, plan count, liveness) through to the
+	// backend while opMu still excludes deletion and eviction. A failed
+	// write degrades durability only — it is counted, logged, and the
+	// response still serves the in-memory result.
+	_ = s.store.persist(st)
 
 	payload := s.planPayload(key, cacheable, res)
 	payload.Cached = hit
@@ -478,7 +516,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	}
 	req := selectRequest{Index: -1}
 	if err := decodeBody(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeBodyError(w, err)
 		return
 	}
 	if !st.opMu.TryLock() {
@@ -497,6 +535,10 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "%v", err)
 		return
 	}
+	st.touch(s.cfg.Now())
+	// Integrating a selection rewrites the current design and history: write
+	// it through under opMu, same contract as the plan path.
+	_ = s.store.persist(st)
 	history := st.sess.History()
 	rec := history[len(history)-1]
 	writeJSON(w, http.StatusOK, selectResponseJSON{

@@ -142,14 +142,17 @@ type progressJSON struct {
 }
 
 type serverStatsJSON struct {
-	Sessions      int   `json:"sessions"`
-	PlansComputed int64 `json:"plansComputed"`
-	PlansCached   int64 `json:"plansCached"`
-	Evaluations   int64 `json:"evaluations"`
-	CacheHits     int64 `json:"cacheHits"`
-	CacheMisses   int64 `json:"cacheMisses"`
-	CacheSize     int   `json:"cacheSize"`
-	CacheBytes    int64 `json:"cacheBytes"`
+	Sessions         int    `json:"sessions"`
+	Backend          string `json:"backend"`
+	SessionsRestored int    `json:"sessionsRestored"`
+	PersistErrors    int64  `json:"persistErrors"`
+	PlansComputed    int64  `json:"plansComputed"`
+	PlansCached      int64  `json:"plansCached"`
+	Evaluations      int64  `json:"evaluations"`
+	CacheHits        int64  `json:"cacheHits"`
+	CacheMisses      int64  `json:"cacheMisses"`
+	CacheSize        int    `json:"cacheSize"`
+	CacheBytes       int64  `json:"cacheBytes"`
 }
 
 // dimsOf renders characteristic dims as strings.

@@ -6,10 +6,15 @@
 //
 // Architecture:
 //
-//	session store — concurrency-safe in-memory registry of live sessions
-//	                with TTL eviction; state-changing operations on one
-//	                session serialize (concurrent ones fail fast with 409),
-//	                so the underlying core.Session is never raced;
+//	session store — concurrency-safe registry of live sessions with TTL
+//	                eviction; state-changing operations on one session
+//	                serialize (concurrent ones fail fast with 409), so the
+//	                underlying core.Session is never raced; reads are served
+//	                from memory, while every state change writes a versioned
+//	                session record through to a pluggable SessionBackend
+//	                (in-memory by default, crash-safe disk snapshots via
+//	                NewDiskBackend) and startup restores the backend's
+//	                records, so sessions survive restarts;
 //	plan cache    — fingerprint-keyed (flow fingerprint + canonicalized
 //	                options + binding, see core.PlanKey): identical plans
 //	                across sessions are served from cache instead of
@@ -37,9 +42,15 @@
 package server
 
 import (
+	"errors"
+	"fmt"
+	"log"
 	"net/http"
+	"sort"
 	"sync/atomic"
 	"time"
+
+	"poiesis/internal/core"
 )
 
 // Config tunes the service.
@@ -57,6 +68,14 @@ type Config struct {
 	// weigh alternatives × (graph + report) bytes, so one huge exploration
 	// cannot pin hundreds of small ones out — nor vice versa. Default 64 MiB.
 	CacheMaxBytes int64
+	// Backend persists session records. Nil uses the in-memory backend
+	// (sessions die with the process); NewDiskBackend gives crash-safe disk
+	// snapshots that New restores on startup. The backend must have a single
+	// writing server process.
+	Backend SessionBackend
+	// Logf reports restore progress, skipped snapshots and write-through
+	// failures. Default log.Printf.
+	Logf func(format string, args ...any)
 	// Now is the clock; tests inject a fake. Default time.Now.
 	Now func() time.Time
 }
@@ -73,6 +92,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheMaxBytes <= 0 {
 		c.CacheMaxBytes = 64 << 20
+	}
+	if c.Backend == nil {
+		c.Backend = NewMemoryBackend()
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	// A disk backend's own warnings (skipped snapshots, temp-file cleanup)
+	// must reach the same sink as the server's, unless the caller already
+	// routed them elsewhere.
+	if db, ok := c.Backend.(*DiskBackend); ok && db.Logf == nil {
+		db.Logf = c.Logf
 	}
 	if c.Now == nil {
 		c.Now = time.Now
@@ -91,9 +122,15 @@ type Server struct {
 	plansComputed atomic.Int64
 	plansCached   atomic.Int64
 	evaluations   atomic.Int64
+	// restored counts sessions recovered from the backend at startup.
+	restored int
 }
 
-// New builds the service.
+// New builds the service. When the configured backend holds session records
+// from a previous run (the disk backend after a restart), every non-expired
+// session is restored before the first request is served; corrupted or
+// unloadable records are skipped with a logged warning rather than aborting
+// startup.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	ttl := cfg.SessionTTL
@@ -102,10 +139,11 @@ func New(cfg Config) *Server {
 	}
 	s := &Server{
 		cfg:   cfg,
-		store: newSessionStore(ttl, cfg.MaxSessions, cfg.Now),
+		store: newSessionStore(ttl, cfg.MaxSessions, cfg.Now, cfg.Backend, cfg.Logf),
 		cache: newPlanCache(cfg.CacheCapacity, cfg.CacheMaxBytes),
 		mux:   http.NewServeMux(),
 	}
+	s.restoreSessions(ttl)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/patterns", s.handlePatterns)
@@ -122,6 +160,78 @@ func New(cfg Config) *Server {
 	return s
 }
 
+// restoreSessions reloads the backend's session records into the live store:
+// records that expired while the service was down are purged, the rest are
+// rebuilt (planner from the persisted config document, analyst state from
+// the core snapshot) and adopted without a redundant write-back. A record
+// that fails to load — corrupted snapshot, unknown future format, invalid
+// flow — is skipped with a warning; one bad record must not take down the
+// service or the healthy sessions next to it.
+func (s *Server) restoreSessions(ttl time.Duration) {
+	backend := s.cfg.Backend
+	if ttl > 0 {
+		cutoff := s.cfg.Now().Add(-ttl)
+		if expired, err := backend.Sweep(cutoff); err != nil {
+			s.cfg.Logf("server: sweeping expired session records: %v", err)
+		} else if len(expired) > 0 {
+			s.cfg.Logf("server: dropped %d session record(s) that expired while down", len(expired))
+		}
+	}
+	recs, err := backend.List()
+	if err != nil {
+		s.cfg.Logf("server: listing session records (starting empty): %v", err)
+		return
+	}
+	// If more records survive than the session cap admits, keep the most
+	// recently used ones — the sessions analysts are most likely to return
+	// to — not whichever IDs sort first.
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].LastUsed.After(recs[j].LastUsed) })
+	for _, rec := range recs {
+		if s.cfg.MaxSessions > 0 && s.restored >= s.cfg.MaxSessions {
+			s.cfg.Logf("server: session restore stopped at the %d-session cap (most recently used kept)", s.cfg.MaxSessions)
+			break
+		}
+		st, err := restoreState(rec)
+		if err != nil {
+			s.cfg.Logf("server: skipping session record %s: %v", rec.ID, err)
+			continue
+		}
+		s.store.adopt(st)
+		s.restored++
+	}
+	if s.restored > 0 {
+		s.cfg.Logf("server: restored %d session(s) from %s backend", s.restored, backend.Name())
+	}
+}
+
+// restoreState rebuilds a live sessionState from its persisted record.
+func restoreState(rec *SessionRecord) (*sessionState, error) {
+	if rec.ID == "" || rec.Session == nil {
+		return nil, errNoSessionSnapshot
+	}
+	planner, err := plannerFromDoc(rec.Config)
+	if err != nil {
+		return nil, fmt.Errorf("rebuilding planner: %w", err)
+	}
+	sess, err := core.RestoreSession(planner, rec.Session)
+	if err != nil {
+		return nil, err
+	}
+	st := &sessionState{
+		id:      rec.ID,
+		name:    rec.Name,
+		created: rec.Created,
+		sess:    sess,
+		cfgDoc:  rec.Config,
+		regKey:  registryKeyFromDoc(rec.Config),
+	}
+	st.lastUsed = rec.LastUsed
+	st.plans = rec.Plans
+	return st, nil
+}
+
+var errNoSessionSnapshot = errors.New("server: record carries no session snapshot")
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
@@ -129,3 +239,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // Sessions reports the number of live sessions (after TTL sweep).
 func (s *Server) Sessions() int { return s.store.len() }
+
+// RestoredSessions reports how many sessions were recovered from the backend
+// at startup.
+func (s *Server) RestoredSessions() int { return s.restored }

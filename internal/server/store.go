@@ -5,10 +5,13 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"log"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"poiesis/internal/config"
 	"poiesis/internal/core"
 )
 
@@ -20,6 +23,9 @@ type sessionState struct {
 	created time.Time
 
 	sess *core.Session
+	// cfgDoc is the creation config document; it is persisted with the
+	// session record so a restore can rebuild the planner (and regKey).
+	cfgDoc *config.Document
 	// regKey canonicalizes the custom patterns of the session's creation
 	// config: core.PlanKey sees only Options, not the pattern registry, so
 	// plans made with custom patterns must be cache-partitioned by this
@@ -60,36 +66,76 @@ func (st *sessionState) planDone(now time.Time) {
 	st.mu.Unlock()
 }
 
+// record builds the persistence record of the session's current state.
+// Callers hold st.opMu (or own the state exclusively, as add does), so the
+// underlying core.Session cannot be mid-mutation.
+func (st *sessionState) record() (*SessionRecord, error) {
+	snap, err := st.sess.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	lastUsed, plans := st.meta()
+	return &SessionRecord{
+		Version:  SessionRecordVersion,
+		ID:       st.id,
+		Name:     st.name,
+		Created:  st.created,
+		LastUsed: lastUsed,
+		Plans:    plans,
+		Config:   st.cfgDoc,
+		Session:  snap,
+	}, nil
+}
+
 // errTooManySessions is returned when the store is at capacity and nothing
 // is expired.
 var errTooManySessions = errors.New("server: session limit reached")
 
-// sessionStore is the concurrency-safe in-memory session registry with TTL
-// eviction: a session idle (no HTTP operation) for longer than ttl is
-// dropped on the next store access. Eviction is opportunistic — every store
-// operation sweeps — which keeps the store dependency-free and makes expiry
-// deterministic under an injected clock in tests.
+// sessionStore is the concurrency-safe session registry with TTL eviction: a
+// session idle (no HTTP operation) for longer than ttl is dropped on the next
+// store access. Eviction is opportunistic — every store operation sweeps —
+// which keeps the store dependency-free and makes expiry deterministic under
+// an injected clock in tests.
+//
+// Live sessions are held in memory, so reads (get, list) never touch the
+// persistence layer; every state change writes a fresh record through to the
+// SessionBackend, and startup restores whatever records the backend kept.
 type sessionStore struct {
-	ttl time.Duration
-	max int
-	now func() time.Time
+	ttl     time.Duration
+	max     int
+	now     func() time.Time
+	backend SessionBackend
+	logf    func(format string, args ...any)
+
+	// persistErrs counts write-through failures: the store stays available
+	// on a failed backend write (the in-memory state is still correct), but
+	// the degradation is surfaced in /v1/stats.
+	persistErrs atomic.Int64
 
 	mu sync.Mutex
 	m  map[string]*sessionState
 }
 
-func newSessionStore(ttl time.Duration, max int, now func() time.Time) *sessionStore {
-	return &sessionStore{ttl: ttl, max: max, now: now, m: map[string]*sessionState{}}
+func newSessionStore(ttl time.Duration, max int, now func() time.Time, backend SessionBackend, logf func(string, ...any)) *sessionStore {
+	if backend == nil {
+		backend = NewMemoryBackend()
+	}
+	if logf == nil {
+		logf = log.Printf
+	}
+	return &sessionStore{ttl: ttl, max: max, now: now, backend: backend, logf: logf, m: map[string]*sessionState{}}
 }
 
-// sweepLocked drops sessions idle past the TTL. Callers hold s.mu. A
-// session whose opMu is held is mid-operation (e.g. a plan running longer
+// sweepLocked drops sessions idle past the TTL from the live map and
+// returns their IDs; callers delete the backend records *after* releasing
+// s.mu (evictRecords), so the global lock is never held across backend I/O.
+// A session whose opMu is held is mid-operation (e.g. a plan running longer
 // than the TTL) and is never evicted — deleting it would orphan the run's
 // result and history. Lock order is store.mu → opMu (try-only); handlers
 // never acquire store.mu while holding opMu, so this cannot deadlock.
-func (s *sessionStore) sweepLocked(now time.Time) {
+func (s *sessionStore) sweepLocked(now time.Time) (evicted []string) {
 	if s.ttl <= 0 {
-		return
+		return nil
 	}
 	for id, st := range s.m {
 		lastUsed, _ := st.meta()
@@ -101,57 +147,150 @@ func (s *sessionStore) sweepLocked(now time.Time) {
 		}
 		st.opMu.Unlock()
 		delete(s.m, id)
+		evicted = append(evicted, id)
+	}
+	return evicted
+}
+
+// evictRecords removes freshly evicted sessions' records from the backend.
+// Called without s.mu held. Should the process crash between the in-memory
+// eviction and this delete, the startup sweep purges the record anyway (it
+// is past the TTL by definition).
+func (s *sessionStore) evictRecords(ids []string) {
+	for _, id := range ids {
+		if err := s.backend.Delete(id); err != nil {
+			s.persistErrs.Add(1)
+			s.logf("server: evicting session %s from %s backend: %v", id, s.backend.Name(), err)
+		}
 	}
 }
 
+// add registers a new session, writing its initial record through to the
+// backend first: a session the backend refused to persist is never admitted,
+// so the store can't hold sessions that would silently vanish on restart.
+// The snapshot and backend write happen without holding the store lock — st
+// is not shared yet — and only after a capacity pre-check, so a full server
+// rejects creates cheaply instead of paying a snapshot plus durable write
+// per 503. The insert re-checks capacity authoritatively; in the rare race
+// where the store filled in between, the just-written record is rolled back.
 func (s *sessionStore) add(st *sessionState) error {
 	now := s.now()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.sweepLocked(now)
-	if s.max > 0 && len(s.m) >= s.max {
+	if s.atCapacity(now) {
 		return errTooManySessions
 	}
 	st.created = now
 	st.lastUsed = now
-	s.m[st.id] = st
+	rec, err := st.record()
+	if err == nil {
+		err = s.backend.Put(rec)
+	}
+	if err != nil {
+		s.persistErrs.Add(1)
+		return fmt.Errorf("persisting session: %w", err)
+	}
+
+	s.mu.Lock()
+	full := s.max > 0 && len(s.m) >= s.max
+	if !full {
+		s.m[st.id] = st
+	}
+	s.mu.Unlock()
+	if full {
+		if err := s.backend.Delete(st.id); err != nil {
+			s.persistErrs.Add(1)
+			s.logf("server: rolling back record of rejected session %s: %v", st.id, err)
+		}
+		return errTooManySessions
+	}
 	return nil
 }
 
+// atCapacity sweeps and reports whether the store is full.
+func (s *sessionStore) atCapacity(now time.Time) bool {
+	s.mu.Lock()
+	evicted := s.sweepLocked(now)
+	full := s.max > 0 && len(s.m) >= s.max
+	s.mu.Unlock()
+	s.evictRecords(evicted)
+	return full
+}
+
+// adopt inserts a session restored from a backend record without writing it
+// back (the backend already holds exactly this state). created/lastUsed come
+// from the record.
+func (s *sessionStore) adopt(st *sessionState) {
+	s.mu.Lock()
+	s.m[st.id] = st
+	s.mu.Unlock()
+}
+
 // get returns the session and refreshes its liveness; ok is false for
-// unknown or expired IDs.
+// unknown or expired IDs. The touch happens while the store lock is held:
+// refreshing after releasing it would let a concurrent sweep observe the
+// stale lastUsed and evict the session between the unlock and the touch,
+// handing the caller a session that is no longer in the store.
 func (s *sessionStore) get(id string) (*sessionState, bool) {
 	now := s.now()
 	s.mu.Lock()
-	s.sweepLocked(now)
+	evicted := s.sweepLocked(now)
 	st, ok := s.m[id]
-	s.mu.Unlock()
 	if ok {
 		st.touch(now)
 	}
+	s.mu.Unlock()
+	s.evictRecords(evicted)
 	return st, ok
 }
 
 func (s *sessionStore) remove(id string) bool {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.m[id]; !ok {
+	_, ok := s.m[id]
+	if ok {
+		delete(s.m, id)
+	}
+	s.mu.Unlock()
+	if !ok {
 		return false
 	}
-	delete(s.m, id)
+	// Backend delete outside s.mu; the caller holds the session's opMu, so
+	// no plan/select can re-persist the record concurrently.
+	if err := s.backend.Delete(id); err != nil {
+		s.persistErrs.Add(1)
+		s.logf("server: deleting session %s from %s backend: %v", id, s.backend.Name(), err)
+	}
 	return true
+}
+
+// persist writes the session's current state through to the backend after a
+// state-changing operation (plan completion, select). Callers hold st.opMu,
+// which excludes concurrent deletion and TTL eviction (both only act on
+// sessions whose opMu they can acquire), so a persisted record can never
+// resurrect a session that was just removed. Write-through failures degrade
+// durability, not availability: the error is counted and logged, and the
+// in-memory session keeps serving.
+func (s *sessionStore) persist(st *sessionState) error {
+	rec, err := st.record()
+	if err == nil {
+		err = s.backend.Put(rec)
+	}
+	if err != nil {
+		s.persistErrs.Add(1)
+		s.logf("server: persisting session %s to %s backend: %v", st.id, s.backend.Name(), err)
+	}
+	return err
 }
 
 // list returns the live sessions sorted by creation time (stable ties by ID).
 func (s *sessionStore) list() []*sessionState {
 	now := s.now()
 	s.mu.Lock()
-	s.sweepLocked(now)
+	evicted := s.sweepLocked(now)
 	out := make([]*sessionState, 0, len(s.m))
 	for _, st := range s.m {
 		out = append(out, st)
 	}
 	s.mu.Unlock()
+	s.evictRecords(evicted)
 	sort.Slice(out, func(i, j int) bool {
 		if !out[i].created.Equal(out[j].created) {
 			return out[i].created.Before(out[j].created)
@@ -164,9 +303,11 @@ func (s *sessionStore) list() []*sessionState {
 func (s *sessionStore) len() int {
 	now := s.now()
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.sweepLocked(now)
-	return len(s.m)
+	evicted := s.sweepLocked(now)
+	n := len(s.m)
+	s.mu.Unlock()
+	s.evictRecords(evicted)
+	return n
 }
 
 // newSessionID returns a 128-bit random hex identifier.

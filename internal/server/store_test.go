@@ -1,6 +1,8 @@
 package server
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -17,10 +19,14 @@ func testState(id string) *sessionState {
 	}
 }
 
+func testStore(ttl time.Duration, max int, now func() time.Time) *sessionStore {
+	return newSessionStore(ttl, max, now, NewMemoryBackend(), func(string, ...any) {})
+}
+
 func TestStoreTTLEviction(t *testing.T) {
 	now := time.Unix(1000, 0)
 	clock := func() time.Time { return now }
-	store := newSessionStore(time.Minute, 10, clock)
+	store := testStore(time.Minute, 10, clock)
 
 	if err := store.add(testState("a")); err != nil {
 		t.Fatal(err)
@@ -46,11 +52,18 @@ func TestStoreTTLEviction(t *testing.T) {
 	if got := store.len(); got != 1 {
 		t.Errorf("store size %d, want 1", got)
 	}
+	// Eviction reaches the backend too: a restart must not resurrect "b".
+	if _, err := store.backend.Get("b"); err == nil {
+		t.Error("evicted session still recorded in backend")
+	}
+	if _, err := store.backend.Get("a"); err != nil {
+		t.Errorf("live session missing from backend: %v", err)
+	}
 }
 
 func TestStoreNoTTL(t *testing.T) {
 	now := time.Unix(1000, 0)
-	store := newSessionStore(0, 10, func() time.Time { return now })
+	store := testStore(0, 10, func() time.Time { return now })
 	if err := store.add(testState("a")); err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +75,7 @@ func TestStoreNoTTL(t *testing.T) {
 
 func TestStoreCapacity(t *testing.T) {
 	now := time.Unix(1000, 0)
-	store := newSessionStore(time.Minute, 2, func() time.Time { return now })
+	store := testStore(time.Minute, 2, func() time.Time { return now })
 	if err := store.add(testState("a")); err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +94,7 @@ func TestStoreCapacity(t *testing.T) {
 
 func TestStoreListOrder(t *testing.T) {
 	now := time.Unix(1000, 0)
-	store := newSessionStore(time.Hour, 10, func() time.Time { return now })
+	store := testStore(time.Hour, 10, func() time.Time { return now })
 	for _, id := range []string{"z", "m", "a"} {
 		if err := store.add(testState(id)); err != nil {
 			t.Fatal(err)
@@ -97,6 +110,63 @@ func TestStoreListOrder(t *testing.T) {
 	}
 	if store.remove("m") {
 		t.Error("double remove succeeded")
+	}
+	if _, err := store.backend.Get("m"); err == nil {
+		t.Error("removed session still recorded in backend")
+	}
+}
+
+// TestStoreGetTouchNotRacedBySweep is the regression test for the liveness
+// race fixed in get: the touch used to happen after the store lock was
+// released, so a sweep running between the unlock and the touch could read
+// the stale lastUsed and evict the very session get was about to hand out.
+// With the touch inside the critical section the invariant is: whenever get
+// returns ok, the session's lastUsed equals the get's observation time, so a
+// sweep using any cutoff at or before that time cannot evict it.
+func TestStoreGetTouchNotRacedBySweep(t *testing.T) {
+	const ttl = time.Minute
+	var nowNanos atomic.Int64
+	base := time.Unix(1000, 0)
+	nowNanos.Store(0)
+	clock := func() time.Time { return base.Add(time.Duration(nowNanos.Load())) }
+	store := testStore(ttl, 10, clock)
+
+	for iter := 0; iter < 300; iter++ {
+		st := testState("s")
+		if err := store.add(st); err != nil {
+			t.Fatal(err)
+		}
+		// Make the session exactly TTL-stale, so the next sweep evicts it
+		// unless a concurrent get refreshes it first.
+		st.touch(clock().Add(-ttl - time.Nanosecond))
+
+		var (
+			wg    sync.WaitGroup
+			getOK atomic.Bool
+		)
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			_, ok := store.get("s")
+			getOK.Store(ok)
+		}()
+		go func() {
+			defer wg.Done()
+			store.len() // sweeps under the store lock
+		}()
+		wg.Wait()
+
+		// Whatever the interleaving, the outcome must be coherent: a
+		// successful get implies the session is (still) in the store, because
+		// its touch was atomic with the membership check.
+		if getOK.Load() {
+			if _, ok := store.get("s"); !ok {
+				t.Fatalf("iter %d: get returned a session the sweep evicted", iter)
+			}
+		}
+		store.remove("s")
+		// Advance the clock between rounds so records never collide in time.
+		nowNanos.Add(int64(time.Second))
 	}
 }
 

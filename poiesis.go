@@ -195,8 +195,44 @@ type ServerConfig = server.Config
 // command does exactly that).
 type PlanServer = server.Server
 
-// NewServer builds the HTTP planning service.
+// NewServer builds the HTTP planning service. When ServerConfig.Backend is a
+// disk backend holding records from a previous run, the non-expired sessions
+// are restored before the first request is served.
 func NewServer(cfg ServerConfig) *PlanServer { return server.New(cfg) }
+
+// SessionBackend is the pluggable persistence layer of the service's session
+// registry: reads stay in-memory-fast, every state-changing operation writes
+// a versioned session record through, and startup restores the backend's
+// records. Implementations must be safe for concurrent use and have exactly
+// one writing server process.
+type SessionBackend = server.SessionBackend
+
+// SessionRecord is the unit of session persistence: service metadata plus
+// the core SessionSnapshot.
+type SessionRecord = server.SessionRecord
+
+// SessionSnapshot is the versioned, self-contained serialized form of a
+// Session (current flow, binding, selection history, last result). Produce
+// one with Session.Snapshot and rebuild with RestoreSession.
+type SessionSnapshot = core.SessionSnapshot
+
+// RestoreSession rebuilds a Session from a snapshot; the planner is supplied
+// by the caller (nil uses the default) because planner options do not
+// serialize.
+func RestoreSession(p *Planner, snap *SessionSnapshot) (*Session, error) {
+	return core.RestoreSession(p, snap)
+}
+
+// NewMemorySessionBackend returns the in-process session backend (the
+// default): sessions die with the process.
+func NewMemorySessionBackend() SessionBackend { return server.NewMemoryBackend() }
+
+// NewDiskSessionBackend returns the crash-safe disk session backend rooted
+// at dir: each session is one atomic, fsync'd JSON snapshot file, restored
+// on the next NewServer over the same directory.
+func NewDiskSessionBackend(dir string) (*server.DiskBackend, error) {
+	return server.NewDiskBackend(dir)
+}
 
 // Measures ------------------------------------------------------------------
 
@@ -509,6 +545,24 @@ func LoadConfig(path string) (*ConfigDocument, error) {
 		return nil, fmt.Errorf("poiesis: %w", err)
 	}
 	return config.Parse(b)
+}
+
+// ServeConfig is a parsed `poiesis serve` configuration document: the
+// operational knobs (listen address, session TTL and cap, cache bounds, and
+// the storeDir key that enables the persistent disk session store).
+type ServeConfig = config.ServeDoc
+
+// ParseServeConfig decodes a serve configuration document; unknown keys and
+// malformed durations are rejected.
+func ParseServeConfig(b []byte) (*ServeConfig, error) { return config.ParseServe(b) }
+
+// LoadServeConfig reads a serve configuration document from a file.
+func LoadServeConfig(path string) (*ServeConfig, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("poiesis: %w", err)
+	}
+	return config.ParseServe(b)
 }
 
 // PlannerFromConfig materialises a planner (registry + options) from a
