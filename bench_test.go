@@ -16,6 +16,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"poiesis"
@@ -911,6 +912,96 @@ func benchServePlan(b *testing.B, cfg poiesis.ServerConfig) {
 	}
 	once("sv1", func() {
 		fmt.Printf("[SV1] service path: cached plan responses of %d bytes per request\n",
+			bytesRead/int64(b.N))
+	})
+}
+
+// -----------------------------------------------------------------------
+// SV2 — cluster path: the same cached plan request issued through a replica
+// that does NOT own the session, so every iteration pays the full forwarding
+// hop (proxy dial/reuse, header rewrite, chunk-flushed relay) on top of SV1's
+// REST + JSON cost. The delta against BenchmarkServePlan is the price of
+// "talk to any replica" transparency.
+
+func BenchmarkServePlanForwarded(b *testing.B) {
+	// Two shard-aware replicas on real sockets; membership URLs must exist
+	// before the servers do, so the handlers late-bind.
+	var handlers [2]atomic.Pointer[poiesis.PlanServer]
+	var urls [2]string
+	for i := 0; i < 2; i++ {
+		i := i
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			h := handlers[i].Load()
+			if h == nil {
+				http.Error(w, "starting", http.StatusServiceUnavailable)
+				return
+			}
+			h.ServeHTTP(w, r)
+		}))
+		defer ts.Close()
+		urls[i] = ts.URL
+	}
+	names := [2]string{"a", "b"}
+	members := []poiesis.ClusterMember{{ID: "a", URL: urls[0]}, {ID: "b", URL: urls[1]}}
+	for i := 0; i < 2; i++ {
+		cl, err := poiesis.NewCluster(names[i], members)
+		if err != nil {
+			b.Fatal(err)
+		}
+		handlers[i].Store(poiesis.NewServer(poiesis.ServerConfig{Cluster: cl}))
+	}
+
+	createBody := `{
+		"flow": {"builtin": "tpcds-purchases"},
+		"scale": 300,
+		"config": {"policy": "greedy", "topK": 2, "depth": 1, "sim": {"runs": 16, "defaultRows": 300}}
+	}`
+	resp, err := http.Post(urls[0]+"/v1/sessions", "application/json", strings.NewReader(createBody))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Replica a owns the session (created there); every request below goes
+	// to replica b and is forwarded.
+	planURL := urls[1] + "/v1/sessions/" + created.ID + "/plan"
+	warm, err := http.Post(planURL, "application/json", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, warm.Body)
+	warm.Body.Close()
+	if warm.StatusCode != http.StatusOK {
+		b.Fatalf("warm forwarded plan: %d", warm.StatusCode)
+	}
+
+	var bytesRead int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(planURL, "application/json", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, _ := io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("forwarded plan: %d", resp.StatusCode)
+		}
+		bytesRead += n
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(float64(bytesRead)/float64(b.N), "respB/op")
+	}
+	once("sv2", func() {
+		fmt.Printf("[SV2] cluster path: forwarded cached plan responses of %d bytes per request\n",
 			bytesRead/int64(b.N))
 	})
 }

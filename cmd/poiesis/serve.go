@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"sort"
 	"time"
 
 	"poiesis"
@@ -16,8 +17,11 @@ import (
 // loop of the paper's interactive tool exposed over a REST + SSE API, backed
 // by a TTL-evicting session store and a fingerprint-keyed plan cache. With
 // -store-dir (or the storeDir key of a -config document) sessions are
-// snapshotted to disk and survive restarts. See the "Run as a service" and
-// "Persistence" sections of the README for the endpoint walkthrough.
+// snapshotted to disk and survive restarts. With -peers and -node-id (or the
+// peers/nodeID keys) the process becomes one replica of a shard-aware
+// cluster: sessions route to the replica their ID hashes to and the plan
+// cache gains a shared tier. See the "Run as a service", "Persistence" and
+// "Cluster mode" sections of the README for the endpoint walkthrough.
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address (HOST:PORT)")
@@ -28,12 +32,15 @@ func cmdServe(args []string) error {
 	storeDir := fs.String("store-dir", "", "persist sessions as crash-safe JSON snapshots under this directory (empty = in-memory only)")
 	cfgPath := fs.String("config", "", "serve configuration document (JSON); explicit flags override it")
 	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown budget for in-flight requests")
+	nodeID := fs.String("node-id", "", "this replica's node ID within -peers (cluster mode)")
+	peersSpec := fs.String("peers", "", "static cluster membership as id=url[,id=url...], including this replica; enables consistent-hash session sharding and the shared plan-cache tier")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 
 	// A -config document supplies defaults for every flag the command line
 	// did not set explicitly; explicit flags win.
+	var docPeers map[string]string
 	if *cfgPath != "" {
 		doc, err := poiesis.LoadServeConfig(*cfgPath)
 		if err != nil {
@@ -63,6 +70,34 @@ func cmdServe(args []string) error {
 		if d, _ := doc.DrainDuration(); d != nil && !set["drain"] {
 			*drain = *d
 		}
+		if doc.NodeID != "" && !set["node-id"] {
+			*nodeID = doc.NodeID
+		}
+		if len(doc.Peers) > 0 && !set["peers"] {
+			docPeers = doc.Peers
+		}
+	}
+
+	// Cluster membership: the -peers flag wins over the document's peers
+	// map; either way the node ID must name one of the members.
+	var members []poiesis.ClusterMember
+	if *peersSpec != "" {
+		var err error
+		if members, err = poiesis.ParseClusterPeers(*peersSpec); err != nil {
+			return err
+		}
+	} else if len(docPeers) > 0 {
+		ids := make([]string, 0, len(docPeers))
+		for id := range docPeers {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			members = append(members, poiesis.ClusterMember{ID: id, URL: docPeers[id]})
+		}
+	}
+	if *nodeID != "" && len(members) == 0 {
+		return fmt.Errorf("serve: -node-id %q given without -peers (or a peers key in -config)", *nodeID)
 	}
 
 	ttl := *sessionTTL
@@ -86,6 +121,15 @@ func cmdServe(args []string) error {
 		cfg.Backend = backend
 		persistence = "sessions persisted in " + *storeDir
 	}
+	clusterMode := "single node"
+	if len(members) > 0 {
+		cl, err := poiesis.NewCluster(*nodeID, members)
+		if err != nil {
+			return err
+		}
+		cfg.Cluster = cl
+		clusterMode = fmt.Sprintf("cluster node %s of %d", *nodeID, len(members))
+	}
 	handler := poiesis.NewServer(cfg)
 	httpSrv := &http.Server{
 		Handler:           handler,
@@ -101,8 +145,8 @@ func cmdServe(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "poiesis serve: listening on http://%s (session TTL %s, cache %d entries / %d MiB, %s",
-			ln.Addr(), *sessionTTL, *cacheSize, *cacheMB, persistence)
+		fmt.Fprintf(os.Stderr, "poiesis serve: listening on http://%s (session TTL %s, cache %d entries / %d MiB, %s, %s",
+			ln.Addr(), *sessionTTL, *cacheSize, *cacheMB, persistence, clusterMode)
 		if n := handler.RestoredSessions(); n > 0 {
 			fmt.Fprintf(os.Stderr, ", %d restored", n)
 		}

@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// The shared plan-cache tier. Every canonical plan key has exactly one
+// owning replica (CacheKey on the ring); a replica that misses its local
+// cache asks the owner before evaluating, and hands the owner the result
+// after evaluating, so across the whole cluster each flow fingerprint is
+// evaluated at most once and later requests — on any replica — are served
+// from a cache at most one hop away. Payloads are opaque bytes here (the
+// server layer speaks core.ResultSnapshot JSON); this package only moves
+// and counts them.
+
+// maxCacheFetchBytes bounds a fetched cache payload. Serialized results are
+// usually well under the plan cache's own 64 MiB default budget; the bound
+// exists so a confused peer cannot make this replica buffer without limit.
+const maxCacheFetchBytes = 256 << 20
+
+// FetchCachedResult asks the owning peer for the serialized result under
+// wireKey (the base64url form of the canonical plan key). ok is false on a
+// peer miss, a down peer, or any transport error — the caller then evaluates
+// locally, which is always correct, just not shared.
+func (c *Cluster) FetchCachedResult(ctx context.Context, ownerID, wireKey string) (payload []byte, ok bool) {
+	p := c.peers[ownerID]
+	if p == nil {
+		return nil, false
+	}
+	if up, _ := c.available(p); !up {
+		return nil, false
+	}
+	p.cacheGets.Add(1)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.url+"/v1/cache/"+wireKey, nil)
+	if err != nil {
+		p.cacheErrors.Add(1)
+		return nil, false
+	}
+	req.Header.Set(ForwardedHeader, c.self)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		p.cacheErrors.Add(1)
+		if ctx.Err() == nil {
+			c.markDown(p)
+			c.logf("cluster: cache fetch from %s: %v", p.id, err)
+		}
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+		if resp.StatusCode != http.StatusNotFound {
+			p.cacheErrors.Add(1)
+			c.logf("cluster: cache fetch from %s: status %d", p.id, resp.StatusCode)
+		}
+		return nil, false
+	}
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxCacheFetchBytes+1))
+	if err != nil || int64(len(b)) > maxCacheFetchBytes {
+		p.cacheErrors.Add(1)
+		return nil, false
+	}
+	p.cacheHits.Add(1)
+	return b, true
+}
+
+// PushCachedResult writes a freshly computed result through to the key's
+// owning peer, so the next replica that misses on this key finds it at the
+// owner. Strictly best-effort: a failed push costs future sharing, never the
+// current response.
+func (c *Cluster) PushCachedResult(ctx context.Context, ownerID, wireKey string, payload []byte) error {
+	p := c.peers[ownerID]
+	if p == nil {
+		return fmt.Errorf("cluster: unknown peer %q", ownerID)
+	}
+	if up, _ := c.available(p); !up {
+		return fmt.Errorf("cluster: peer %s is down", ownerID)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, p.url+"/v1/cache/"+wireKey, bytes.NewReader(payload))
+	if err != nil {
+		p.cacheErrors.Add(1)
+		return err
+	}
+	req.Header.Set(ForwardedHeader, c.self)
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		p.cacheErrors.Add(1)
+		if ctx.Err() == nil {
+			c.markDown(p)
+			c.logf("cluster: cache push to %s: %v", p.id, err)
+		}
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		p.cacheErrors.Add(1)
+		c.logf("cluster: cache push to %s: status %d", p.id, resp.StatusCode)
+		return fmt.Errorf("cluster: cache push to %s: status %d", ownerID, resp.StatusCode)
+	}
+	p.cachePuts.Add(1)
+	return nil
+}

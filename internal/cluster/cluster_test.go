@@ -1,0 +1,246 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParsePeers(t *testing.T) {
+	members, err := ParsePeers("a=http://10.0.0.1:8080, b=http://10.0.0.2:8080 ,c=https://etl.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 3 || members[0].ID != "a" || members[1].URL != "http://10.0.0.2:8080" || members[2].ID != "c" {
+		t.Fatalf("parsed %+v", members)
+	}
+	for _, bad := range []string{"", "nourl", "=http://x", "a=", ","} {
+		if _, err := ParsePeers(bad); err == nil {
+			t.Errorf("ParsePeers(%q) accepted", bad)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	ab := []Member{{ID: "a", URL: "http://h1:1"}, {ID: "b", URL: "http://h2:2"}}
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"missing self", Config{Members: ab}},
+		{"self not a member", Config{Self: "zz", Members: ab}},
+		{"empty membership", Config{Self: "a"}},
+		{"duplicate ID", Config{Self: "a", Members: []Member{{ID: "a", URL: "http://h:1"}, {ID: "a", URL: "http://h:2"}}}},
+		{"bad URL", Config{Self: "a", Members: []Member{{ID: "a", URL: "ftp://h:1"}, {ID: "b", URL: "http://h:2"}}}},
+		{"ID with separator", Config{Self: "a", Members: []Member{{ID: "a", URL: "http://h:1"}, {ID: "x,y", URL: "http://h:2"}}}},
+	}
+	for _, c := range cases {
+		if _, err := New(c.cfg); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	cl, err := New(Config{Self: "a", Members: ab})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Self() != "a" || len(cl.Members()) != 2 {
+		t.Errorf("cluster state: self %q members %v", cl.Self(), cl.Members())
+	}
+	if got := cl.Owner(SessionKey("x")); got != "a" && got != "b" {
+		t.Errorf("owner %q not a member", got)
+	}
+}
+
+// twoNodeCluster builds a cluster runtime for node "a" whose peer "b" is the
+// given test server.
+func twoNodeCluster(t *testing.T, peerURL string, now func() time.Time) *Cluster {
+	t.Helper()
+	cl, err := New(Config{
+		Self: "a",
+		Members: []Member{
+			{ID: "a", URL: "http://unused.invalid"},
+			{ID: "b", URL: peerURL},
+		},
+		Now:      now,
+		Cooldown: 5 * time.Second,
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+func TestForwardProxiesVerbatim(t *testing.T) {
+	var gotPath, gotForwarded, gotBody string
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotPath = r.URL.RequestURI()
+		gotForwarded = r.Header.Get(ForwardedHeader)
+		b, _ := io.ReadAll(r.Body)
+		gotBody = string(b)
+		w.Header().Set("X-Custom", "yes")
+		w.WriteHeader(http.StatusTeapot)
+		io.WriteString(w, `{"ok":true}`)
+	}))
+	defer peer.Close()
+
+	cl := twoNodeCluster(t, peer.URL, nil)
+	req := httptest.NewRequest("POST", "/v1/sessions/abc/plan?stream=sse&every=2", strings.NewReader(`{"x":1}`))
+	rr := httptest.NewRecorder()
+	cl.Forward(rr, req, "b")
+
+	if gotPath != "/v1/sessions/abc/plan?stream=sse&every=2" {
+		t.Errorf("path %q", gotPath)
+	}
+	if gotForwarded != "a" {
+		t.Errorf("forwarded header %q", gotForwarded)
+	}
+	if gotBody != `{"x":1}` {
+		t.Errorf("body %q", gotBody)
+	}
+	if rr.Code != http.StatusTeapot || rr.Body.String() != `{"ok":true}` {
+		t.Errorf("relayed %d %q", rr.Code, rr.Body.String())
+	}
+	if rr.Header().Get("X-Custom") != "yes" {
+		t.Error("custom response header dropped")
+	}
+	st := cl.Stats()
+	if len(st.Peers) != 1 || st.Peers[0].Forwarded != 1 {
+		t.Errorf("stats %+v", st.Peers)
+	}
+}
+
+// TestForwardDeadPeer: an unreachable owner yields 503 + Retry-After, the
+// cooldown short-circuits the next request, and after the cooldown a
+// successful /v1/readyz probe revives the peer.
+func TestForwardDeadPeer(t *testing.T) {
+	var mu sync.Mutex
+	alive := false
+	var probes int
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		if r.URL.Path == "/v1/readyz" {
+			probes++
+			if !alive {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				return
+			}
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		io.WriteString(w, "served")
+	}))
+	defer peer.Close()
+
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	// Point the cluster at a dead address first to trip the cooldown.
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	deadURL := dead.URL
+	dead.Close() // nothing listens here anymore
+
+	cl := twoNodeCluster(t, deadURL, clock)
+	req := httptest.NewRequest("GET", "/v1/sessions/abc", nil)
+	rr := httptest.NewRecorder()
+	cl.Forward(rr, req, "b")
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("dead peer: %d", rr.Code)
+	}
+	if rr.Header().Get("Retry-After") == "" {
+		t.Fatal("no Retry-After on dead peer")
+	}
+	if st := cl.Stats(); !st.Peers[0].Down || st.Peers[0].ForwardErrors != 1 {
+		t.Fatalf("peer not marked down: %+v", st.Peers[0])
+	}
+
+	// Within the cooldown: short-circuit, no connection attempt.
+	rr = httptest.NewRecorder()
+	cl.Forward(rr, httptest.NewRequest("GET", "/v1/sessions/abc", nil), "b")
+	if rr.Code != http.StatusServiceUnavailable || rr.Header().Get("Retry-After") == "" {
+		t.Fatalf("cooldown window: %d", rr.Code)
+	}
+	if st := cl.Stats(); st.Peers[0].ForwardErrors != 1 {
+		t.Fatalf("short-circuit dialed anyway: %+v", st.Peers[0])
+	}
+
+	// Cooldown elapsed but the peer is still not ready: the probe fails and
+	// re-arms the cooldown.
+	cl.peers["b"].url = strings.TrimRight(peer.URL, "/")
+	now = now.Add(6 * time.Second)
+	rr = httptest.NewRecorder()
+	cl.Forward(rr, httptest.NewRequest("GET", "/v1/sessions/abc", nil), "b")
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("not-ready peer: %d", rr.Code)
+	}
+	mu.Lock()
+	if probes != 1 {
+		t.Fatalf("probes = %d, want 1", probes)
+	}
+	alive = true
+	mu.Unlock()
+
+	// Cooldown elapsed and the peer answers the probe: traffic resumes.
+	now = now.Add(6 * time.Second)
+	rr = httptest.NewRecorder()
+	cl.Forward(rr, httptest.NewRequest("GET", "/v1/sessions/abc", nil), "b")
+	if rr.Code != http.StatusOK || rr.Body.String() != "served" {
+		t.Fatalf("revived peer: %d %q", rr.Code, rr.Body.String())
+	}
+	if st := cl.Stats(); st.Peers[0].Down || st.Peers[0].Forwarded != 1 {
+		t.Fatalf("peer not revived: %+v", st.Peers[0])
+	}
+}
+
+func TestCachePeerRoundTrip(t *testing.T) {
+	store := map[string][]byte{}
+	var mu sync.Mutex
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		key := strings.TrimPrefix(r.URL.Path, "/v1/cache/")
+		mu.Lock()
+		defer mu.Unlock()
+		switch r.Method {
+		case http.MethodGet:
+			if b, ok := store[key]; ok {
+				w.Write(b)
+				return
+			}
+			w.WriteHeader(http.StatusNotFound)
+		case http.MethodPut:
+			b, _ := io.ReadAll(r.Body)
+			store[key] = b
+			w.WriteHeader(http.StatusNoContent)
+		}
+	}))
+	defer peer.Close()
+
+	cl := twoNodeCluster(t, peer.URL, nil)
+	ctx := context.Background()
+	if _, ok := cl.FetchCachedResult(ctx, "b", "k1"); ok {
+		t.Fatal("fetch hit on empty peer")
+	}
+	if err := cl.PushCachedResult(ctx, "b", "k1", []byte(`{"r":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	b, ok := cl.FetchCachedResult(ctx, "b", "k1")
+	if !ok || string(b) != `{"r":1}` {
+		t.Fatalf("fetch after push: %v %q", ok, b)
+	}
+	st := cl.Stats()
+	p := st.Peers[0]
+	if p.CacheGets != 2 || p.CacheHits != 1 || p.CachePuts != 1 {
+		t.Errorf("cache counters %+v", p)
+	}
+	// Unknown peers are rejected, not dialed.
+	if _, ok := cl.FetchCachedResult(ctx, "zz", "k1"); ok {
+		t.Error("fetch from unknown peer succeeded")
+	}
+	if err := cl.PushCachedResult(ctx, "zz", "k1", nil); err == nil {
+		t.Error("push to unknown peer succeeded")
+	}
+}

@@ -1,0 +1,123 @@
+// Package cluster turns the poiesis planning service into a shard-aware
+// replica. A static membership list (every replica knows the full list plus
+// its own node ID) feeds a consistent-hash ring; sessions are owned by the
+// replica their ID hashes to and plan-cache entries by the replica their
+// canonical plan key hashes to. Requests for a session another replica owns
+// are transparently proxied to it (including SSE progress streams), and on a
+// local plan-cache miss the key's owner is asked for — and later handed —
+// the result, so one flow fingerprint is evaluated on at most one replica.
+//
+// The package deliberately stays below the HTTP handler layer: it knows how
+// to hash, route, proxy and count, while the server package decides *which*
+// requests shard by *which* keys.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// DefaultVNodes is the number of virtual nodes each member contributes to
+// the ring. Imbalance between members shrinks roughly with 1/sqrt(vnodes);
+// 512 points per member keeps every member's key share within ±15% of
+// uniform across the 2–8 replica range (see TestRingDistribution), and ring
+// construction — a few thousand hashes, once per process — stays trivial.
+const DefaultVNodes = 512
+
+// Ring is a consistent-hash ring over a static set of node IDs. Ownership is
+// a pure function of (sorted member IDs, vnode count, key), so every replica
+// that was started with the same membership list computes identical owners
+// without any coordination. Adding or removing one member moves only the
+// keys that land on that member's arcs (~1/n of the space); everything else
+// keeps its owner — the property that makes rebalancing a file move rather
+// than a full reshuffle.
+type Ring struct {
+	vnodes int
+	nodes  []string // sorted unique member IDs
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing builds a ring with vnodes virtual points per node (<=0 uses
+// DefaultVNodes). Node IDs must be non-empty and unique.
+func NewRing(nodes []string, vnodes int) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	sorted := append([]string(nil), nodes...)
+	sort.Strings(sorted)
+	for i, id := range sorted {
+		if id == "" {
+			return nil, fmt.Errorf("cluster: empty node ID")
+		}
+		if i > 0 && sorted[i-1] == id {
+			return nil, fmt.Errorf("cluster: duplicate node ID %q", id)
+		}
+	}
+	r := &Ring{
+		vnodes: vnodes,
+		nodes:  sorted,
+		points: make([]ringPoint, 0, len(sorted)*vnodes),
+	}
+	for _, id := range sorted {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash: hash64(id + "#" + strconv.Itoa(v)),
+				node: id,
+			})
+		}
+	}
+	// Ties between different nodes' points are broken by node ID so that
+	// replicas agree on ownership regardless of input order.
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return r, nil
+}
+
+// Owner returns the node ID owning key: the first ring point clockwise from
+// the key's hash.
+func (r *Ring) Owner(key string) string {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap past the highest point
+	}
+	return r.points[i].node
+}
+
+// Nodes returns the sorted member IDs.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// VNodes reports the virtual points per member.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// hash64 maps a string onto the ring's key space. SHA-256 (truncated to 64
+// bits) rather than a fast non-cryptographic hash: ring positions are
+// computed once per membership and once per request, so quality of spread
+// matters far more than nanoseconds, and session IDs are user-visible —
+// a weak hash would let crafted IDs pile onto one replica.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// SessionKey namespaces a session ID for ring lookup, keeping session and
+// plan-cache placements independent.
+func SessionKey(id string) string { return "session:" + id }
+
+// CacheKey namespaces a canonical plan key for ring lookup.
+func CacheKey(planKey string) string { return "plan:" + planKey }

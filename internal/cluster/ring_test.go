@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// sampleKeys returns n deterministic pseudo-session-IDs.
+func sampleKeys(n int) []string {
+	rng := rand.New(rand.NewSource(42))
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("session:%016x%016x", rng.Uint64(), rng.Uint64())
+	}
+	return out
+}
+
+func nodeNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("node-%d", i)
+	}
+	return out
+}
+
+// TestRingDistribution checks that for every cluster size the service
+// targets (2–8 replicas), each member's share of a large key population
+// stays within ±15% of uniform — the bound that makes "add a replica" mean
+// "add capacity" rather than "move the hot spot".
+func TestRingDistribution(t *testing.T) {
+	keys := sampleKeys(20000)
+	for n := 2; n <= 8; n++ {
+		r, err := NewRing(nodeNames(n), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := map[string]int{}
+		for _, k := range keys {
+			counts[r.Owner(k)]++
+		}
+		if len(counts) != n {
+			t.Fatalf("n=%d: only %d nodes own keys", n, len(counts))
+		}
+		uniform := float64(len(keys)) / float64(n)
+		for node, c := range counts {
+			dev := (float64(c) - uniform) / uniform
+			if dev < -0.15 || dev > 0.15 {
+				t.Errorf("n=%d: %s owns %d keys (%.1f%% off uniform %0.f)", n, node, c, dev*100, uniform)
+			}
+		}
+	}
+}
+
+// TestRingDeterministicOwnership: replicas build their rings independently,
+// possibly from differently ordered membership lists; they must agree on
+// every key, or sessions would be unreachable from some replicas.
+func TestRingDeterministicOwnership(t *testing.T) {
+	nodes := []string{"c", "a", "d", "b"}
+	shuffled := []string{"b", "d", "a", "c"}
+	r1, err := NewRing(nodes, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing(shuffled, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range sampleKeys(2000) {
+		if o1, o2 := r1.Owner(k), r2.Owner(k); o1 != o2 {
+			t.Fatalf("key %s: owners disagree (%s vs %s)", k, o1, o2)
+		}
+	}
+	// And the same ring twice is trivially stable.
+	for _, k := range sampleKeys(100) {
+		if r1.Owner(k) != r1.Owner(k) {
+			t.Fatal("owner not stable")
+		}
+	}
+}
+
+// TestRingMinimalMovement: growing n→n+1 must move only keys that land on
+// the new node (consistent hashing's defining property), and the moved share
+// should be in the neighborhood of 1/(n+1), not a reshuffle.
+func TestRingMinimalMovement(t *testing.T) {
+	keys := sampleKeys(20000)
+	for n := 2; n <= 7; n++ {
+		before, err := NewRing(nodeNames(n), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after, err := NewRing(nodeNames(n+1), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		newNode := fmt.Sprintf("node-%d", n)
+		moved := 0
+		for _, k := range keys {
+			o1, o2 := before.Owner(k), after.Owner(k)
+			if o1 == o2 {
+				continue
+			}
+			if o2 != newNode {
+				t.Fatalf("n=%d→%d: key moved %s→%s, not to the new node", n, n+1, o1, o2)
+			}
+			moved++
+		}
+		ideal := float64(len(keys)) / float64(n+1)
+		if f := float64(moved); f < 0.5*ideal || f > 1.5*ideal {
+			t.Errorf("n=%d→%d: %d keys moved, want ~%.0f (±50%%)", n, n+1, moved, ideal)
+		}
+	}
+}
+
+// TestRingRemovalMovement mirrors the growth property: removing a node must
+// reassign only that node's keys.
+func TestRingRemovalMovement(t *testing.T) {
+	keys := sampleKeys(10000)
+	before, err := NewRing(nodeNames(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewRing(nodeNames(3), 0) // node-3 removed
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		o1, o2 := before.Owner(k), after.Owner(k)
+		if o1 != "node-3" && o1 != o2 {
+			t.Fatalf("key owned by surviving %s moved to %s on removal of node-3", o1, o2)
+		}
+		if o1 == "node-3" && o2 == "node-3" {
+			t.Fatal("removed node still owns a key")
+		}
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty node list accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 0); err == nil {
+		t.Error("duplicate node accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Error("empty node ID accepted")
+	}
+	r, err := NewRing([]string{"solo"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Owner("anything"); got != "solo" {
+		t.Errorf("single-node ring owner = %q", got)
+	}
+}

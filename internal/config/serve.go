@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"net/url"
 	"time"
 )
 
@@ -30,6 +31,15 @@ type ServeDoc struct {
 	CacheMB int `json:"cacheMB,omitempty"`
 	// Drain is the graceful-shutdown budget (Go duration string).
 	Drain string `json:"drain,omitempty"`
+	// NodeID names this replica within the cluster's peer list; required
+	// when Peers is set (the -node-id flag overrides it).
+	NodeID string `json:"nodeID,omitempty"`
+	// Peers is the static cluster membership, node ID → base URL (including
+	// this replica's own entry). Setting it turns the server into a
+	// shard-aware replica: sessions route to the replica their ID hashes
+	// to, and the plan cache gains a shared tier. Every replica must be
+	// started with an identical membership.
+	Peers map[string]string `json:"peers,omitempty"`
 }
 
 // ParseServe decodes a serve configuration document. Unknown keys are
@@ -51,6 +61,22 @@ func ParseServe(b []byte) (*ServeDoc, error) {
 	}
 	if _, err := d.DrainDuration(); err != nil {
 		return nil, err
+	}
+	// Peer URLs are validated here for the same reason durations are: a
+	// malformed member address must fail at startup, not on the first
+	// forwarded request. Membership consistency (node ID in the list, no
+	// duplicates) is the cluster layer's job — the CLI may override nodeID.
+	for id, peer := range d.Peers {
+		if id == "" {
+			return nil, fmt.Errorf("config: serve document: peers: empty node ID")
+		}
+		u, err := url.Parse(peer)
+		if err != nil {
+			return nil, fmt.Errorf("config: serve document: peers[%s]: %w", id, err)
+		}
+		if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("config: serve document: peers[%s]: %q must be http(s)://host[:port]", id, peer)
+		}
 	}
 	return &d, nil
 }

@@ -14,7 +14,9 @@ func TestParseServe(t *testing.T) {
 		"maxSessions": 9,
 		"cacheEntries": 32,
 		"cacheMB": 16,
-		"drain": "5s"
+		"drain": "5s",
+		"nodeID": "a",
+		"peers": {"a": "http://10.0.0.1:9090", "b": "http://10.0.0.2:9090"}
 	}`))
 	if err != nil {
 		t.Fatal(err)
@@ -22,6 +24,9 @@ func TestParseServe(t *testing.T) {
 	if doc.Addr != "0.0.0.0:9090" || doc.StoreDir != "/var/lib/poiesis/sessions" ||
 		doc.MaxSessions != 9 || doc.CacheEntries != 32 || doc.CacheMB != 16 {
 		t.Errorf("fields wrong: %+v", doc)
+	}
+	if doc.NodeID != "a" || len(doc.Peers) != 2 || doc.Peers["b"] != "http://10.0.0.2:9090" {
+		t.Errorf("cluster fields wrong: %+v", doc)
 	}
 	ttl, err := doc.SessionTTLDuration()
 	if err != nil || ttl == nil || *ttl != 45*time.Minute {
@@ -51,6 +56,9 @@ func TestParseServeRejectsMistakes(t *testing.T) {
 		"not a json object": `[1,2,3]`,
 		"trailing nonsense": `{}garbage`,
 		"wrong value type":  `{"maxSessions": "many"}`,
+		"bad peer URL":      `{"peers": {"a": "not a url"}}`,
+		"peer URL scheme":   `{"peers": {"a": "ftp://x:1"}}`,
+		"empty peer ID":     `{"peers": {"": "http://x:1"}}`,
 	}
 	for name, in := range cases {
 		if _, err := ParseServe([]byte(in)); err == nil {

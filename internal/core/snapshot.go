@@ -193,6 +193,26 @@ func RestoreSession(planner *Planner, snap *SessionSnapshot) (*Session, error) {
 	return s, nil
 }
 
+// SnapshotResult serializes one planning Result on its own — the full
+// evaluated space, stats and skyline, exactly as SessionSnapshot embeds it.
+// The HTTP service's shared plan-cache tier ships results between replicas
+// in this form: restoring yields a Result that serves responses
+// byte-identical to the original's.
+func SnapshotResult(res *Result) (*ResultSnapshot, error) {
+	if res == nil {
+		return nil, errors.New("core: SnapshotResult: nil result")
+	}
+	return snapshotResult(res)
+}
+
+// RestoreResult rebuilds a Result from its snapshot.
+func RestoreResult(rs *ResultSnapshot) (*Result, error) {
+	if rs == nil {
+		return nil, errors.New("core: RestoreResult: nil snapshot")
+	}
+	return restoreResult(rs)
+}
+
 func decodeSnapshotGraph(raw json.RawMessage) (*etl.Graph, error) {
 	if len(raw) == 0 {
 		return nil, errors.New("missing flow")

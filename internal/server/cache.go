@@ -147,6 +147,56 @@ func (c *planCache) do(ctx context.Context, key string, compute func() (*core.Re
 	}
 }
 
+// lookup returns the cached result for key without computing anything. When
+// wait is true and another request is currently computing the key, lookup
+// blocks for that computation and serves its result — the behavior the
+// peer-facing cache endpoint wants: a peer asking the owner mid-computation
+// should share the in-flight run, not start a redundant one. A miss (or a
+// cancelled wait, or a failed leader) reports ok false.
+func (c *planCache) lookup(ctx context.Context, key string, wait bool) (*core.Result, bool) {
+	for {
+		c.mu.Lock()
+		if e, ok := c.entries[key]; ok {
+			c.ll.MoveToFront(e)
+			c.hits++
+			res := e.Value.(*cacheEntry).res
+			c.mu.Unlock()
+			return res, true
+		}
+		ch, inflight := c.inflight[key]
+		if !inflight || !wait {
+			c.misses++
+			c.mu.Unlock()
+			return nil, false
+		}
+		c.mu.Unlock()
+		select {
+		case <-ch:
+			// Leader finished: on success the entry is resident now; on
+			// failure the next loop reports the miss (no waiter takeover
+			// here — peers must not compute for the owner).
+		case <-ctx.Done():
+			return nil, false
+		}
+	}
+}
+
+// put inserts an externally produced result — a peer's write-through — and
+// evicts as usual. A key already resident or currently being computed
+// locally is left alone: the local computation is at least as fresh, and
+// addLocked's invariant (insert only absent keys) must hold.
+func (c *planCache) put(key string, res *core.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return
+	}
+	if _, ok := c.inflight[key]; ok {
+		return
+	}
+	c.addLocked(key, res)
+}
+
 // memo returns the entry's derived payload, building it once via build; ok
 // is false when the entry has been evicted (the caller then derives the
 // payload itself). The once-guard means concurrent first hits block on one

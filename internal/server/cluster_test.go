@@ -1,0 +1,503 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"poiesis/internal/cluster"
+)
+
+// startReplicas boots n shard-aware replicas listening on real sockets (the
+// forwarder dials peers over HTTP). Membership URLs must exist before the
+// servers do, so each httptest server late-binds its handler. All replicas
+// share one frozen clock: responses carrying timestamps must be
+// byte-identical no matter which replica served them.
+func startReplicas(t *testing.T, n int, mutate func(i int, cfg *Config)) ([]*Server, []string) {
+	t.Helper()
+	handlers := make([]atomic.Pointer[Server], n)
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		i := i
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			h := handlers[i].Load()
+			if h == nil {
+				http.Error(w, "starting", http.StatusServiceUnavailable)
+				return
+			}
+			h.ServeHTTP(w, r)
+		}))
+		t.Cleanup(ts.Close)
+		urls[i] = ts.URL
+	}
+	members := make([]cluster.Member, n)
+	for i := range members {
+		members[i] = cluster.Member{ID: fmt.Sprintf("n%d", i), URL: urls[i]}
+	}
+	t0 := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	clock := func() time.Time { return t0 }
+	servers := make([]*Server, n)
+	for i := 0; i < n; i++ {
+		cl, err := cluster.New(cluster.Config{
+			Self:    fmt.Sprintf("n%d", i),
+			Members: members,
+			Logf:    t.Logf,
+			Now:     clock,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{Cluster: cl, Logf: t.Logf, Now: clock}
+		if mutate != nil {
+			mutate(i, &cfg)
+		}
+		servers[i] = New(cfg)
+		handlers[i].Store(servers[i])
+	}
+	return servers, urls
+}
+
+// httpDo issues a real HTTP request and returns status and body.
+func httpDo(t testing.TB, method, url, body string) (int, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+func clusterCreateSession(t testing.TB, url, name string) string {
+	t.Helper()
+	code, b := httpDo(t, "POST", url+"/v1/sessions", fastPlanBody(name))
+	if code != http.StatusCreated {
+		t.Fatalf("create on %s: %d %s", url, code, b)
+	}
+	var sj sessionJSON
+	if err := json.Unmarshal(b, &sj); err != nil || sj.ID == "" {
+		t.Fatalf("create response %s (err %v)", b, err)
+	}
+	return sj.ID
+}
+
+func replicaStats(t testing.TB, url string) serverStatsJSON {
+	t.Helper()
+	code, b := httpDo(t, "GET", url+"/v1/stats", "")
+	if code != 200 {
+		t.Fatalf("stats on %s: %d", url, code)
+	}
+	var st serverStatsJSON
+	if err := json.Unmarshal(b, &st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func peerCounters(st serverStatsJSON, peerID string) cluster.PeerStats {
+	if st.Cluster == nil {
+		return cluster.PeerStats{}
+	}
+	for _, p := range st.Cluster.Peers {
+		if p.ID == peerID {
+			return p
+		}
+	}
+	return cluster.PeerStats{}
+}
+
+// TestClusterForwardedSessionAccess is the headline property: a session
+// created on replica A is usable through any replica, with responses
+// byte-identical to A's own, and the per-peer forward counters record the
+// traffic.
+func TestClusterForwardedSessionAccess(t *testing.T) {
+	servers, urls := startReplicas(t, 3, nil)
+	id := clusterCreateSession(t, urls[0], "alice")
+
+	// The creating replica owns the session: its ID was drawn until it
+	// landed on n0's arc of the ring.
+	if owner := servers[0].cluster.Owner(cluster.SessionKey(id)); owner != "n0" {
+		t.Fatalf("creator does not own the session: owner %s", owner)
+	}
+	if servers[0].Sessions() != 1 || servers[1].Sessions() != 0 || servers[2].Sessions() != 0 {
+		t.Fatalf("session not homed on n0: %d/%d/%d",
+			servers[0].Sessions(), servers[1].Sessions(), servers[2].Sessions())
+	}
+
+	// GET through every replica: same bytes.
+	code0, direct := httpDo(t, "GET", urls[0]+"/v1/sessions/"+id, "")
+	if code0 != 200 {
+		t.Fatalf("direct get: %d %s", code0, direct)
+	}
+	for i := 1; i < 3; i++ {
+		code, via := httpDo(t, "GET", urls[i]+"/v1/sessions/"+id, "")
+		if code != 200 {
+			t.Fatalf("get via replica %d: %d %s", i, code, via)
+		}
+		if !bytes.Equal(direct, via) {
+			t.Errorf("replica %d response differs:\n%s\nvs direct:\n%s", i, via, direct)
+		}
+	}
+
+	// Plan through replica 1 (forwarded to the owner), select through
+	// replica 2: the whole explore-select loop works from any replica.
+	if code, b := httpDo(t, "POST", urls[1]+"/v1/sessions/"+id+"/plan", ""); code != 200 {
+		t.Fatalf("plan via replica 1: %d %s", code, b)
+	}
+	code0, res0 := httpDo(t, "GET", urls[0]+"/v1/sessions/"+id+"/result?reports=1", "")
+	code2, res2 := httpDo(t, "GET", urls[2]+"/v1/sessions/"+id+"/result?reports=1", "")
+	if code0 != 200 || code2 != 200 || !bytes.Equal(res0, res2) {
+		t.Errorf("forwarded result differs (%d/%d)", code0, code2)
+	}
+	if code, b := httpDo(t, "POST", urls[2]+"/v1/sessions/"+id+"/select", `{"index":0}`); code != 200 {
+		t.Fatalf("select via replica 2: %d %s", code, b)
+	}
+	var sj sessionJSON
+	_, b := httpDo(t, "GET", urls[1]+"/v1/sessions/"+id, "")
+	if err := json.Unmarshal(b, &sj); err != nil || sj.Iterations != 1 {
+		t.Errorf("iteration not visible through replica 1: %s (err %v)", b, err)
+	}
+
+	// Counter evidence: replica 1 forwarded to n0; replica 0 saw requests
+	// arrive forwarded from n1 and n2.
+	if got := peerCounters(replicaStats(t, urls[1]), "n0").Forwarded; got < 1 {
+		t.Errorf("replica 1 forwarded-to-n0 = %d, want >= 1", got)
+	}
+	st0 := replicaStats(t, urls[0])
+	if in := peerCounters(st0, "n1").ForwardedIn + peerCounters(st0, "n2").ForwardedIn; in < 3 {
+		t.Errorf("replica 0 forwarded-in = %d, want >= 3", in)
+	}
+}
+
+// TestClusterExactlyOneEvaluation: planning the same flow on all three
+// replicas performs exactly one evaluation cluster-wide — the others are
+// served via the shared cache tier (peer fetch or write-through), proven by
+// the /v1/stats counters.
+func TestClusterExactlyOneEvaluation(t *testing.T) {
+	_, urls := startReplicas(t, 3, nil)
+
+	ids := make([]string, 3)
+	for i := range urls {
+		ids[i] = clusterCreateSession(t, urls[i], fmt.Sprintf("analyst-%d", i))
+	}
+	var results [][]byte
+	for i, url := range urls {
+		code, b := httpDo(t, "POST", url+"/v1/sessions/"+ids[i]+"/plan", "")
+		if code != 200 {
+			t.Fatalf("plan on replica %d: %d %s", i, code, b)
+		}
+		_, res := httpDo(t, "GET", url+"/v1/sessions/"+ids[i]+"/result?reports=1", "")
+		results = append(results, res)
+	}
+	for i := 1; i < 3; i++ {
+		if !bytes.Equal(results[0], results[i]) {
+			t.Errorf("replica %d result differs from replica 0", i)
+		}
+	}
+
+	var computed, cached, evals, cacheGets, cacheHitsOrPuts int64
+	for _, url := range urls {
+		st := replicaStats(t, url)
+		computed += st.PlansComputed
+		cached += st.PlansCached
+		evals += st.Evaluations
+		if st.Cluster != nil {
+			for _, p := range st.Cluster.Peers {
+				cacheGets += p.CacheGets
+				cacheHitsOrPuts += p.CacheHits + p.CachePuts
+			}
+		}
+	}
+	if computed != 1 {
+		t.Errorf("plansComputed cluster-wide = %d, want exactly 1", computed)
+	}
+	if cached != 2 {
+		t.Errorf("plansCached cluster-wide = %d, want 2", cached)
+	}
+	if evals == 0 {
+		t.Error("the one computed plan reports zero evaluations")
+	}
+	if cacheGets < 1 {
+		t.Errorf("no peer cache traffic at all (gets=%d)", cacheGets)
+	}
+	if cacheHitsOrPuts < 1 {
+		t.Errorf("cache tier never shared a result (hits+puts=%d)", cacheHitsOrPuts)
+	}
+
+	// The cache tier only talks to known peers: a client without a peer's
+	// forwarded marker cannot read or write cached results.
+	if code, b := httpDo(t, "GET", urls[0]+"/v1/cache/abcd", ""); code != http.StatusForbidden {
+		t.Errorf("cache get without peer marker: %d %s", code, b)
+	}
+	if code, b := httpDo(t, "PUT", urls[0]+"/v1/cache/abcd", `{}`); code != http.StatusForbidden {
+		t.Errorf("cache put without peer marker: %d %s", code, b)
+	}
+
+	// A repeat plan anywhere stays served from cache: still one evaluation.
+	if code, _ := httpDo(t, "POST", urls[1]+"/v1/sessions/"+ids[1]+"/plan", ""); code != 200 {
+		t.Fatal("repeat plan failed")
+	}
+	var computedAfter int64
+	for _, url := range urls {
+		computedAfter += replicaStats(t, url).PlansComputed
+	}
+	if computedAfter != 1 {
+		t.Errorf("repeat plan recomputed: cluster-wide plansComputed = %d", computedAfter)
+	}
+}
+
+// TestClusterForwardedSSE: an SSE plan stream through a non-owning replica
+// relays progress and result events live.
+func TestClusterForwardedSSE(t *testing.T) {
+	_, urls := startReplicas(t, 2, nil)
+	id := clusterCreateSession(t, urls[0], "")
+
+	req, err := http.NewRequest("POST", urls[1]+"/v1/sessions/"+id+"/plan", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := parseSSE(t, string(body))
+	var progress, results int
+	for _, e := range events {
+		switch e.name {
+		case "progress":
+			progress++
+		case "result":
+			results++
+		}
+	}
+	if progress == 0 || results != 1 {
+		t.Errorf("forwarded SSE stream: %d progress, %d results", progress, results)
+	}
+}
+
+// TestClusterRestoreOwnershipSplit makes the PR 4 "self-contained records"
+// property load-bearing: records written by a single-node deployment are
+// dropped into two replicas' store dirs; each replica restores exactly the
+// sessions the ring assigns to it, and every session is reachable through
+// either replica via forwarding.
+func TestClusterRestoreOwnershipSplit(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	backendA, err := NewDiskBackend(dirA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	single := New(Config{Backend: backendA, Logf: t.Logf, Now: func() time.Time { return t0 }})
+	const sessions = 6
+	ids := make([]string, sessions)
+	for i := range ids {
+		ids[i] = createSession(t, single, fmt.Sprintf("pre-cluster-%d", i))
+	}
+
+	// "Rebalance": copy every record into the second replica's dir, as an
+	// operator would when splitting a node. Each replica then restores only
+	// what it owns.
+	entries, err := os.ReadDir(dirA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(dirA, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dirB, e.Name()), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	servers, urls := startReplicas(t, 2, func(i int, cfg *Config) {
+		dir := dirA
+		if i == 1 {
+			dir = dirB
+		}
+		backend, err := NewDiskBackend(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Backend = backend
+	})
+	restored := servers[0].RestoredSessions() + servers[1].RestoredSessions()
+	if restored != sessions {
+		t.Fatalf("restored %d+%d sessions, want %d total",
+			servers[0].RestoredSessions(), servers[1].RestoredSessions(), sessions)
+	}
+	if servers[0].Sessions()+servers[1].Sessions() != sessions {
+		t.Fatalf("live %d+%d, want %d", servers[0].Sessions(), servers[1].Sessions(), sessions)
+	}
+	for _, id := range ids {
+		_, via0 := httpDo(t, "GET", urls[0]+"/v1/sessions/"+id, "")
+		code, via1 := httpDo(t, "GET", urls[1]+"/v1/sessions/"+id, "")
+		if code != 200 {
+			t.Fatalf("session %s unreachable via replica 1: %d", id, code)
+		}
+		if !bytes.Equal(via0, via1) {
+			t.Errorf("session %s: replicas disagree:\n%s\nvs\n%s", id, via0, via1)
+		}
+	}
+}
+
+// TestClusterDeadReplica: requests for a dead replica's sessions fail fast
+// with 503 + Retry-After instead of hanging, and the live replica stays
+// healthy throughout.
+func TestClusterDeadReplica(t *testing.T) {
+	handlers := make([]atomic.Pointer[Server], 2)
+	var tss [2]*httptest.Server
+	var urls [2]string
+	for i := 0; i < 2; i++ {
+		i := i
+		tss[i] = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			handlers[i].Load().ServeHTTP(w, r)
+		}))
+		urls[i] = tss[i].URL
+	}
+	defer tss[0].Close()
+	members := []cluster.Member{{ID: "n0", URL: urls[0]}, {ID: "n1", URL: urls[1]}}
+	servers := make([]*Server, 2)
+	for i := 0; i < 2; i++ {
+		cl, err := cluster.New(cluster.Config{Self: fmt.Sprintf("n%d", i), Members: members, Logf: t.Logf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = New(Config{Cluster: cl, Logf: t.Logf})
+		handlers[i].Store(servers[i])
+	}
+
+	id := clusterCreateSession(t, urls[1], "doomed")
+	tss[1].Close() // replica n1 dies with the session
+
+	code, b := httpDo(t, "GET", urls[0]+"/v1/sessions/"+id, "")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("dead owner: %d %s", code, b)
+	}
+	req, _ := http.NewRequest("GET", urls[0]+"/v1/sessions/"+id, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("second request: %d, Retry-After %q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	// The live replica keeps serving its own traffic.
+	if code, _ := httpDo(t, "GET", urls[0]+"/v1/healthz", ""); code != 200 {
+		t.Error("live replica unhealthy")
+	}
+	if code, _ := httpDo(t, "GET", urls[0]+"/v1/readyz", ""); code != 200 {
+		t.Error("live replica not ready")
+	}
+}
+
+// TestClusterConcurrentSameFlowPlans hammers the shared cache tier from all
+// replicas at once: every request must succeed with identical results and
+// at most one evaluation per replica (no wasted work within a replica, no
+// corruption across them). Run under -race in CI.
+func TestClusterConcurrentSameFlowPlans(t *testing.T) {
+	_, urls := startReplicas(t, 3, nil)
+	ids := make([]string, 3)
+	for i := range urls {
+		ids[i] = clusterCreateSession(t, urls[i], "")
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 3)
+	for i := range urls {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			code, b := httpDo(t, "POST", urls[i]+"/v1/sessions/"+ids[i]+"/plan", "")
+			if code != 200 {
+				errs <- fmt.Errorf("replica %d: %d %s", i, code, b)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	var results [][]byte
+	var computed int64
+	for i, url := range urls {
+		_, res := httpDo(t, "GET", url+"/v1/sessions/"+ids[i]+"/result?reports=1", "")
+		results = append(results, res)
+		computed += replicaStats(t, url).PlansComputed
+	}
+	for i := 1; i < 3; i++ {
+		if !bytes.Equal(results[0], results[i]) {
+			t.Errorf("concurrent plan: replica %d result differs", i)
+		}
+	}
+	if computed < 1 || computed > 3 {
+		t.Errorf("cluster-wide plansComputed = %d, want in [1,3]", computed)
+	}
+}
+
+// TestSingleNodeUnchanged: without a Cluster, the new endpoints degrade
+// gracefully and the stats carry no cluster section — single-node serve
+// behaves exactly as before.
+func TestSingleNodeUnchanged(t *testing.T) {
+	s := newTestServer(t)
+	var ready readyzJSON
+	if rr := do(t, s, "GET", "/v1/readyz", "", &ready); rr.Code != 200 || ready.Status != "ready" || ready.Cluster {
+		t.Errorf("readyz: %+v", ready)
+	}
+	var info clusterInfoJSON
+	if rr := do(t, s, "GET", "/v1/cluster", "", &info); rr.Code != 200 || info.Enabled {
+		t.Errorf("cluster info: %+v", info)
+	}
+	var raw map[string]json.RawMessage
+	do(t, s, "GET", "/v1/stats", "", &raw)
+	if _, present := raw["cluster"]; present {
+		t.Error("single-node stats carry a cluster section")
+	}
+	// The peer-facing cache tier does not exist outside cluster mode: no
+	// new writable surface on a single-node deployment.
+	if rr := do(t, s, "GET", "/v1/cache/abcd", "", nil); rr.Code != 404 {
+		t.Errorf("single-node cache get: %d", rr.Code)
+	}
+	if rr := do(t, s, "PUT", "/v1/cache/abcd", `{}`, nil); rr.Code != 404 {
+		t.Errorf("single-node cache put: %d", rr.Code)
+	}
+	// Session IDs need no ownership loop and sessions stay local.
+	id := createSession(t, s, "solo")
+	if rr := do(t, s, "GET", "/v1/sessions/"+id, "", nil); rr.Code != 200 {
+		t.Errorf("get: %d", rr.Code)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"poiesis/internal/cluster"
 	"poiesis/internal/config"
 	"poiesis/internal/core"
 	"poiesis/internal/etl"
@@ -119,7 +120,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	hits, misses, size, bytes := s.cache.stats()
-	writeJSON(w, http.StatusOK, serverStatsJSON{
+	out := serverStatsJSON{
 		Sessions:         s.store.len(),
 		Backend:          s.store.backend.Name(),
 		SessionsRestored: s.restored,
@@ -131,7 +132,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CacheMisses:      misses,
 		CacheSize:        size,
 		CacheBytes:       bytes,
-	})
+	}
+	if s.cluster != nil {
+		st := s.cluster.Stats()
+		out.Cluster = &st
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
@@ -199,7 +205,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		seed = 1
 	}
 	st := &sessionState{
-		id:     newSessionID(),
+		id:     s.newOwnedSessionID(),
 		name:   req.Name,
 		sess:   core.NewSession(planner, g, sim.AutoBinding(g, scale, seed)),
 		cfgDoc: req.Config,
@@ -313,6 +319,10 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		stream = sse
+		// Keep the connection visibly alive through quiet stretches of the
+		// plan (slow alternatives emit no events for their whole runtime).
+		stopKeepAlive := s.keepAlive(stream)
+		defer stopKeepAlive()
 	}
 
 	// The per-request planner is always a fresh instance so installing the
@@ -357,12 +367,36 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		return res, nil
 	}
 
+	// Shared cache tier: when another replica owns this plan key, a local
+	// miss first asks the owner (one GET, at most one hop) and a local
+	// evaluation writes its result through to the owner — so cluster-wide,
+	// each fingerprint is evaluated once and then served from caches.
+	compute := run
+	var fetchedFromPeer bool
+	if cacheable && s.cluster != nil {
+		if owner := s.cluster.Owner(cluster.CacheKey(key)); owner != s.cluster.Self() {
+			compute = func() (*core.Result, error) {
+				if res, ok := s.fetchPeerResult(ctx, owner, key); ok {
+					fetchedFromPeer = true
+					return res, nil
+				}
+				res, err := run()
+				if err == nil {
+					s.pushPeerResult(ctx, owner, key, res)
+				}
+				return res, err
+			}
+		}
+	}
+
 	var res *core.Result
 	var hit bool
 	var err error
 	if cacheable {
-		res, hit, err = s.cache.do(ctx, key, run)
-		if err == nil && hit {
+		res, hit, err = s.cache.do(ctx, key, compute)
+		// A peer-fetched result was not produced by this session's own
+		// exploration, so it needs the same adoption as a local cache hit.
+		if err == nil && (hit || fetchedFromPeer) {
 			s.plansCached.Add(1)
 			err = st.sess.AdoptResult(res)
 		}
@@ -373,6 +407,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		s.planError(w, stream, ctx, err)
 		return
 	}
+	hit = hit || fetchedFromPeer
 	st.planDone(s.cfg.Now())
 	// Write the new state (result, plan count, liveness) through to the
 	// backend while opMu still excludes deletion and eviction. A failed

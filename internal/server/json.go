@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"math"
 
+	"poiesis/internal/cluster"
 	"poiesis/internal/core"
 	"poiesis/internal/measures"
 	"poiesis/internal/viz"
@@ -153,6 +154,27 @@ type serverStatsJSON struct {
 	CacheMisses      int64  `json:"cacheMisses"`
 	CacheSize        int    `json:"cacheSize"`
 	CacheBytes       int64  `json:"cacheBytes"`
+	// Cluster carries the per-peer forward and cache-tier counters; absent
+	// in single-node mode.
+	Cluster *cluster.Stats `json:"cluster,omitempty"`
+}
+
+// readyzJSON is the readiness probe body.
+type readyzJSON struct {
+	Status           string `json:"status"`
+	Backend          string `json:"backend,omitempty"`
+	SessionsRestored int    `json:"sessionsRestored,omitempty"`
+	Cluster          bool   `json:"cluster,omitempty"`
+	Node             string `json:"node,omitempty"`
+}
+
+// clusterInfoJSON is the GET /v1/cluster body.
+type clusterInfoJSON struct {
+	Enabled bool                `json:"enabled"`
+	Self    string              `json:"self,omitempty"`
+	VNodes  int                 `json:"vnodes,omitempty"`
+	Members []cluster.Member    `json:"members,omitempty"`
+	Peers   []cluster.PeerStats `json:"peers,omitempty"`
 }
 
 // dimsOf renders characteristic dims as strings.

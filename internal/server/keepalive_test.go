@@ -1,0 +1,85 @@
+package server
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSSEKeepAlive drives the keepalive ticker by hand: a feeder goroutine
+// sends on an unbuffered channel, so every delivered tick is provably
+// received by the keepalive goroutine (which then writes its comment) while
+// the plan is still running. The stream must carry `: keepalive` comments
+// interleaved with — but never corrupting — the event frames.
+func TestSSEKeepAlive(t *testing.T) {
+	tick := make(chan time.Time)
+	stopFeed := make(chan struct{})
+	var delivered atomic.Int64
+	go func() {
+		for {
+			select {
+			case tick <- time.Time{}:
+				delivered.Add(1)
+			case <-stopFeed:
+				return
+			}
+		}
+	}()
+	defer close(stopFeed)
+
+	var tickerStopped atomic.Bool
+	s := New(Config{
+		sseTick: func() (<-chan time.Time, func()) {
+			return tick, func() { tickerStopped.Store(true) }
+		},
+	})
+	id := createSession(t, s, "")
+
+	req := httptest.NewRequest("POST", "/v1/sessions/"+id+"/plan?stream=sse", nil)
+	rr := httptest.NewRecorder()
+	s.ServeHTTP(rr, req)
+
+	body := rr.Body.String()
+	if n := strings.Count(body, ": keepalive\n\n"); n == 0 {
+		t.Fatalf("no keepalive comments in stream (delivered %d ticks):\n%s", delivered.Load(), body)
+	}
+	if !tickerStopped.Load() {
+		t.Error("keepalive ticker not stopped when the handler finished")
+	}
+
+	// Comments must be invisible to event parsing: the progress/result
+	// protocol is intact around them.
+	events := parseSSE(t, body)
+	var results int
+	for _, e := range events {
+		if e.name == "result" {
+			results++
+		}
+		if e.name != "progress" && e.name != "result" {
+			t.Errorf("unexpected event %q", e.name)
+		}
+	}
+	if results != 1 {
+		t.Errorf("got %d result events, want 1", results)
+	}
+}
+
+// TestSSEKeepAliveDisabled: a negative interval turns the keepalive off.
+func TestSSEKeepAliveDisabled(t *testing.T) {
+	s := New(Config{
+		SSEKeepAlive: -1,
+		sseTick: func() (<-chan time.Time, func()) {
+			t.Error("ticker constructed despite SSEKeepAlive < 0")
+			return make(chan time.Time), func() {}
+		},
+	})
+	id := createSession(t, s, "")
+	req := httptest.NewRequest("POST", "/v1/sessions/"+id+"/plan?stream=sse", nil)
+	rr := httptest.NewRecorder()
+	s.ServeHTTP(rr, req)
+	if strings.Contains(rr.Body.String(), ": keepalive") {
+		t.Error("keepalive emitted while disabled")
+	}
+}

@@ -24,9 +24,19 @@
 //	                streams over SSE, and a dropped client cancels its
 //	                in-flight run through the request context.
 //
+// In cluster mode (Config.Cluster) the server is one shard-aware replica:
+// session requests route by consistent-hash ownership of the session ID
+// (remote ones are proxied to the owner, one hop at most), the plan cache
+// gains a shared tier keyed by canonical plan-key ownership, and startup
+// restores only the backend records the ring assigns to this replica.
+//
 // Endpoints (all under /v1):
 //
 //	GET    /v1/healthz                  liveness
+//	GET    /v1/readyz                   readiness (restored + ring configured)
+//	GET    /v1/cluster                  membership, ring and per-peer counters
+//	GET    /v1/cache/{key}              peer cache fetch (intra-cluster)
+//	PUT    /v1/cache/{key}              peer cache write-through (intra-cluster)
 //	GET    /v1/stats                    service counters (cache, sessions)
 //	GET    /v1/patterns                 the pattern palette
 //	GET    /v1/flows                    builtin flow names
@@ -50,6 +60,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"poiesis/internal/cluster"
 	"poiesis/internal/core"
 )
 
@@ -73,6 +84,20 @@ type Config struct {
 	// snapshots that New restores on startup. The backend must have a single
 	// writing server process.
 	Backend SessionBackend
+	// Cluster makes this server one shard-aware replica: sessions route to
+	// the replica their ID hashes to (requests for remote sessions are
+	// transparently forwarded, one hop at most), and the plan cache gains a
+	// shared tier — on a local miss the key's owning replica is asked before
+	// evaluating, and results are written through to the owner. Nil (the
+	// default) is single-node mode, byte-for-byte the pre-cluster behavior.
+	Cluster *cluster.Cluster
+	// SSEKeepAlive is the interval between `: keepalive` comments on SSE
+	// plan streams, so intermediary proxies don't drop a connection that is
+	// silent between alternatives on a slow plan. Default 15s; <0 disables.
+	SSEKeepAlive time.Duration
+	// sseTick overrides the keepalive ticker; tests inject a channel they
+	// drive by hand. Returns the tick channel and a stop function.
+	sseTick func() (<-chan time.Time, func())
 	// Logf reports restore progress, skipped snapshots and write-through
 	// failures. Default log.Printf.
 	Logf func(format string, args ...any)
@@ -96,6 +121,9 @@ func (c Config) withDefaults() Config {
 	if c.Backend == nil {
 		c.Backend = NewMemoryBackend()
 	}
+	if c.SSEKeepAlive == 0 {
+		c.SSEKeepAlive = 15 * time.Second
+	}
 	if c.Logf == nil {
 		c.Logf = log.Printf
 	}
@@ -114,16 +142,20 @@ func (c Config) withDefaults() Config {
 // Server is the POIESIS planning service. It implements http.Handler; mount
 // it directly on an http.Server.
 type Server struct {
-	cfg   Config
-	store *sessionStore
-	cache *planCache
-	mux   *http.ServeMux
+	cfg     Config
+	store   *sessionStore
+	cache   *planCache
+	mux     *http.ServeMux
+	cluster *cluster.Cluster
 
 	plansComputed atomic.Int64
 	plansCached   atomic.Int64
 	evaluations   atomic.Int64
 	// restored counts sessions recovered from the backend at startup.
 	restored int
+	// skippedForeign counts backend records left alone at startup because
+	// the ring assigns them to another replica.
+	skippedForeign int
 }
 
 // New builds the service. When the configured backend holds session records
@@ -138,13 +170,18 @@ func New(cfg Config) *Server {
 		ttl = 0 // sessionStore treats 0 as "no eviction"
 	}
 	s := &Server{
-		cfg:   cfg,
-		store: newSessionStore(ttl, cfg.MaxSessions, cfg.Now, cfg.Backend, cfg.Logf),
-		cache: newPlanCache(cfg.CacheCapacity, cfg.CacheMaxBytes),
-		mux:   http.NewServeMux(),
+		cfg:     cfg,
+		store:   newSessionStore(ttl, cfg.MaxSessions, cfg.Now, cfg.Backend, cfg.Logf),
+		cache:   newPlanCache(cfg.CacheCapacity, cfg.CacheMaxBytes),
+		mux:     http.NewServeMux(),
+		cluster: cfg.Cluster,
 	}
 	s.restoreSessions(ttl)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /v1/cluster", s.handleCluster)
+	s.mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheGet)
+	s.mux.HandleFunc("PUT /v1/cache/{key}", s.handleCachePut)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/patterns", s.handlePatterns)
 	s.mux.HandleFunc("GET /v1/flows", s.handleFlows)
@@ -191,6 +228,14 @@ func (s *Server) restoreSessions(ttl time.Duration) {
 			s.cfg.Logf("server: session restore stopped at the %d-session cap (most recently used kept)", s.cfg.MaxSessions)
 			break
 		}
+		// In cluster mode each replica restores only the sessions the ring
+		// assigns to it. Records owned by other replicas stay untouched in
+		// the backend: session snapshots are self-contained, so moving a
+		// record into the owner's backend is all a rebalance takes.
+		if s.cluster != nil && !s.cluster.IsLocal(cluster.SessionKey(rec.ID)) {
+			s.skippedForeign++
+			continue
+		}
 		st, err := restoreState(rec)
 		if err != nil {
 			s.cfg.Logf("server: skipping session record %s: %v", rec.ID, err)
@@ -201,6 +246,9 @@ func (s *Server) restoreSessions(ttl time.Duration) {
 	}
 	if s.restored > 0 {
 		s.cfg.Logf("server: restored %d session(s) from %s backend", s.restored, backend.Name())
+	}
+	if s.skippedForeign > 0 {
+		s.cfg.Logf("server: left %d session record(s) owned by other replicas in the backend", s.skippedForeign)
 	}
 }
 
@@ -232,8 +280,14 @@ func restoreState(rec *SessionRecord) (*sessionState, error) {
 
 var errNoSessionSnapshot = errors.New("server: record carries no session snapshot")
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. In cluster mode, requests for sessions
+// another replica owns are transparently proxied there before routing;
+// everything else — and every request that already arrived forwarded — is
+// served locally.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.interceptForward(w, r) {
+		return
+	}
 	s.mux.ServeHTTP(w, r)
 }
 

@@ -5,14 +5,16 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"sync"
+	"time"
 )
 
-// sseWriter emits Server-Sent Events. Writes happen from at most one
-// goroutine at a time by construction: during a plan only the planner's
-// progress callback writes (delivered from a single goroutine, see
-// core.ProgressEvent), and the handler writes the terminal event only after
-// the plan returns.
+// sseWriter emits Server-Sent Events. Event writes come from one goroutine
+// at a time (the planner's progress callback during a plan, the handler for
+// the terminal event), but keepalive comments arrive from the handler's
+// ticker goroutine concurrently with either — the mutex keeps frames whole.
 type sseWriter struct {
+	mu      sync.Mutex
 	w       http.ResponseWriter
 	flusher http.Flusher
 }
@@ -43,11 +45,69 @@ func (s *sseWriter) event(name string, payload any) error {
 	// JSON never contains raw newlines, but guard anyway: a newline would
 	// break SSE framing.
 	data := strings.ReplaceAll(string(b), "\n", "")
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, err := fmt.Fprintf(s.w, "event: %s\ndata: %s\n\n", name, data); err != nil {
 		return err
 	}
 	s.flusher.Flush()
 	return nil
+}
+
+// comment writes an SSE comment line (": text"). Clients ignore comments by
+// spec, which makes them the idiomatic keepalive: traffic that holds idle
+// proxy connections open without polluting the event stream.
+func (s *sseWriter) comment(text string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := fmt.Fprintf(s.w, ": %s\n\n", text); err != nil {
+		return err
+	}
+	s.flusher.Flush()
+	return nil
+}
+
+// keepAlive emits `: keepalive` comments on the stream every SSEKeepAlive
+// interval until the returned stop function is called. A slow plan can go
+// tens of seconds between progress events (one alternative may simulate for
+// a long time, and `every=N` thins events further); intermediary proxies
+// routinely drop connections that idle that long, so the stream must carry
+// traffic on its own clock. stop waits for the ticker goroutine to exit, so
+// no write can land after the handler returns.
+func (s *Server) keepAlive(stream *sseWriter) (stop func()) {
+	if s.cfg.SSEKeepAlive < 0 {
+		return func() {}
+	}
+	var ch <-chan time.Time
+	var cancel func()
+	if s.cfg.sseTick != nil {
+		ch, cancel = s.cfg.sseTick()
+	} else {
+		t := time.NewTicker(s.cfg.SSEKeepAlive)
+		ch, cancel = t.C, t.Stop
+	}
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		for {
+			select {
+			case <-done:
+				return
+			case <-ch:
+				// A write error means the client is gone; the plan's own
+				// context handles cancellation, the ticker just stops.
+				if stream.comment("keepalive") != nil {
+					return
+				}
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		cancel()
+		<-exited
+	}
 }
 
 // wantsSSE reports whether the client asked for an event stream, via either

@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"os"
 
+	"poiesis/internal/cluster"
 	"poiesis/internal/config"
 	"poiesis/internal/core"
 	"poiesis/internal/data"
@@ -221,6 +222,33 @@ type SessionSnapshot = core.SessionSnapshot
 // serialize.
 func RestoreSession(p *Planner, snap *SessionSnapshot) (*Session, error) {
 	return core.RestoreSession(p, snap)
+}
+
+// Cluster mode ---------------------------------------------------------------
+
+// ClusterMember identifies one replica of a `poiesis serve` cluster: a
+// stable node ID (the consistent-hash ring operates on IDs) and the base
+// URL peers reach the replica at.
+type ClusterMember = cluster.Member
+
+// Cluster is the shard-aware replica runtime handed to ServerConfig.Cluster:
+// a consistent-hash ring over the static membership, the forwarding client
+// that proxies session requests (SSE included) to their owning replica, and
+// the shared plan-cache tier that asks a plan key's owner before evaluating
+// and writes results through to it. Every replica must be constructed with
+// the same membership list.
+type Cluster = cluster.Cluster
+
+// NewCluster builds the cluster runtime for the replica named self; members
+// is the full static membership including self's own entry.
+func NewCluster(self string, members []ClusterMember) (*Cluster, error) {
+	return cluster.New(cluster.Config{Self: self, Members: members})
+}
+
+// ParseClusterPeers parses the `-peers` CLI membership spec:
+// comma-separated id=url pairs, e.g. "a=http://10.0.0.1:8080,b=http://10.0.0.2:8080".
+func ParseClusterPeers(spec string) ([]ClusterMember, error) {
+	return cluster.ParsePeers(spec)
 }
 
 // NewMemorySessionBackend returns the in-process session backend (the
