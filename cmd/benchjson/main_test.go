@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeRecords(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDiffSchemaIgnoresNumbers(t *testing.T) {
+	oldPath := writeRecords(t, "old.json", `[
+		{"name": "LoadHTTP/memory/get", "iterations": 100, "ns_op": 350000, "metrics": {"p50-ns": 1, "p95-ns": 2, "p99-ns": 3}},
+		{"name": "BenchmarkFig3/scale-8", "iterations": 10, "ns_op": 5}
+	]`)
+	newPath := writeRecords(t, "new.json", `[
+		{"name": "LoadHTTP/memory/get", "iterations": 999, "ns_op": 910000, "metrics": {"p50-ns": 9, "p95-ns": 8, "p99-ns": 7}},
+		{"name": "BenchmarkFig3/scale-16", "iterations": 50, "ns_op": 6}
+	]`)
+	drift, err := diffSchema(oldPath, newPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different numbers and a different GOMAXPROCS suffix are not drift.
+	if len(drift) != 0 {
+		t.Errorf("unexpected drift: %v", drift)
+	}
+}
+
+func TestDiffSchemaCatchesShapeChanges(t *testing.T) {
+	oldPath := writeRecords(t, "old.json", `[
+		{"name": "a", "iterations": 1, "ns_op": 1, "metrics": {"p50-ns": 1}},
+		{"name": "dropped", "iterations": 1, "ns_op": 1}
+	]`)
+	newPath := writeRecords(t, "new.json", `[
+		{"name": "a", "iterations": 1, "ns_op": 1, "metrics": {"p50-ns": 1, "surprise": 2}},
+		{"name": "added", "iterations": 1, "ns_op": 1}
+	]`)
+	drift, err := diffSchema(oldPath, newPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(drift, "\n")
+	for _, want := range []string{`"dropped" dropped`, `"added" added`, `"a" metrics changed`} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("drift misses %q:\n%s", want, joined)
+		}
+	}
+	if len(drift) != 3 {
+		t.Errorf("got %d drift entries, want 3:\n%s", len(drift), joined)
+	}
+}
+
+func TestDiffSchemaErrors(t *testing.T) {
+	good := writeRecords(t, "good.json", `[]`)
+	if _, err := diffSchema(good, filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := writeRecords(t, "bad.json", `{not json`)
+	if _, err := diffSchema(good, bad); err == nil {
+		t.Error("malformed file accepted")
+	}
+}

@@ -48,6 +48,16 @@ func TestParseServeAbsentDurationsAreNil(t *testing.T) {
 	}
 }
 
+func TestParseServeSQLStore(t *testing.T) {
+	doc, err := ParseServe([]byte(`{"storeSQL": "/var/lib/poiesis/sessions.db", "storeSQLDriver": "poiesis-sqlite"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.StoreSQL != "/var/lib/poiesis/sessions.db" || doc.StoreSQLDriver != "poiesis-sqlite" {
+		t.Errorf("SQL store fields wrong: %+v", doc)
+	}
+}
+
 func TestParseServeRejectsMistakes(t *testing.T) {
 	cases := map[string]string{
 		"unknown key":       `{"storeDirs": "typo"}`,
@@ -59,6 +69,8 @@ func TestParseServeRejectsMistakes(t *testing.T) {
 		"bad peer URL":      `{"peers": {"a": "not a url"}}`,
 		"peer URL scheme":   `{"peers": {"a": "ftp://x:1"}}`,
 		"empty peer ID":     `{"peers": {"": "http://x:1"}}`,
+		"two stores":        `{"storeDir": "/tmp/x", "storeSQL": "/tmp/y.db"}`,
+		"driver sans DSN":   `{"storeSQLDriver": "postgres"}`,
 	}
 	for name, in := range cases {
 		if _, err := ParseServe([]byte(in)); err == nil {

@@ -1,0 +1,128 @@
+package loadgen_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"poiesis"
+	"poiesis/internal/loadgen"
+)
+
+// startService mounts the real planning service on a real listener, so the
+// generator exercises the same HTTP path (including SSE flushing) a remote
+// run would.
+func startService(t *testing.T) *httptest.Server {
+	t.Helper()
+	handler := poiesis.NewServer(poiesis.ServerConfig{Logf: t.Logf})
+	srv := httptest.NewServer(handler)
+	t.Cleanup(func() {
+		srv.Close()
+		handler.Close()
+	})
+	return srv
+}
+
+// TestOpenLoopSmoke is the short low-QPS harness smoke run CI executes under
+// -race: a full mixed-traffic window against an in-process service, ending
+// with every op class exercised and a near-zero error budget.
+func TestOpenLoopSmoke(t *testing.T) {
+	srv := startService(t)
+	report, err := loadgen.Run(context.Background(), loadgen.Config{
+		BaseURL:  srv.URL,
+		QPS:      40,
+		Duration: 1500 * time.Millisecond,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Arrivals == 0 {
+		t.Fatal("open-loop run produced no arrivals")
+	}
+	if report.Dropped == report.Arrivals {
+		t.Fatal("every arrival was shed")
+	}
+	if rate := report.ErrorRate(); rate > 0.01 {
+		t.Errorf("error rate %.3f over budget against a local healthy server; report: %+v", rate, report)
+	}
+	seen := map[string]bool{}
+	var okTotal int
+	for _, op := range report.Ops {
+		seen[op.Op] = true
+		okTotal += op.OK
+		if op.OK > 0 && (op.P50Ns <= 0 || op.P99Ns < op.P50Ns || op.MaxNs < op.P99Ns) {
+			t.Errorf("%s percentiles incoherent: %+v", op.Op, op)
+		}
+	}
+	if okTotal == 0 {
+		t.Fatal("no successful operations recorded")
+	}
+	// At 40 qps over 1.5s with the default mix, every class should fire; a
+	// missing one means the dispatcher starved it.
+	for _, op := range []string{"create", "plan", "select", "get", "sse", "delete"} {
+		if !seen[op] {
+			t.Errorf("op %s never dispatched", op)
+		}
+	}
+}
+
+// TestReportRecords checks the benchjson-compatible flattening: one record
+// per op plus the overall summary, all under the prefix, with the percentile
+// metrics present.
+func TestReportRecords(t *testing.T) {
+	srv := startService(t)
+	report, err := loadgen.Run(context.Background(), loadgen.Config{
+		BaseURL:  srv.URL,
+		QPS:      30,
+		Duration: time.Second,
+		Mix:      loadgen.Mix{loadgen.OpCreate: 1, loadgen.OpGet: 3},
+		Seed:     11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := report.Records("LoadHTTP/memory")
+	if len(records) < 2 {
+		t.Fatalf("got %d records, want at least one op plus overall", len(records))
+	}
+	last := records[len(records)-1]
+	if last.Name != "LoadHTTP/memory/overall" {
+		t.Errorf("last record %q, want the overall summary", last.Name)
+	}
+	for _, key := range []string{"target-qps", "achieved-qps", "dropped", "errors"} {
+		if _, ok := last.Metrics[key]; !ok {
+			t.Errorf("overall record lacks %s: %+v", key, last.Metrics)
+		}
+	}
+	for _, rec := range records[:len(records)-1] {
+		if !strings.HasPrefix(rec.Name, "LoadHTTP/memory/") {
+			t.Errorf("record %q escapes the prefix", rec.Name)
+		}
+		if rec.NsPerOp <= 0 {
+			t.Errorf("record %q has no latency", rec.Name)
+		}
+		for _, key := range []string{"p50-ns", "p95-ns", "p99-ns", "max-ns", "errors", "conflicts"} {
+			if _, ok := rec.Metrics[key]; !ok {
+				t.Errorf("record %q lacks metric %s", rec.Name, key)
+			}
+		}
+	}
+}
+
+// TestConfigValidation: bad configurations fail before any traffic.
+func TestConfigValidation(t *testing.T) {
+	for name, cfg := range map[string]loadgen.Config{
+		"no url":       {QPS: 1, Duration: time.Second},
+		"zero qps":     {BaseURL: "http://x", Duration: time.Second},
+		"zero dur":     {BaseURL: "http://x", QPS: 1},
+		"empty mix":    {BaseURL: "http://x", QPS: 1, Duration: time.Second, Mix: loadgen.Mix{}},
+		"negative mix": {BaseURL: "http://x", QPS: 1, Duration: time.Second, Mix: loadgen.Mix{loadgen.OpGet: -1}},
+	} {
+		if _, err := loadgen.Run(context.Background(), cfg); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}

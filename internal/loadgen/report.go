@@ -1,0 +1,125 @@
+package loadgen
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// OpReport is the latency and error budget of one traffic class. Latency
+// statistics cover successful completions only; conflicts (expected
+// open-loop collisions: 404 after a concurrent delete, 409 on a busy
+// session) and errors are counted separately so tail percentiles are not
+// polluted by fast failures.
+type OpReport struct {
+	Op        string  `json:"op"`
+	Count     int     `json:"count"`
+	OK        int     `json:"ok"`
+	Conflicts int     `json:"conflicts"`
+	Errors    int     `json:"errors"`
+	MeanNs    float64 `json:"mean_ns"`
+	P50Ns     float64 `json:"p50_ns"`
+	P95Ns     float64 `json:"p95_ns"`
+	P99Ns     float64 `json:"p99_ns"`
+	MaxNs     float64 `json:"max_ns"`
+}
+
+// Report is the outcome of one Run.
+type Report struct {
+	TargetQPS   float64    `json:"target_qps"`
+	AchievedQPS float64    `json:"achieved_qps"`
+	DurationNs  int64      `json:"duration_ns"`
+	Arrivals    int        `json:"arrivals"`
+	Dropped     int        `json:"dropped"`
+	Ops         []OpReport `json:"ops"`
+}
+
+// ErrorRate is the fraction of issued requests that failed outright
+// (conflicts are not failures: an open-loop mix makes them inevitable).
+func (r *Report) ErrorRate() float64 {
+	var total, errs int
+	for _, op := range r.Ops {
+		total += op.Count
+		errs += op.Errors
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(errs) / float64(total)
+}
+
+// Record mirrors cmd/benchjson's record shape, so load reports land in the
+// same BENCH_<n>.json trajectory format CI already archives for the
+// microbenchmarks.
+type Record struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_op"`
+	BytesPerOp  float64            `json:"b_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Records flattens the report into benchjson-compatible records, one per
+// operation plus an overall summary, all named under prefix (conventionally
+// "LoadHTTP/<backend>").
+func (r *Report) Records(prefix string) []Record {
+	var out []Record
+	var meanSum float64
+	var okTotal, confTotal, errTotal int64
+	for _, op := range r.Ops {
+		out = append(out, Record{
+			Name:       prefix + "/" + op.Op,
+			Iterations: int64(op.OK),
+			NsPerOp:    op.MeanNs,
+			Metrics: map[string]float64{
+				"p50-ns":    op.P50Ns,
+				"p95-ns":    op.P95Ns,
+				"p99-ns":    op.P99Ns,
+				"max-ns":    op.MaxNs,
+				"conflicts": float64(op.Conflicts),
+				"errors":    float64(op.Errors),
+			},
+		})
+		meanSum += op.MeanNs * float64(op.OK)
+		okTotal += int64(op.OK)
+		confTotal += int64(op.Conflicts)
+		errTotal += int64(op.Errors)
+	}
+	overall := Record{
+		Name:       prefix + "/overall",
+		Iterations: int64(r.Arrivals),
+		Metrics: map[string]float64{
+			"target-qps":   r.TargetQPS,
+			"achieved-qps": r.AchievedQPS,
+			"dropped":      float64(r.Dropped),
+			"conflicts":    float64(confTotal),
+			"errors":       float64(errTotal),
+		},
+	}
+	if okTotal > 0 {
+		overall.NsPerOp = meanSum / float64(okTotal)
+	}
+	return append(out, overall)
+}
+
+// WriteText renders the report as an aligned human-readable table.
+func (r *Report) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "open-loop run: %.1f qps target, %.1f achieved over %s (%d arrivals, %d dropped)\n",
+		r.TargetQPS, r.AchievedQPS, time.Duration(r.DurationNs).Round(time.Millisecond), r.Arrivals, r.Dropped)
+	fmt.Fprintf(w, "%-8s %8s %8s %9s %9s %9s %9s %6s %6s\n",
+		"op", "ok", "mean", "p50", "p95", "p99", "max", "conf", "err")
+	for _, op := range r.Ops {
+		fmt.Fprintf(w, "%-8s %8d %8s %9s %9s %9s %9s %6d %6d\n",
+			op.Op, op.OK,
+			fmtNs(op.MeanNs), fmtNs(op.P50Ns), fmtNs(op.P95Ns), fmtNs(op.P99Ns), fmtNs(op.MaxNs),
+			op.Conflicts, op.Errors)
+	}
+}
+
+func fmtNs(ns float64) string {
+	if ns == 0 {
+		return "-"
+	}
+	return time.Duration(ns).Round(time.Microsecond).String()
+}

@@ -35,6 +35,10 @@ type DiskBackend struct {
 	// (server.New wires it to Config.Logf when unset).
 	Logf func(format string, args ...any)
 
+	// removeFile unlinks one path; tests inject failures here. Nil uses
+	// os.Remove.
+	removeFile func(path string) error
+
 	mu sync.RWMutex
 }
 
@@ -171,7 +175,7 @@ func (b *DiskBackend) Delete(id string) error {
 	}
 	b.mu.RLock()
 	defer b.mu.RUnlock()
-	if err := os.Remove(b.path(id)); err != nil {
+	if err := b.remove(b.path(id)); err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
 			return nil
 		}
@@ -224,6 +228,20 @@ func (b *DiskBackend) listLocked() ([]*SessionRecord, error) {
 	return out, nil
 }
 
+func (b *DiskBackend) remove(path string) error {
+	if b.removeFile != nil {
+		return b.removeFile(path)
+	}
+	return os.Remove(path)
+}
+
+// Sweep removes every expired snapshot it can, best-effort per file: one
+// unremovable entry must not shield later expired records until the next
+// restart (the old behavior aborted on the first failed unlink). Failures
+// are logged and aggregated into one returned error — the same
+// skip-and-report policy List applies to undecodable snapshots — while the
+// removed IDs are still reported, so callers learn both what was reclaimed
+// and that the directory needs attention.
 func (b *DiskBackend) Sweep(cutoff time.Time) ([]string, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -232,17 +250,22 @@ func (b *DiskBackend) Sweep(cutoff time.Time) ([]string, error) {
 		return nil, err
 	}
 	var removed []string
+	var errs []error
 	for _, rec := range recs {
 		if !rec.LastUsed.Before(cutoff) {
 			continue
 		}
-		if err := os.Remove(b.path(rec.ID)); err != nil && !errors.Is(err, fs.ErrNotExist) {
-			return removed, fmt.Errorf("server: deleting session snapshot %s: %w", rec.ID, err)
+		if err := b.remove(b.path(rec.ID)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			b.logf("server: session store: sweep skipping snapshot %s: %v", rec.ID, err)
+			errs = append(errs, fmt.Errorf("server: deleting session snapshot %s: %w", rec.ID, err))
+			continue
 		}
 		removed = append(removed, rec.ID)
 	}
 	if len(removed) > 0 {
-		return removed, syncDir(b.dir)
+		if err := syncDir(b.dir); err != nil {
+			errs = append(errs, err)
+		}
 	}
-	return removed, nil
+	return removed, errors.Join(errs...)
 }

@@ -125,6 +125,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Backend:          s.store.backend.Name(),
 		SessionsRestored: s.restored,
 		PersistErrors:    s.store.persistErrs.Load(),
+		EvictQueue:       s.store.evictDepth.Load(),
+		Evictions:        s.store.evictsDone.Load(),
+		EvictDropped:     s.store.evictDropped.Load(),
 		PlansComputed:    s.plansComputed.Load(),
 		PlansCached:      s.plansCached.Load(),
 		Evaluations:      s.evaluations.Load(),

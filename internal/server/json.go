@@ -147,13 +147,19 @@ type serverStatsJSON struct {
 	Backend          string `json:"backend"`
 	SessionsRestored int    `json:"sessionsRestored"`
 	PersistErrors    int64  `json:"persistErrors"`
-	PlansComputed    int64  `json:"plansComputed"`
-	PlansCached      int64  `json:"plansCached"`
-	Evaluations      int64  `json:"evaluations"`
-	CacheHits        int64  `json:"cacheHits"`
-	CacheMisses      int64  `json:"cacheMisses"`
-	CacheSize        int    `json:"cacheSize"`
-	CacheBytes       int64  `json:"cacheBytes"`
+	// Eviction-worker health: backlog of queued backend deletes, completed
+	// deletes, and IDs dropped because the queue was full (their records
+	// wait for the startup sweep).
+	EvictQueue    int64 `json:"evictQueue"`
+	Evictions     int64 `json:"evictions"`
+	EvictDropped  int64 `json:"evictDropped"`
+	PlansComputed int64 `json:"plansComputed"`
+	PlansCached   int64 `json:"plansCached"`
+	Evaluations   int64 `json:"evaluations"`
+	CacheHits     int64 `json:"cacheHits"`
+	CacheMisses   int64 `json:"cacheMisses"`
+	CacheSize     int   `json:"cacheSize"`
+	CacheBytes    int64 `json:"cacheBytes"`
 	// Cluster carries the per-peer forward and cache-tier counters; absent
 	// in single-node mode.
 	Cluster *cluster.Stats `json:"cluster,omitempty"`

@@ -127,11 +127,14 @@ func (c Config) withDefaults() Config {
 	if c.Logf == nil {
 		c.Logf = log.Printf
 	}
-	// A disk backend's own warnings (skipped snapshots, temp-file cleanup)
-	// must reach the same sink as the server's, unless the caller already
-	// routed them elsewhere.
+	// A backend's own warnings (skipped snapshots or rows, temp-file
+	// cleanup) must reach the same sink as the server's, unless the caller
+	// already routed them elsewhere.
 	if db, ok := c.Backend.(*DiskBackend); ok && db.Logf == nil {
 		db.Logf = c.Logf
+	}
+	if sb, ok := c.Backend.(*SQLBackend); ok && sb.Logf == nil {
+		sb.Logf = c.Logf
 	}
 	if c.Now == nil {
 		c.Now = time.Now
@@ -208,9 +211,13 @@ func (s *Server) restoreSessions(ttl time.Duration) {
 	backend := s.cfg.Backend
 	if ttl > 0 {
 		cutoff := s.cfg.Now().Add(-ttl)
-		if expired, err := backend.Sweep(cutoff); err != nil {
+		// Sweep is best-effort per record: a partial error still comes with
+		// the IDs that were removed, so report both.
+		expired, err := backend.Sweep(cutoff)
+		if err != nil {
 			s.cfg.Logf("server: sweeping expired session records: %v", err)
-		} else if len(expired) > 0 {
+		}
+		if len(expired) > 0 {
 			s.cfg.Logf("server: dropped %d session record(s) that expired while down", len(expired))
 		}
 	}
@@ -273,7 +280,7 @@ func restoreState(rec *SessionRecord) (*sessionState, error) {
 		cfgDoc:  rec.Config,
 		regKey:  registryKeyFromDoc(rec.Config),
 	}
-	st.lastUsed = rec.LastUsed
+	st.touch(rec.LastUsed)
 	st.plans = rec.Plans
 	return st, nil
 }
@@ -289,6 +296,15 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mux.ServeHTTP(w, r)
+}
+
+// Close retires the server's background machinery: the session store's
+// eviction worker is stopped after draining its queued backend deletes.
+// Call it after the HTTP listener has shut down — requests arriving during
+// Close may race the worker teardown. In-memory state is untouched.
+func (s *Server) Close() error {
+	s.store.close()
+	return nil
 }
 
 // Sessions reports the number of live sessions (after TTL sweep).

@@ -38,22 +38,30 @@ type sessionState struct {
 	// core.Session's own guard remains as the library-level backstop.
 	opMu sync.Mutex
 
+	// lastUsedNanos is the liveness timestamp as Unix nanoseconds. It is
+	// atomic, not mutex-guarded, so the TTL sweep can read the whole live
+	// map without taking a per-session lock per entry — at 10k+ sessions
+	// those acquisitions dominated every sweep.
+	lastUsedNanos atomic.Int64
+
 	// mu guards the mutable metadata below.
-	mu       sync.Mutex
-	lastUsed time.Time
-	plans    int
+	mu    sync.Mutex
+	plans int
 }
 
 func (st *sessionState) touch(now time.Time) {
-	st.mu.Lock()
-	st.lastUsed = now
-	st.mu.Unlock()
+	st.lastUsedNanos.Store(now.UnixNano())
+}
+
+func (st *sessionState) lastUsed() time.Time {
+	return time.Unix(0, st.lastUsedNanos.Load())
 }
 
 func (st *sessionState) meta() (lastUsed time.Time, plans int) {
 	st.mu.Lock()
-	defer st.mu.Unlock()
-	return st.lastUsed, st.plans
+	p := st.plans
+	st.mu.Unlock()
+	return st.lastUsed(), p
 }
 
 // planDone records a completed plan and refreshes liveness: a long run must
@@ -62,8 +70,8 @@ func (st *sessionState) meta() (lastUsed time.Time, plans int) {
 func (st *sessionState) planDone(now time.Time) {
 	st.mu.Lock()
 	st.plans++
-	st.lastUsed = now
 	st.mu.Unlock()
+	st.touch(now)
 }
 
 // record builds the persistence record of the session's current state.
@@ -92,14 +100,24 @@ func (st *sessionState) record() (*SessionRecord, error) {
 var errTooManySessions = errors.New("server: session limit reached")
 
 // sessionStore is the concurrency-safe session registry with TTL eviction: a
-// session idle (no HTTP operation) for longer than ttl is dropped on the next
-// store access. Eviction is opportunistic — every store operation sweeps —
-// which keeps the store dependency-free and makes expiry deterministic under
-// an injected clock in tests.
+// session idle (no HTTP operation) for longer than ttl is dropped by the
+// next store access that observes it. Expiry stays exact — get never hands
+// out a session past its TTL, and list/len never report one — but the cost
+// is no longer O(live sessions) on every get: a lookup checks only the
+// requested session's liveness inline, and the full reclaiming sweep of the
+// map runs at most once per sweepEvery (list and len, which must enumerate
+// the map anyway, sweep on every call). Everything is driven by the injected
+// clock, so expiry is deterministic in tests.
 //
 // Live sessions are held in memory, so reads (get, list) never touch the
 // persistence layer; every state change writes a fresh record through to the
 // SessionBackend, and startup restores whatever records the backend kept.
+//
+// Backend record deletion for TTL-evicted sessions is handed to a bounded
+// background worker instead of running on the request path: with the disk
+// backend each delete is an fsync'd unlink, and a get that evicts thousands
+// of expired sessions must not stall behind that I/O. Explicit DELETEs
+// (remove) stay synchronous — the client was promised the record is gone.
 type sessionStore struct {
 	ttl     time.Duration
 	max     int
@@ -107,14 +125,35 @@ type sessionStore struct {
 	backend SessionBackend
 	logf    func(format string, args ...any)
 
+	// sweepEvery bounds how often the full map sweep runs on the get path;
+	// derived from the TTL (ttl/16, clamped to [1s, 30s]). Tests override.
+	sweepEvery time.Duration
+
 	// persistErrs counts write-through failures: the store stays available
 	// on a failed backend write (the in-memory state is still correct), but
 	// the degradation is surfaced in /v1/stats.
 	persistErrs atomic.Int64
 
-	mu sync.Mutex
-	m  map[string]*sessionState
+	// Eviction worker state: evictCh feeds TTL-evicted session IDs to one
+	// background goroutine that deletes their backend records. evictDepth
+	// tracks the queue backlog and evictDropped the IDs discarded because
+	// the queue was full (their stale records are reclaimed by the startup
+	// sweep — they are past the TTL by definition); both are surfaced in
+	// /v1/stats. evictsDone counts completed deletes, for tests and stats.
+	evictCh      chan string
+	evictDepth   atomic.Int64
+	evictDropped atomic.Int64
+	evictsDone   atomic.Int64
+	workerDone   chan struct{}
+	closeOnce    sync.Once
+
+	mu        sync.Mutex
+	lastSweep time.Time
+	m         map[string]*sessionState
 }
+
+// evictQueueCap bounds the eviction worker's backlog.
+const evictQueueCap = 1024
 
 func newSessionStore(ttl time.Duration, max int, now func() time.Time, backend SessionBackend, logf func(string, ...any)) *sessionStore {
 	if backend == nil {
@@ -123,44 +162,109 @@ func newSessionStore(ttl time.Duration, max int, now func() time.Time, backend S
 	if logf == nil {
 		logf = log.Printf
 	}
-	return &sessionStore{ttl: ttl, max: max, now: now, backend: backend, logf: logf, m: map[string]*sessionState{}}
+	sweepEvery := ttl / 16
+	if sweepEvery < time.Second {
+		sweepEvery = time.Second
+	}
+	if sweepEvery > 30*time.Second {
+		sweepEvery = 30 * time.Second
+	}
+	s := &sessionStore{
+		ttl: ttl, max: max, now: now, backend: backend, logf: logf,
+		sweepEvery: sweepEvery,
+		evictCh:    make(chan string, evictQueueCap),
+		workerDone: make(chan struct{}),
+		m:          map[string]*sessionState{},
+	}
+	go s.evictWorker()
+	return s
+}
+
+// evictWorker drains TTL-evicted session IDs and deletes their backend
+// records off the request path. One worker keeps backend deletes serialized,
+// mirroring the old synchronous order.
+func (s *sessionStore) evictWorker() {
+	defer close(s.workerDone)
+	for id := range s.evictCh {
+		if err := s.backend.Delete(id); err != nil {
+			s.persistErrs.Add(1)
+			s.logf("server: evicting session %s from %s backend: %v", id, s.backend.Name(), err)
+		}
+		s.evictDepth.Add(-1)
+		s.evictsDone.Add(1)
+	}
+}
+
+// close stops the eviction worker after draining the queued deletes. Safe to
+// call more than once.
+func (s *sessionStore) close() {
+	s.closeOnce.Do(func() { close(s.evictCh) })
+	<-s.workerDone
 }
 
 // sweepLocked drops sessions idle past the TTL from the live map and
-// returns their IDs; callers delete the backend records *after* releasing
-// s.mu (evictRecords), so the global lock is never held across backend I/O.
-// A session whose opMu is held is mid-operation (e.g. a plan running longer
-// than the TTL) and is never evicted — deleting it would orphan the run's
-// result and history. Lock order is store.mu → opMu (try-only); handlers
-// never acquire store.mu while holding opMu, so this cannot deadlock.
+// returns their IDs; callers hand the IDs to the eviction worker *after*
+// releasing s.mu (queueEvictions), so the global lock is never held across
+// backend I/O. The scan itself is one atomic liveness load per entry —
+// per-session mutexes are never taken here. A session whose opMu is held is
+// mid-operation (e.g. a plan running longer than the TTL) and is never
+// evicted — deleting it would orphan the run's result and history. Lock
+// order is store.mu → opMu (try-only); handlers never acquire store.mu while
+// holding opMu, so this cannot deadlock.
 func (s *sessionStore) sweepLocked(now time.Time) (evicted []string) {
 	if s.ttl <= 0 {
 		return nil
 	}
+	s.lastSweep = now
 	for id, st := range s.m {
-		lastUsed, _ := st.meta()
-		if now.Sub(lastUsed) <= s.ttl {
+		if !s.expiredLocked(st, now) {
 			continue
 		}
-		if !st.opMu.TryLock() {
-			continue
-		}
-		st.opMu.Unlock()
 		delete(s.m, id)
 		evicted = append(evicted, id)
 	}
 	return evicted
 }
 
-// evictRecords removes freshly evicted sessions' records from the backend.
-// Called without s.mu held. Should the process crash between the in-memory
-// eviction and this delete, the startup sweep purges the record anyway (it
-// is past the TTL by definition).
-func (s *sessionStore) evictRecords(ids []string) {
+// maybeSweepLocked runs the full sweep at most once per sweepEvery — the get
+// path's amortization. Expired sessions the interval leaves behind are still
+// invisible: get checks its own target inline, and list/len always sweep.
+func (s *sessionStore) maybeSweepLocked(now time.Time) []string {
+	if s.ttl <= 0 || now.Sub(s.lastSweep) < s.sweepEvery {
+		return nil
+	}
+	return s.sweepLocked(now)
+}
+
+// expiredLocked reports whether st is past the TTL and not mid-operation
+// (an opMu holder keeps its session alive regardless of idle time).
+func (s *sessionStore) expiredLocked(st *sessionState, now time.Time) bool {
+	if s.ttl <= 0 || now.Sub(st.lastUsed()) <= s.ttl {
+		return false
+	}
+	if !st.opMu.TryLock() {
+		return false
+	}
+	st.opMu.Unlock()
+	return true
+}
+
+// queueEvictions hands freshly evicted sessions' IDs to the background
+// worker. Called without s.mu held. When the queue is full the ID is dropped
+// and counted: the stale record is reclaimed by the next startup sweep (it
+// is past the TTL by definition), and the same holds should the process
+// crash before the worker gets to a queued delete.
+func (s *sessionStore) queueEvictions(ids []string) {
 	for _, id := range ids {
-		if err := s.backend.Delete(id); err != nil {
-			s.persistErrs.Add(1)
-			s.logf("server: evicting session %s from %s backend: %v", id, s.backend.Name(), err)
+		// Increment before the send so the depth counter never dips negative:
+		// it reads as queued + in-flight deletes.
+		s.evictDepth.Add(1)
+		select {
+		case s.evictCh <- id:
+		default:
+			s.evictDepth.Add(-1)
+			s.evictDropped.Add(1)
+			s.logf("server: eviction queue full; leaving session %s record for the startup sweep", id)
 		}
 	}
 }
@@ -179,7 +283,7 @@ func (s *sessionStore) add(st *sessionState) error {
 		return errTooManySessions
 	}
 	st.created = now
-	st.lastUsed = now
+	st.touch(now)
 	rec, err := st.record()
 	if err == nil {
 		err = s.backend.Put(rec)
@@ -205,13 +309,15 @@ func (s *sessionStore) add(st *sessionState) error {
 	return nil
 }
 
-// atCapacity sweeps and reports whether the store is full.
+// atCapacity sweeps and reports whether the store is full. The sweep here is
+// always a full one: a create must reclaim every expired slot before it is
+// refused, whatever the amortization interval says.
 func (s *sessionStore) atCapacity(now time.Time) bool {
 	s.mu.Lock()
 	evicted := s.sweepLocked(now)
 	full := s.max > 0 && len(s.m) >= s.max
 	s.mu.Unlock()
-	s.evictRecords(evicted)
+	s.queueEvictions(evicted)
 	return full
 }
 
@@ -225,20 +331,29 @@ func (s *sessionStore) adopt(st *sessionState) {
 }
 
 // get returns the session and refreshes its liveness; ok is false for
-// unknown or expired IDs. The touch happens while the store lock is held:
-// refreshing after releasing it would let a concurrent sweep observe the
-// stale lastUsed and evict the session between the unlock and the touch,
-// handing the caller a session that is no longer in the store.
+// unknown or expired IDs. The expiry check is inline and O(1): only the
+// requested session's liveness is examined (and the session evicted right
+// here if it is past the TTL), so a lookup no longer scans the whole live
+// map — the full reclaiming sweep runs at most once per sweepEvery. The
+// touch happens while the store lock is held: refreshing after releasing it
+// would let a concurrent sweep observe the stale lastUsed and evict the
+// session between the unlock and the touch, handing the caller a session
+// that is no longer in the store.
 func (s *sessionStore) get(id string) (*sessionState, bool) {
 	now := s.now()
 	s.mu.Lock()
-	evicted := s.sweepLocked(now)
+	evicted := s.maybeSweepLocked(now)
 	st, ok := s.m[id]
+	if ok && s.expiredLocked(st, now) {
+		delete(s.m, id)
+		evicted = append(evicted, id)
+		st, ok = nil, false
+	}
 	if ok {
 		st.touch(now)
 	}
 	s.mu.Unlock()
-	s.evictRecords(evicted)
+	s.queueEvictions(evicted)
 	return st, ok
 }
 
@@ -280,7 +395,9 @@ func (s *sessionStore) persist(st *sessionState) error {
 	return err
 }
 
-// list returns the live sessions sorted by creation time (stable ties by ID).
+// list returns the live sessions sorted by creation time (stable ties by
+// ID). Listing must visit every entry anyway, so it doubles as a full sweep
+// — expired sessions are reclaimed, never returned.
 func (s *sessionStore) list() []*sessionState {
 	now := s.now()
 	s.mu.Lock()
@@ -290,7 +407,7 @@ func (s *sessionStore) list() []*sessionState {
 		out = append(out, st)
 	}
 	s.mu.Unlock()
-	s.evictRecords(evicted)
+	s.queueEvictions(evicted)
 	sort.Slice(out, func(i, j int) bool {
 		if !out[i].created.Equal(out[j].created) {
 			return out[i].created.Before(out[j].created)
@@ -300,13 +417,15 @@ func (s *sessionStore) list() []*sessionState {
 	return out
 }
 
+// len reports the live session count; like list it sweeps fully, so the
+// count never includes expired sessions.
 func (s *sessionStore) len() int {
 	now := s.now()
 	s.mu.Lock()
 	evicted := s.sweepLocked(now)
 	n := len(s.m)
 	s.mu.Unlock()
-	s.evictRecords(evicted)
+	s.queueEvictions(evicted)
 	return n
 }
 

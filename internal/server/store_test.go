@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -52,12 +53,27 @@ func TestStoreTTLEviction(t *testing.T) {
 	if got := store.len(); got != 1 {
 		t.Errorf("store size %d, want 1", got)
 	}
-	// Eviction reaches the backend too: a restart must not resurrect "b".
-	if _, err := store.backend.Get("b"); err == nil {
-		t.Error("evicted session still recorded in backend")
-	}
+	// Eviction reaches the backend too (asynchronously, via the worker): a
+	// restart must not resurrect "b".
+	waitBackendDeleted(t, store, "b")
 	if _, err := store.backend.Get("a"); err != nil {
 		t.Errorf("live session missing from backend: %v", err)
+	}
+}
+
+// waitBackendDeleted blocks until the eviction worker has removed id's
+// backend record — backend deletes for TTL evictions are asynchronous.
+func waitBackendDeleted(t *testing.T, store *sessionStore, id string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := store.backend.Get(id); err != nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("evicted session %s still recorded in backend", id)
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 
@@ -167,6 +183,133 @@ func TestStoreGetTouchNotRacedBySweep(t *testing.T) {
 		store.remove("s")
 		// Advance the clock between rounds so records never collide in time.
 		nowNanos.Add(int64(time.Second))
+	}
+}
+
+// TestStoreExpiryExactBetweenSweeps pins the amortized-sweep semantics: even
+// when the full map sweep is deferred, get never returns an expired session
+// (the inline check evicts it), and once the interval elapses the deferred
+// sweep reclaims expired sessions that were never looked up again.
+func TestStoreExpiryExactBetweenSweeps(t *testing.T) {
+	now := time.Unix(1000, 0)
+	store := testStore(time.Minute, 0, func() time.Time { return now })
+	store.sweepEvery = time.Hour // park the full sweep far in the future
+
+	if err := store.add(testState("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.add(testState("b")); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(2 * time.Minute) // both sessions are now past the TTL
+
+	// No full sweep can have run (interval not elapsed), yet the expired
+	// session must be invisible: the inline check evicts exactly the target.
+	if _, ok := store.get("b"); ok {
+		t.Fatal("get returned an expired session between sweeps")
+	}
+	store.mu.Lock()
+	_, aStillMapped := store.m["a"]
+	store.mu.Unlock()
+	if !aStillMapped {
+		t.Fatal("amortization did not defer the full sweep ('a' reclaimed early)")
+	}
+
+	// Once the interval elapses, any get reclaims the leftovers.
+	store.sweepEvery = time.Second
+	if _, ok := store.get("nope"); ok {
+		t.Fatal("unknown id returned")
+	}
+	store.mu.Lock()
+	n := len(store.m)
+	store.mu.Unlock()
+	if n != 0 {
+		t.Errorf("deferred sweep left %d expired sessions in the map", n)
+	}
+	waitBackendDeleted(t, store, "a")
+	waitBackendDeleted(t, store, "b")
+}
+
+// TestStoreBusySessionSurvivesExpiry: a session whose opMu is held (a plan
+// outliving the TTL) is never evicted — by the inline check or the sweep —
+// matching the pre-amortization behavior.
+func TestStoreBusySessionSurvivesExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	store := testStore(time.Minute, 0, func() time.Time { return now })
+	st := testState("s")
+	if err := store.add(st); err != nil {
+		t.Fatal(err)
+	}
+	st.opMu.Lock()
+	now = now.Add(5 * time.Minute)
+	if _, ok := store.get("s"); !ok {
+		t.Fatal("mid-operation session evicted by get")
+	}
+	if got := store.len(); got != 1 {
+		t.Fatalf("mid-operation session swept: len %d", got)
+	}
+	st.opMu.Unlock()
+	// The get above refreshed liveness; expire it again, now unlocked.
+	now = now.Add(5 * time.Minute)
+	if _, ok := store.get("s"); ok {
+		t.Fatal("idle expired session survived once unlocked")
+	}
+}
+
+// gatedBackend blocks Delete until the gate channel yields, so tests can pin
+// the eviction worker mid-delete and fill its queue deterministically.
+type gatedBackend struct {
+	SessionBackend
+	gate chan struct{}
+}
+
+func (b *gatedBackend) Delete(id string) error {
+	<-b.gate
+	return b.SessionBackend.Delete(id)
+}
+
+// TestStoreEvictionWorkerBounded floods the eviction queue while the worker
+// is pinned inside a backend delete: the request path must not block, excess
+// IDs are dropped and counted, and once the backend unblocks the worker
+// drains the backlog.
+func TestStoreEvictionWorkerBounded(t *testing.T) {
+	const sessions = evictQueueCap + 80
+	now := time.Unix(1000, 0)
+	gated := &gatedBackend{SessionBackend: NewMemoryBackend(), gate: make(chan struct{})}
+	store := newSessionStore(time.Minute, 0, func() time.Time { return now }, gated, func(string, ...any) {})
+	defer store.close()
+
+	for i := 0; i < sessions; i++ {
+		st := testState(fmt.Sprintf("s%04d", i))
+		st.touch(now)
+		store.adopt(st)
+	}
+	now = now.Add(2 * time.Minute)
+
+	// len() full-sweeps: every session expires at once. The worker is stuck
+	// on the gate, so at most evictQueueCap+1 IDs can be absorbed (queue plus
+	// the one in the worker's hands); the rest must be dropped, not waited on.
+	if got := store.len(); got != 0 {
+		t.Fatalf("expired sessions still counted: %d", got)
+	}
+	dropped := store.evictDropped.Load()
+	if dropped == 0 {
+		t.Fatal("queue overflow not counted as drops")
+	}
+	if depth := store.evictDepth.Load(); depth > evictQueueCap+1 {
+		t.Fatalf("eviction backlog %d exceeds the bound", depth)
+	}
+
+	close(gated.gate) // unblock every delete
+	deadline := time.Now().Add(5 * time.Second)
+	for store.evictDepth.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("worker never drained: depth %d", store.evictDepth.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if done := store.evictsDone.Load(); done+dropped != sessions {
+		t.Errorf("deletes %d + drops %d != %d evictions", done, dropped, sessions)
 	}
 }
 

@@ -1,0 +1,533 @@
+package sqlite
+
+import (
+	"database/sql/driver"
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// statement is a parsed SQL statement ready for execution.
+type statement interface{ stmt() }
+
+type createStmt struct {
+	table       string
+	ifNotExists bool
+	cols        []column
+	pk          int // -1 when no column is PRIMARY KEY
+}
+
+type insertStmt struct {
+	table     string
+	orReplace bool
+	cols      []string
+	vals      []expr
+}
+
+type selectStmt struct {
+	table    string
+	cols     []string
+	star     bool
+	countAll bool
+	where    *cond
+	orderBy  string
+	desc     bool
+}
+
+type deleteStmt struct {
+	table string
+	where *cond
+}
+
+func (*createStmt) stmt() {}
+func (*insertStmt) stmt() {}
+func (*selectStmt) stmt() {}
+func (*deleteStmt) stmt() {}
+
+// expr is a value position: either the n-th '?' placeholder or a literal.
+type expr struct {
+	placeholder int // -1 for literals
+	lit         driver.Value
+}
+
+func (e expr) bind(args []driver.Value) (driver.Value, error) {
+	if e.placeholder < 0 {
+		return e.lit, nil
+	}
+	if e.placeholder >= len(args) {
+		return nil, fmt.Errorf("sqlite: missing argument for placeholder %d", e.placeholder+1)
+	}
+	return args[e.placeholder], nil
+}
+
+// cond is a single `col OP value` predicate; nil means match-all.
+type cond struct {
+	col string
+	op  string
+	val expr
+}
+
+// matcher compiles the predicate against a table's layout once, returning a
+// per-row filter.
+func (c *cond) matcher(t *table, args []driver.Value) (func([]driver.Value) (bool, error), error) {
+	if c == nil {
+		return func([]driver.Value) (bool, error) { return true, nil }, nil
+	}
+	ci := t.colIndex(c.col)
+	if ci < 0 {
+		return nil, fmt.Errorf("sqlite: table %s has no column %s", t.name, c.col)
+	}
+	want, err := c.val.bind(args)
+	if err != nil {
+		return nil, err
+	}
+	if want, err = normalize(want); err != nil {
+		return nil, err
+	}
+	op := c.op
+	return func(row []driver.Value) (bool, error) {
+		got := row[ci]
+		// SQL three-valued logic collapsed to false: NULL compares with
+		// nothing except via equality against an explicit NULL literal.
+		if got == nil || want == nil {
+			return op == "=" && got == nil && want == nil, nil
+		}
+		cmp, err := compare(got, want)
+		if err != nil {
+			return false, err
+		}
+		switch op {
+		case "=":
+			return cmp == 0, nil
+		case "!=", "<>":
+			return cmp != 0, nil
+		case "<":
+			return cmp < 0, nil
+		case "<=":
+			return cmp <= 0, nil
+		case ">":
+			return cmp > 0, nil
+		case ">=":
+			return cmp >= 0, nil
+		}
+		return false, fmt.Errorf("sqlite: unsupported operator %s", op)
+	}, nil
+}
+
+// Tokenizer -------------------------------------------------------------------
+
+type tokenKind int
+
+const (
+	tokWord tokenKind = iota // identifiers and keywords
+	tokNumber
+	tokString // single-quoted literal, quotes stripped
+	tokPunct  // ( ) , ? * = != <> < <= > >= ;
+)
+
+type token struct {
+	kind tokenKind
+	text string
+}
+
+func tokenize(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'':
+			j := i + 1
+			var b strings.Builder
+			for {
+				if j >= len(src) {
+					return nil, fmt.Errorf("sqlite: unterminated string literal")
+				}
+				if src[j] == '\'' {
+					if j+1 < len(src) && src[j+1] == '\'' { // '' escapes a quote
+						b.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				b.WriteByte(src[j])
+				j++
+			}
+			toks = append(toks, token{tokString, b.String()})
+			i = j + 1
+		case c == '<' || c == '>' || c == '!':
+			op := string(c)
+			if i+1 < len(src) && (src[i+1] == '=' || (c == '<' && src[i+1] == '>')) {
+				op += string(src[i+1])
+				i++
+			}
+			if op == "!" {
+				return nil, fmt.Errorf("sqlite: unexpected character %q", c)
+			}
+			toks = append(toks, token{tokPunct, op})
+			i++
+		case strings.ContainsRune("(),?*=;", rune(c)):
+			toks = append(toks, token{tokPunct, string(c)})
+			i++
+		case c == '-' || c == '+' || (c >= '0' && c <= '9'):
+			j := i + 1
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.' || src[j] == 'e' || src[j] == 'E' || src[j] == '-' || src[j] == '+') {
+				// Only allow sign characters right after an exponent marker.
+				if (src[j] == '-' || src[j] == '+') && !(src[j-1] == 'e' || src[j-1] == 'E') {
+					break
+				}
+				j++
+			}
+			toks = append(toks, token{tokNumber, src[i:j]})
+			i = j
+		case c == '_' || unicode.IsLetter(rune(c)):
+			j := i + 1
+			for j < len(src) && (src[j] == '_' || src[j] >= '0' && src[j] <= '9' || unicode.IsLetter(rune(src[j]))) {
+				j++
+			}
+			toks = append(toks, token{tokWord, src[i:j]})
+			i = j
+		default:
+			return nil, fmt.Errorf("sqlite: unexpected character %q", c)
+		}
+	}
+	return toks, nil
+}
+
+// Parser ----------------------------------------------------------------------
+
+type parser struct {
+	toks         []token
+	pos          int
+	placeholders int
+}
+
+// parse turns one SQL statement into its executable form and reports how many
+// '?' placeholders it binds.
+func parse(src string) (statement, int, error) {
+	toks, err := tokenize(src)
+	if err != nil {
+		return nil, 0, err
+	}
+	p := &parser{toks: toks}
+	var st statement
+	switch {
+	case p.acceptWord("CREATE"):
+		st, err = p.parseCreate()
+	case p.acceptWord("INSERT"):
+		st, err = p.parseInsert()
+	case p.acceptWord("SELECT"):
+		st, err = p.parseSelect()
+	case p.acceptWord("DELETE"):
+		st, err = p.parseDelete()
+	default:
+		return nil, 0, fmt.Errorf("sqlite: unsupported statement %q", src)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	p.acceptPunct(";")
+	if p.pos != len(p.toks) {
+		return nil, 0, fmt.Errorf("sqlite: trailing tokens after statement in %q", src)
+	}
+	return st, p.placeholders, nil
+}
+
+func (p *parser) peek() (token, bool) {
+	if p.pos >= len(p.toks) {
+		return token{}, false
+	}
+	return p.toks[p.pos], true
+}
+
+func (p *parser) acceptWord(kw string) bool {
+	if t, ok := p.peek(); ok && t.kind == tokWord && strings.EqualFold(t.text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectWord(kw string) error {
+	if !p.acceptWord(kw) {
+		return fmt.Errorf("sqlite: expected %s at token %d", kw, p.pos)
+	}
+	return nil
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	if t, ok := p.peek(); ok && t.kind == tokPunct && t.text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		return fmt.Errorf("sqlite: expected %q at token %d", s, p.pos)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t, ok := p.peek()
+	if !ok || t.kind != tokWord {
+		return "", fmt.Errorf("sqlite: expected identifier at token %d", p.pos)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+func (p *parser) parseCreate() (statement, error) {
+	if err := p.expectWord("TABLE"); err != nil {
+		return nil, err
+	}
+	s := &createStmt{pk: -1}
+	if p.acceptWord("IF") {
+		if err := p.expectWord("NOT"); err != nil {
+			return nil, err
+		}
+		if err := p.expectWord("EXISTS"); err != nil {
+			return nil, err
+		}
+		s.ifNotExists = true
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	s.table = name
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	for {
+		colName, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		colType, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		switch up := strings.ToUpper(colType); up {
+		case "TEXT", "INTEGER", "REAL", "BLOB":
+			colType = up
+		default:
+			return nil, fmt.Errorf("sqlite: unsupported column type %s", colType)
+		}
+		s.cols = append(s.cols, column{Name: colName, Type: colType})
+		if p.acceptWord("PRIMARY") {
+			if err := p.expectWord("KEY"); err != nil {
+				return nil, err
+			}
+			if s.pk >= 0 {
+				return nil, fmt.Errorf("sqlite: multiple PRIMARY KEY columns in %s", name)
+			}
+			s.pk = len(s.cols) - 1
+		}
+		if p.acceptPunct(",") {
+			continue
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		break
+	}
+	return s, nil
+}
+
+func (p *parser) parseInsert() (statement, error) {
+	s := &insertStmt{}
+	if p.acceptWord("OR") {
+		if err := p.expectWord("REPLACE"); err != nil {
+			return nil, err
+		}
+		s.orReplace = true
+	}
+	if err := p.expectWord("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	s.table = name
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		s.cols = append(s.cols, col)
+		if p.acceptPunct(",") {
+			continue
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		break
+	}
+	if err := p.expectWord("VALUES"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	for {
+		e, err := p.parseValue()
+		if err != nil {
+			return nil, err
+		}
+		s.vals = append(s.vals, e)
+		if p.acceptPunct(",") {
+			continue
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		break
+	}
+	if len(s.vals) != len(s.cols) {
+		return nil, fmt.Errorf("sqlite: %d columns but %d values", len(s.cols), len(s.vals))
+	}
+	return s, nil
+}
+
+func (p *parser) parseSelect() (statement, error) {
+	s := &selectStmt{}
+	switch {
+	case p.acceptPunct("*"):
+		s.star = true
+	case p.acceptWord("COUNT"):
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("*"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		s.countAll = true
+	default:
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			s.cols = append(s.cols, col)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectWord("FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	s.table = name
+	if s.where, err = p.parseWhere(); err != nil {
+		return nil, err
+	}
+	if p.acceptWord("ORDER") {
+		if err := p.expectWord("BY"); err != nil {
+			return nil, err
+		}
+		if s.orderBy, err = p.ident(); err != nil {
+			return nil, err
+		}
+		switch {
+		case p.acceptWord("DESC"):
+			s.desc = true
+		case p.acceptWord("ASC"):
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) parseDelete() (statement, error) {
+	if err := p.expectWord("FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	s := &deleteStmt{table: name}
+	if s.where, err = p.parseWhere(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (p *parser) parseWhere() (*cond, error) {
+	if !p.acceptWord("WHERE") {
+		return nil, nil
+	}
+	col, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	t, ok := p.peek()
+	if !ok || t.kind != tokPunct {
+		return nil, fmt.Errorf("sqlite: expected comparison operator at token %d", p.pos)
+	}
+	switch t.text {
+	case "=", "!=", "<>", "<", "<=", ">", ">=":
+	default:
+		return nil, fmt.Errorf("sqlite: unsupported operator %q", t.text)
+	}
+	p.pos++
+	val, err := p.parseValue()
+	if err != nil {
+		return nil, err
+	}
+	return &cond{col: col, op: t.text, val: val}, nil
+}
+
+// parseValue parses a '?' placeholder or a literal (number, string, NULL).
+func (p *parser) parseValue() (expr, error) {
+	t, ok := p.peek()
+	if !ok {
+		return expr{}, fmt.Errorf("sqlite: expected value at token %d", p.pos)
+	}
+	switch {
+	case t.kind == tokPunct && t.text == "?":
+		p.pos++
+		e := expr{placeholder: p.placeholders}
+		p.placeholders++
+		return e, nil
+	case t.kind == tokString:
+		p.pos++
+		return expr{placeholder: -1, lit: t.text}, nil
+	case t.kind == tokNumber:
+		p.pos++
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return expr{}, fmt.Errorf("sqlite: bad numeric literal %q", t.text)
+			}
+			return expr{placeholder: -1, lit: f}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return expr{}, fmt.Errorf("sqlite: bad integer literal %q", t.text)
+		}
+		return expr{placeholder: -1, lit: n}, nil
+	case t.kind == tokWord && strings.EqualFold(t.text, "NULL"):
+		p.pos++
+		return expr{placeholder: -1, lit: nil}, nil
+	default:
+		return expr{}, fmt.Errorf("sqlite: unexpected value token %q", t.text)
+	}
+}

@@ -1,0 +1,824 @@
+// Package sqlite is a minimal, dependency-free SQL engine exposed through
+// database/sql/driver, registered as "poiesis-sqlite". It exists so the
+// server's SQL session backend can be written against database/sql — the
+// portable seam every networked SQL store (PostgreSQL, MySQL, a real sqlite
+// driver) plugs into — without pulling a cgo or third-party module into the
+// build. Swapping in a real driver is a driver-name change in the backend
+// configuration; the SQL the backend issues is deliberately the common
+// dialect subset.
+//
+// Supported statements (case-insensitive keywords, '?' placeholders):
+//
+//	CREATE TABLE [IF NOT EXISTS] tbl (col TYPE [PRIMARY KEY], ...)
+//	INSERT [OR REPLACE] INTO tbl (cols...) VALUES (vals...)
+//	SELECT cols... | COUNT(*) | * FROM tbl [WHERE col OP v] [ORDER BY col [ASC|DESC]]
+//	DELETE FROM tbl [WHERE col OP v]
+//
+// where OP is one of = != <> < <= > >=. Values are NULL, INTEGER (int64),
+// REAL (float64), TEXT and BLOB.
+//
+// Durability: a DSN of ":memory:" (or empty) is an independent in-process
+// database per sql.Open. Any other DSN is a file path ("path" or
+// "path?sync=off"): every mutation is appended to the file as one
+// length-delimited JSON entry and fsync'd (unless sync=off), the log is
+// replayed on open — a torn final line from a crash is discarded, matching
+// the disk session backend's crash-safety posture — and compacted to a
+// snapshot both on open and when it outgrows the live data. One process
+// opening the same path twice shares one engine; the single-writer contract
+// across processes is the caller's, exactly as for the disk backend.
+package sqlite
+
+import (
+	"bufio"
+	"context"
+	"database/sql"
+	"database/sql/driver"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DriverName is the name the engine registers under with database/sql.
+const DriverName = "poiesis-sqlite"
+
+func init() { sql.Register(DriverName, &Driver{}) }
+
+// Driver implements driver.Driver and driver.DriverContext.
+type Driver struct{}
+
+// Open opens a single connection (legacy path; database/sql prefers
+// OpenConnector).
+func (d *Driver) Open(name string) (driver.Conn, error) {
+	c, err := d.OpenConnector(name)
+	if err != nil {
+		return nil, err
+	}
+	return c.Connect(context.Background())
+}
+
+// OpenConnector resolves the DSN to an engine instance once per sql.Open, so
+// every pooled connection shares the same data — including for ":memory:",
+// where each sql.Open is its own private database.
+func (d *Driver) OpenConnector(name string) (driver.Connector, error) {
+	db, err := openDatabase(name)
+	if err != nil {
+		return nil, err
+	}
+	return &connector{driver: d, db: db}, nil
+}
+
+type connector struct {
+	driver    *Driver
+	db        *database
+	closeOnce sync.Once
+}
+
+func (c *connector) Connect(context.Context) (driver.Conn, error) {
+	return &conn{db: c.db}, nil
+}
+
+func (c *connector) Driver() driver.Driver { return c.driver }
+
+// Close releases the connector's engine reference; sql.DB.Close calls it.
+// The last reference to a file-backed database flushes and closes the log,
+// so a later open replays from disk.
+func (c *connector) Close() error {
+	var err error
+	c.closeOnce.Do(func() { err = c.db.release() })
+	return err
+}
+
+// conn is one pooled connection; all state lives in the shared database.
+type conn struct{ db *database }
+
+func (c *conn) Prepare(query string) (driver.Stmt, error) {
+	parsed, n, err := parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return &stmt{db: c.db, parsed: parsed, numInput: n}, nil
+}
+
+func (c *conn) Close() error { return nil }
+
+// Begin is unsupported: the engine offers statement-level atomicity only,
+// which is all the session backend needs (one record per statement).
+func (c *conn) Begin() (driver.Tx, error) {
+	return nil, errors.New("sqlite: transactions are not supported")
+}
+
+type stmt struct {
+	db       *database
+	parsed   statement
+	numInput int
+}
+
+func (s *stmt) Close() error  { return nil }
+func (s *stmt) NumInput() int { return s.numInput }
+
+func (s *stmt) Exec(args []driver.Value) (driver.Result, error) {
+	n, err := s.db.exec(s.parsed, args)
+	if err != nil {
+		return nil, err
+	}
+	return driver.RowsAffected(n), nil
+}
+
+func (s *stmt) Query(args []driver.Value) (driver.Rows, error) {
+	sel, ok := s.parsed.(*selectStmt)
+	if !ok {
+		// Allow Exec-style statements through Query (database/sql never
+		// needs it, but drivers conventionally permit it).
+		if _, err := s.db.exec(s.parsed, args); err != nil {
+			return nil, err
+		}
+		return &rows{}, nil
+	}
+	return s.db.query(sel, args)
+}
+
+// rows is a fully materialized result cursor.
+type rows struct {
+	cols []string
+	data [][]driver.Value
+	pos  int
+}
+
+func (r *rows) Columns() []string { return r.cols }
+func (r *rows) Close() error      { return nil }
+
+func (r *rows) Next(dest []driver.Value) error {
+	if r.pos >= len(r.data) {
+		return io.EOF
+	}
+	row := r.data[r.pos]
+	r.pos++
+	copy(dest, row)
+	return nil
+}
+
+// Engine ----------------------------------------------------------------------
+
+type column struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+type table struct {
+	name string
+	cols []column
+	pk   int // column index of the PRIMARY KEY, -1 for rowid tables
+
+	rows     map[string][]driver.Value
+	rowSizes map[string]int64 // approximate logged size per live row
+	nextRow  int64            // rowid allocator for tables without a PK
+}
+
+func (t *table) colIndex(name string) int {
+	for i, c := range t.cols {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// key derives the row-map key for a primary-key value. The encoding is
+// type-tagged so int64(1) and "1" cannot collide, and deterministic so log
+// replay rebuilds identical keys.
+func keyOf(v driver.Value) (string, error) {
+	switch x := v.(type) {
+	case int64:
+		return "i:" + strconv.FormatInt(x, 10), nil
+	case string:
+		return "s:" + x, nil
+	case []byte:
+		return "b:" + string(x), nil
+	case float64:
+		return "f:" + strconv.FormatFloat(x, 'g', -1, 64), nil
+	default:
+		return "", fmt.Errorf("sqlite: unsupported PRIMARY KEY value of type %T", v)
+	}
+}
+
+type database struct {
+	mu     sync.Mutex
+	tables map[string]*table
+
+	// File-backed state; path is empty for :memory: databases.
+	path      string
+	syncOn    bool
+	logFile   *os.File
+	logBytes  int64
+	liveBytes int64
+	refs      int
+}
+
+// registry shares one engine per file path within the process, so two
+// sql.Open calls on the same DSN see the same data (and cannot corrupt the
+// log by double-appending).
+var registry = struct {
+	sync.Mutex
+	m map[string]*database
+}{m: map[string]*database{}}
+
+func parseDSN(dsn string) (path string, syncOn bool, err error) {
+	syncOn = true
+	if dsn == "" || dsn == ":memory:" {
+		return "", syncOn, nil
+	}
+	if i := strings.IndexByte(dsn, '?'); i >= 0 {
+		for _, opt := range strings.Split(dsn[i+1:], "&") {
+			switch opt {
+			case "sync=off":
+				syncOn = false
+			case "sync=on", "":
+				syncOn = true
+			default:
+				return "", false, fmt.Errorf("sqlite: unknown DSN option %q", opt)
+			}
+		}
+		dsn = dsn[:i]
+	}
+	if dsn == "" || dsn == ":memory:" {
+		return "", syncOn, nil
+	}
+	abs, err := filepath.Abs(dsn)
+	if err != nil {
+		return "", false, fmt.Errorf("sqlite: resolving DSN path: %w", err)
+	}
+	return abs, syncOn, nil
+}
+
+func openDatabase(dsn string) (*database, error) {
+	path, syncOn, err := parseDSN(dsn)
+	if err != nil {
+		return nil, err
+	}
+	if path == "" {
+		return &database{tables: map[string]*table{}}, nil
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if db, ok := registry.m[path]; ok {
+		db.refs++
+		return db, nil
+	}
+	db := &database{tables: map[string]*table{}, path: path, syncOn: syncOn, refs: 1}
+	if err := db.load(); err != nil {
+		return nil, err
+	}
+	registry.m[path] = db
+	return db, nil
+}
+
+// release drops one engine reference; the last one on a file-backed database
+// closes the log so a subsequent open replays from disk.
+func (db *database) release() error {
+	if db.path == "" {
+		return nil
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	db.refs--
+	if db.refs > 0 {
+		return nil
+	}
+	delete(registry.m, db.path)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.logFile == nil {
+		return nil
+	}
+	err := db.logFile.Close()
+	db.logFile = nil
+	return err
+}
+
+// Persistence log -------------------------------------------------------------
+
+// logEntry is one persisted mutation, JSON-encoded one per line.
+type logEntry struct {
+	Op    string      `json:"op"` // "create" | "put" | "del"
+	Table string      `json:"table"`
+	Cols  []column    `json:"cols,omitempty"` // create
+	PK    int         `json:"pk"`             // create; -1 = rowid table
+	Key   string      `json:"key,omitempty"`  // put, del
+	Vals  []wireValue `json:"vals,omitempty"` // put
+}
+
+// wireValue is a type-tagged driver.Value for the log.
+type wireValue struct {
+	T string  `json:"t"` // "n" null, "i" int, "f" float, "s" text, "b" blob
+	I int64   `json:"i,omitempty"`
+	F float64 `json:"f,omitempty"`
+	S string  `json:"s,omitempty"`
+	B []byte  `json:"b,omitempty"`
+}
+
+func toWire(v driver.Value) (wireValue, error) {
+	switch x := v.(type) {
+	case nil:
+		return wireValue{T: "n"}, nil
+	case int64:
+		return wireValue{T: "i", I: x}, nil
+	case float64:
+		return wireValue{T: "f", F: x}, nil
+	case string:
+		return wireValue{T: "s", S: x}, nil
+	case []byte:
+		return wireValue{T: "b", B: x}, nil
+	default:
+		return wireValue{}, fmt.Errorf("sqlite: unsupported value type %T", v)
+	}
+}
+
+func (w wireValue) value() (driver.Value, error) {
+	switch w.T {
+	case "n":
+		return nil, nil
+	case "i":
+		return w.I, nil
+	case "f":
+		return w.F, nil
+	case "s":
+		return w.S, nil
+	case "b":
+		return w.B, nil
+	default:
+		return nil, fmt.Errorf("sqlite: unknown wire value tag %q", w.T)
+	}
+}
+
+// load replays the log file (if any), discarding a torn final line, then
+// compacts it to a fresh snapshot and leaves the handle open for appends.
+func (db *database) load() error {
+	f, err := os.OpenFile(db.path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("sqlite: opening database %s: %w", db.path, err)
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 64<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e logEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			// A torn tail from a crash mid-append: everything before it is
+			// intact, everything after it never committed.
+			break
+		}
+		if err := db.apply(&e); err != nil {
+			f.Close()
+			return fmt.Errorf("sqlite: replaying database %s: %w", db.path, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return fmt.Errorf("sqlite: reading database %s: %w", db.path, err)
+	}
+	f.Close()
+	return db.compactLocked()
+}
+
+// apply replays one log entry into the in-memory state.
+func (db *database) apply(e *logEntry) error {
+	switch e.Op {
+	case "create":
+		if _, ok := db.tables[e.Table]; ok {
+			return nil
+		}
+		db.tables[e.Table] = &table{
+			name: e.Table, cols: e.Cols, pk: e.PK,
+			rows: map[string][]driver.Value{}, rowSizes: map[string]int64{},
+		}
+	case "put":
+		t, ok := db.tables[e.Table]
+		if !ok {
+			return fmt.Errorf("put into unknown table %s", e.Table)
+		}
+		row := make([]driver.Value, len(e.Vals))
+		for i, w := range e.Vals {
+			v, err := w.value()
+			if err != nil {
+				return err
+			}
+			row[i] = v
+		}
+		t.rows[e.Key] = row
+		t.rowSizes[e.Key] = entrySize(e)
+		if t.pk < 0 {
+			if id, err := strconv.ParseInt(strings.TrimPrefix(e.Key, "r:"), 10, 64); err == nil && id >= t.nextRow {
+				t.nextRow = id + 1
+			}
+		}
+	case "del":
+		if t, ok := db.tables[e.Table]; ok {
+			delete(t.rows, e.Key)
+			delete(t.rowSizes, e.Key)
+		}
+	default:
+		return fmt.Errorf("unknown log op %q", e.Op)
+	}
+	return nil
+}
+
+func entrySize(e *logEntry) int64 {
+	n := int64(len(e.Key) + 24)
+	for _, w := range e.Vals {
+		n += int64(len(w.S) + len(w.B) + 16)
+	}
+	return n
+}
+
+// logLocked appends one entry (caller holds db.mu) and fsyncs when sync is
+// on; an in-memory database is a no-op. When the log has grown well past the
+// live data, it is compacted in place.
+func (db *database) logLocked(e *logEntry) error {
+	if db.path == "" {
+		return nil
+	}
+	if db.logFile == nil {
+		return errors.New("sqlite: database is closed")
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("sqlite: encoding log entry: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := db.logFile.Write(line); err != nil {
+		return fmt.Errorf("sqlite: appending to %s: %w", db.path, err)
+	}
+	if db.syncOn {
+		if err := db.logFile.Sync(); err != nil {
+			return fmt.Errorf("sqlite: syncing %s: %w", db.path, err)
+		}
+	}
+	db.logBytes += int64(len(line))
+	if db.logBytes > 1<<20 && db.logBytes > 4*db.liveBytes {
+		return db.compactLocked()
+	}
+	return nil
+}
+
+// compactLocked rewrites the log as a minimal snapshot (schema plus live
+// rows) via temp-file + fsync + atomic rename, then reopens it for appends.
+func (db *database) compactLocked() error {
+	if db.path == "" {
+		return nil
+	}
+	if db.logFile != nil {
+		db.logFile.Close()
+		db.logFile = nil
+	}
+	tmp := db.path + ".compact"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("sqlite: compacting %s: %w", db.path, err)
+	}
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	var logBytes, liveBytes int64
+	names := make([]string, 0, len(db.tables))
+	for name := range db.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("sqlite: compacting %s: %w", db.path, err)
+	}
+	for _, name := range names {
+		t := db.tables[name]
+		if err := enc.Encode(logEntry{Op: "create", Table: name, Cols: t.cols, PK: t.pk}); err != nil {
+			return fail(err)
+		}
+		keys := make([]string, 0, len(t.rows))
+		for k := range t.rows {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			e := logEntry{Op: "put", Table: name, Key: k}
+			for _, v := range t.rows[k] {
+				wv, err := toWire(v)
+				if err != nil {
+					return fail(err)
+				}
+				e.Vals = append(e.Vals, wv)
+			}
+			if err := enc.Encode(e); err != nil {
+				return fail(err)
+			}
+			liveBytes += entrySize(&e)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		return fail(err)
+	}
+	if err := os.Rename(tmp, db.path); err != nil {
+		return fail(err)
+	}
+	if d, err := os.Open(filepath.Dir(db.path)); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	nf, err := os.OpenFile(db.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("sqlite: reopening %s after compaction: %w", db.path, err)
+	}
+	if st, err := nf.Stat(); err == nil {
+		logBytes = st.Size()
+	}
+	db.logFile = nf
+	db.logBytes = logBytes
+	db.liveBytes = liveBytes
+	return nil
+}
+
+// Execution -------------------------------------------------------------------
+
+// normalize maps the driver.Value domain onto the engine's storage types;
+// []byte is copied because the caller may reuse the backing array.
+func normalize(v driver.Value) (driver.Value, error) {
+	switch x := v.(type) {
+	case nil, int64, float64, string:
+		return v, nil
+	case bool:
+		if x {
+			return int64(1), nil
+		}
+		return int64(0), nil
+	case []byte:
+		cp := make([]byte, len(x))
+		copy(cp, x)
+		return cp, nil
+	case time.Time:
+		return x.UnixNano(), nil
+	default:
+		return nil, fmt.Errorf("sqlite: unsupported argument type %T", v)
+	}
+}
+
+func (db *database) exec(st statement, args []driver.Value) (int64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	switch s := st.(type) {
+	case *createStmt:
+		return db.execCreate(s)
+	case *insertStmt:
+		return db.execInsert(s, args)
+	case *deleteStmt:
+		return db.execDelete(s, args)
+	case *selectStmt:
+		return 0, errors.New("sqlite: SELECT is not an Exec statement")
+	default:
+		return 0, fmt.Errorf("sqlite: unsupported statement %T", st)
+	}
+}
+
+func (db *database) execCreate(s *createStmt) (int64, error) {
+	if _, ok := db.tables[s.table]; ok {
+		if s.ifNotExists {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("sqlite: table %s already exists", s.table)
+	}
+	db.tables[s.table] = &table{
+		name: s.table, cols: s.cols, pk: s.pk,
+		rows: map[string][]driver.Value{}, rowSizes: map[string]int64{},
+	}
+	return 0, db.logLocked(&logEntry{Op: "create", Table: s.table, Cols: s.cols, PK: s.pk})
+}
+
+func (db *database) execInsert(s *insertStmt, args []driver.Value) (int64, error) {
+	t, ok := db.tables[s.table]
+	if !ok {
+		return 0, fmt.Errorf("sqlite: unknown table %s", s.table)
+	}
+	row := make([]driver.Value, len(t.cols))
+	for i, colName := range s.cols {
+		ci := t.colIndex(colName)
+		if ci < 0 {
+			return 0, fmt.Errorf("sqlite: table %s has no column %s", s.table, colName)
+		}
+		v, err := s.vals[i].bind(args)
+		if err != nil {
+			return 0, err
+		}
+		if v, err = normalize(v); err != nil {
+			return 0, err
+		}
+		row[ci] = v
+	}
+	var key string
+	if t.pk >= 0 {
+		pkVal := row[t.pk]
+		if pkVal == nil {
+			return 0, fmt.Errorf("sqlite: NULL PRIMARY KEY in %s", s.table)
+		}
+		k, err := keyOf(pkVal)
+		if err != nil {
+			return 0, err
+		}
+		if _, exists := t.rows[k]; exists && !s.orReplace {
+			return 0, fmt.Errorf("sqlite: duplicate PRIMARY KEY in %s", s.table)
+		}
+		key = k
+	} else {
+		key = "r:" + strconv.FormatInt(t.nextRow, 10)
+		t.nextRow++
+	}
+	e := logEntry{Op: "put", Table: s.table, Key: key}
+	for _, v := range row {
+		wv, err := toWire(v)
+		if err != nil {
+			return 0, err
+		}
+		e.Vals = append(e.Vals, wv)
+	}
+	t.rows[key] = row
+	db.liveBytes += entrySize(&e) - t.rowSizes[key]
+	t.rowSizes[key] = entrySize(&e)
+	return 1, db.logLocked(&e)
+}
+
+func (db *database) execDelete(s *deleteStmt, args []driver.Value) (int64, error) {
+	t, ok := db.tables[s.table]
+	if !ok {
+		return 0, fmt.Errorf("sqlite: unknown table %s", s.table)
+	}
+	match, err := s.where.matcher(t, args)
+	if err != nil {
+		return 0, err
+	}
+	var removed []string
+	for k, row := range t.rows {
+		ok, err := match(row)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			removed = append(removed, k)
+		}
+	}
+	sort.Strings(removed)
+	for _, k := range removed {
+		delete(t.rows, k)
+		db.liveBytes -= t.rowSizes[k]
+		delete(t.rowSizes, k)
+		if err := db.logLocked(&logEntry{Op: "del", Table: s.table, Key: k}); err != nil {
+			return int64(len(removed)), err
+		}
+	}
+	return int64(len(removed)), nil
+}
+
+func (db *database) query(s *selectStmt, args []driver.Value) (driver.Rows, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[s.table]
+	if !ok {
+		return nil, fmt.Errorf("sqlite: unknown table %s", s.table)
+	}
+	match, err := s.where.matcher(t, args)
+	if err != nil {
+		return nil, err
+	}
+	var matched [][]driver.Value
+	for _, row := range t.rows {
+		ok, err := match(row)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			matched = append(matched, row)
+		}
+	}
+	if s.countAll {
+		return &rows{cols: []string{"COUNT(*)"}, data: [][]driver.Value{{int64(len(matched))}}}, nil
+	}
+	if s.orderBy != "" {
+		oi := t.colIndex(s.orderBy)
+		if oi < 0 {
+			return nil, fmt.Errorf("sqlite: ORDER BY unknown column %s", s.orderBy)
+		}
+		var sortErr error
+		sort.SliceStable(matched, func(i, j int) bool {
+			c, err := compare(matched[i][oi], matched[j][oi])
+			if err != nil && sortErr == nil {
+				sortErr = err
+			}
+			if s.desc {
+				return c > 0
+			}
+			return c < 0
+		})
+		if sortErr != nil {
+			return nil, sortErr
+		}
+	}
+	cols := s.cols
+	if s.star {
+		cols = make([]string, len(t.cols))
+		for i, c := range t.cols {
+			cols[i] = c.Name
+		}
+	}
+	idx := make([]int, len(cols))
+	for i, name := range cols {
+		ci := t.colIndex(name)
+		if ci < 0 {
+			return nil, fmt.Errorf("sqlite: table %s has no column %s", s.table, name)
+		}
+		idx[i] = ci
+	}
+	out := make([][]driver.Value, len(matched))
+	for ri, row := range matched {
+		pr := make([]driver.Value, len(idx))
+		for i, ci := range idx {
+			v := row[ci]
+			// Hand out copies of blobs: the engine owns its row storage.
+			if b, ok := v.([]byte); ok {
+				cp := make([]byte, len(b))
+				copy(cp, b)
+				v = cp
+			}
+			pr[i] = v
+		}
+		out[ri] = pr
+	}
+	return &rows{cols: cols, data: out}, nil
+}
+
+// compare orders two stored values: nil first, then numerics, text, blobs.
+func compare(a, b driver.Value) (int, error) {
+	if a == nil || b == nil {
+		switch {
+		case a == nil && b == nil:
+			return 0, nil
+		case a == nil:
+			return -1, nil
+		default:
+			return 1, nil
+		}
+	}
+	switch x := a.(type) {
+	case int64:
+		switch y := b.(type) {
+		case int64:
+			switch {
+			case x < y:
+				return -1, nil
+			case x > y:
+				return 1, nil
+			}
+			return 0, nil
+		case float64:
+			return cmpFloat(float64(x), y), nil
+		}
+	case float64:
+		switch y := b.(type) {
+		case float64:
+			return cmpFloat(x, y), nil
+		case int64:
+			return cmpFloat(x, float64(y)), nil
+		}
+	case string:
+		if y, ok := b.(string); ok {
+			return strings.Compare(x, y), nil
+		}
+	case []byte:
+		if y, ok := b.([]byte); ok {
+			return strings.Compare(string(x), string(y)), nil
+		}
+	}
+	return 0, fmt.Errorf("sqlite: cannot compare %T with %T", a, b)
+}
+
+func cmpFloat(x, y float64) int {
+	switch {
+	case x < y:
+		return -1
+	case x > y:
+		return 1
+	}
+	return 0
+}

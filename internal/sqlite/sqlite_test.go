@@ -1,0 +1,352 @@
+package sqlite
+
+import (
+	"database/sql"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+const testSchema = `CREATE TABLE IF NOT EXISTS kv (id TEXT PRIMARY KEY, version INTEGER, stamp INTEGER, payload BLOB)`
+
+func openTestDB(t *testing.T, dsn string) *sql.DB {
+	t.Helper()
+	db, err := sql.Open(DriverName, dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	if _, err := db.Exec(testSchema); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestCRUDRoundTrip(t *testing.T) {
+	db := openTestDB(t, ":memory:")
+	if _, err := db.Exec(`INSERT INTO kv (id, version, stamp, payload) VALUES (?, ?, ?, ?)`,
+		"a", int64(1), int64(100), []byte("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	// OR REPLACE updates in place; plain INSERT on a duplicate key fails.
+	if _, err := db.Exec(`INSERT INTO kv (id, version, stamp, payload) VALUES (?, ?, ?, ?)`,
+		"a", int64(1), int64(100), []byte("dup")); err == nil {
+		t.Fatal("duplicate primary key accepted")
+	}
+	if _, err := db.Exec(`INSERT OR REPLACE INTO kv (id, version, stamp, payload) VALUES (?, ?, ?, ?)`,
+		"a", int64(2), int64(200), []byte("beta")); err != nil {
+		t.Fatal(err)
+	}
+
+	var version, stamp int64
+	var payload []byte
+	err := db.QueryRow(`SELECT version, stamp, payload FROM kv WHERE id = ?`, "a").
+		Scan(&version, &stamp, &payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 2 || stamp != 200 || string(payload) != "beta" {
+		t.Fatalf("got (%d, %d, %q)", version, stamp, payload)
+	}
+
+	if err := db.QueryRow(`SELECT id FROM kv WHERE id = ?`, "missing").Scan(new(string)); err != sql.ErrNoRows {
+		t.Fatalf("missing row: %v, want ErrNoRows", err)
+	}
+
+	res, err := db.Exec(`DELETE FROM kv WHERE id = ?`, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := res.RowsAffected(); n != 1 {
+		t.Fatalf("delete affected %d rows", n)
+	}
+	// Deleting an absent row is a zero-row no-op, not an error.
+	res, err = db.Exec(`DELETE FROM kv WHERE id = ?`, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := res.RowsAffected(); n != 0 {
+		t.Fatalf("re-delete affected %d rows", n)
+	}
+}
+
+func TestWhereOperatorsAndOrderBy(t *testing.T) {
+	db := openTestDB(t, ":memory:")
+	for i, id := range []string{"c", "a", "b", "d"} {
+		if _, err := db.Exec(`INSERT INTO kv (id, version, stamp, payload) VALUES (?, ?, ?, ?)`,
+			id, int64(1), int64(10*(i+1)), []byte(nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	collect := func(query string, args ...any) []string {
+		t.Helper()
+		rows, err := db.Query(query, args...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rows.Close()
+		var out []string
+		for rows.Next() {
+			var id string
+			if err := rows.Scan(&id); err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, id)
+		}
+		if err := rows.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	if got := collect(`SELECT id FROM kv ORDER BY id`); strings.Join(got, "") != "abcd" {
+		t.Errorf("ORDER BY id: %v", got)
+	}
+	if got := collect(`SELECT id FROM kv ORDER BY id DESC`); strings.Join(got, "") != "dcba" {
+		t.Errorf("ORDER BY id DESC: %v", got)
+	}
+	// stamp: c=10 a=20 b=30 d=40
+	if got := collect(`SELECT id FROM kv WHERE stamp < ? ORDER BY stamp`, int64(30)); strings.Join(got, "") != "ca" {
+		t.Errorf("stamp < 30: %v", got)
+	}
+	if got := collect(`SELECT id FROM kv WHERE stamp >= ? ORDER BY stamp`, int64(30)); strings.Join(got, "") != "bd" {
+		t.Errorf("stamp >= 30: %v", got)
+	}
+	if got := collect(`SELECT id FROM kv WHERE id != ? ORDER BY id`, "b"); strings.Join(got, "") != "acd" {
+		t.Errorf("id != b: %v", got)
+	}
+
+	var n int64
+	if err := db.QueryRow(`SELECT COUNT(*) FROM kv WHERE stamp > ?`, int64(10)).Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("COUNT(*) = %d, want 3", n)
+	}
+}
+
+// TestFileDurability proves the log survives a full close/reopen cycle: the
+// second sql.Open gets a fresh engine that must rebuild state by replay.
+func TestFileDurability(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "kv.db")
+	db, err := sql.Open(DriverName, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(testSchema); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO kv (id, version, stamp, payload) VALUES (?, ?, ?, ?)`,
+		"keep", int64(1), int64(7), []byte{0x00, 0xff, 0x10}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO kv (id, version, stamp, payload) VALUES (?, ?, ?, ?)`,
+		"drop", int64(1), int64(8), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`DELETE FROM kv WHERE id = ?`, "drop"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := openTestDB(t, path)
+	var payload []byte
+	if err := db2.QueryRow(`SELECT payload FROM kv WHERE id = ?`, "keep").Scan(&payload); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%x", payload) != "00ff10" {
+		t.Fatalf("blob corrupted across reopen: %x", payload)
+	}
+	var n int64
+	if err := db2.QueryRow(`SELECT COUNT(*) FROM kv`).Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("replay resurrected deleted rows: count %d", n)
+	}
+}
+
+// TestTornTailDiscarded simulates a crash mid-append: a half-written final
+// line must be dropped on replay, keeping every earlier committed write.
+func TestTornTailDiscarded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "kv.db")
+	db, err := sql.Open(DriverName, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(testSchema); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO kv (id, version, stamp, payload) VALUES (?, ?, ?, ?)`,
+		"good", int64(1), int64(1), []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"put","table":"kv","key":"s:torn","vals":[{"t":"s","s":"tr`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	db2 := openTestDB(t, path)
+	var n int64
+	if err := db2.QueryRow(`SELECT COUNT(*) FROM kv`).Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("torn tail handling: count %d, want 1", n)
+	}
+	var payload []byte
+	if err := db2.QueryRow(`SELECT payload FROM kv WHERE id = ?`, "good").Scan(&payload); err != nil {
+		t.Fatalf("committed row lost after torn tail: %v", err)
+	}
+}
+
+// TestCompactionBoundsLog hammers one key so the append log outgrows the live
+// data, then checks the file was compacted back down and still replays.
+func TestCompactionBoundsLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "kv.db")
+	db, err := sql.Open(DriverName, path+"?sync=off")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(testSchema); err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 32<<10)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := db.Exec(`INSERT OR REPLACE INTO kv (id, version, stamp, payload) VALUES (?, ?, ?, ?)`,
+			"hot", int64(i), int64(i), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 200 writes × ~43KB encoded would be ~8.6MB unbounded; compaction must
+	// keep the file within a few multiples of the single live row.
+	if st.Size() > 1<<21 {
+		t.Fatalf("log never compacted: %d bytes on disk for one ~32KB row", st.Size())
+	}
+	db2 := openTestDB(t, path)
+	var version int64
+	if err := db2.QueryRow(`SELECT version FROM kv WHERE id = ?`, "hot").Scan(&version); err != nil {
+		t.Fatal(err)
+	}
+	if version != 199 {
+		t.Fatalf("compacted db lost the last write: version %d", version)
+	}
+}
+
+// TestMemoryDSNIsolation: each sql.Open(":memory:") is its own database, but
+// all pooled connections within one sql.DB share state.
+func TestMemoryDSNIsolation(t *testing.T) {
+	db1 := openTestDB(t, ":memory:")
+	db2 := openTestDB(t, ":memory:")
+	if _, err := db1.Exec(`INSERT INTO kv (id, version, stamp, payload) VALUES (?, ?, ?, ?)`,
+		"only-in-1", int64(1), int64(1), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	var n int64
+	if err := db2.QueryRow(`SELECT COUNT(*) FROM kv`).Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf(":memory: databases leaked across sql.Open: %d rows", n)
+	}
+	// Force multiple connections on db1; they must all see the same row.
+	db1.SetMaxIdleConns(4)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var id string
+			if err := db1.QueryRow(`SELECT id FROM kv WHERE id = ?`, "only-in-1").Scan(&id); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("pooled connection missed shared state: %v", err)
+	}
+}
+
+// TestSharedFileEngine: two sql.Open calls on one path share a single engine
+// in-process, so writes through one are immediately visible to the other.
+func TestSharedFileEngine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "kv.db")
+	db1 := openTestDB(t, path)
+	db2 := openTestDB(t, path)
+	if _, err := db1.Exec(`INSERT INTO kv (id, version, stamp, payload) VALUES (?, ?, ?, ?)`,
+		"shared", int64(1), int64(1), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	var id string
+	if err := db2.QueryRow(`SELECT id FROM kv WHERE id = ?`, "shared").Scan(&id); err != nil {
+		t.Fatalf("second open of the same path missed the write: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	db := openTestDB(t, ":memory:")
+	for _, bad := range []string{
+		`UPDATE kv SET version = 1`,         // unsupported verb
+		`SELECT id FROM kv WHERE id LIKE ?`, // unsupported operator
+		`SELECT id FROM kv; DROP TABLE kv`,  // trailing statement
+		`INSERT INTO kv (id) VALUES (?, ?)`, // arity mismatch
+		`SELECT id FROM nope`,               // unknown table
+		`SELECT ghost FROM kv`,              // unknown column
+		`CREATE TABLE t2 (x JSONB)`,         // unsupported type
+		`SELECT id FROM kv ORDER BY ghost`,  // unknown ORDER BY column
+		`DELETE FROM kv WHERE ghost = ?`,    // unknown WHERE column
+	} {
+		if _, err := db.Query(bad, "x"); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+	if _, err := db.Exec(`SELECT id FROM kv`); err == nil {
+		t.Error("Exec accepted a SELECT")
+	}
+	if _, err := db.Begin(); err == nil {
+		t.Error("transactions unexpectedly supported")
+	}
+}
+
+func TestStringLiteralsAndNull(t *testing.T) {
+	db := openTestDB(t, ":memory:")
+	if _, err := db.Exec(`INSERT INTO kv (id, version, stamp, payload) VALUES ('it''s', 3, NULL, ?)`,
+		[]byte("lit")); err != nil {
+		t.Fatal(err)
+	}
+	var version int64
+	var stamp sql.NullInt64
+	err := db.QueryRow(`SELECT version, stamp FROM kv WHERE id = 'it''s'`).Scan(&version, &stamp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 3 || stamp.Valid {
+		t.Fatalf("got version %d stamp %+v", version, stamp)
+	}
+}
