@@ -8,6 +8,7 @@
 //
 //	go test -run xxx -bench 'Fig3|Fig4|A5' -benchmem -count=1 . | go run ./cmd/benchjson > BENCH.json
 //	go run ./cmd/benchjson -diff-schema committed.json regenerated.json
+//	go run ./cmd/benchjson -check-metrics metrics.txt
 //
 // The -diff-schema mode compares the *shape* of two record files — the set
 // of record names and each record's metric keys — and exits non-zero on
@@ -15,6 +16,11 @@
 // shared runners whose latencies vary, but a silently added, renamed, or
 // dropped series would corrupt the trajectory, and that is what the check
 // catches.
+//
+// The -check-metrics mode parses a saved /metrics scrape with the service's
+// own strict exposition parser and requires the core poiesis_* families to
+// be present, so CI catches a scrape that serves but has gone syntactically
+// or structurally bad.
 package main
 
 import (
@@ -26,6 +32,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"poiesis/internal/obs"
 )
 
 // Record is one benchmark result line.
@@ -57,6 +65,18 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintln(os.Stderr, "benchjson: schemas match")
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "-check-metrics" {
+		if len(os.Args) != 3 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -check-metrics METRICS.txt")
+			os.Exit(2)
+		}
+		if err := checkMetrics(os.Args[2]); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "benchjson: metrics exposition OK")
 		return
 	}
 	sc := bufio.NewScanner(os.Stdin)
@@ -125,6 +145,46 @@ func parseLine(line string) (Record, bool) {
 		rec.Metrics = nil
 	}
 	return rec, rec.NsPerOp > 0
+}
+
+// checkMetrics validates a saved /metrics scrape: it must parse under the
+// strict exposition grammar and contain the core metric families a healthy
+// service always exports after serving one plan.
+func checkMetrics(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	samples, err := obs.ParseText(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	seen := map[string]bool{}
+	for _, s := range samples {
+		seen[s.Name] = true
+	}
+	var missing []string
+	for _, want := range []string{
+		"poiesis_http_requests_total",
+		"poiesis_http_request_duration_seconds_count",
+		"poiesis_planner_stage_duration_seconds_count",
+		"poiesis_plans_computed_total",
+		"poiesis_plan_cache_misses_total",
+		"poiesis_backend_op_duration_seconds_count",
+		"poiesis_sessions",
+		"poiesis_build_info",
+	} {
+		if !seen[want] {
+			missing = append(missing, want)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("%s: %d samples parsed but required families missing: %s",
+			path, len(samples), strings.Join(missing, ", "))
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d samples across %d metric names\n", len(samples), len(seen))
+	return nil
 }
 
 // gomaxprocsSuffix is the "-8" CPU-count tail go test appends to benchmark

@@ -14,6 +14,7 @@
 //	export    -in FLOW -out FILE  export to .dot or .json
 //	session   -in FLOW [flags]    interactive explore/select loop
 //	serve     [-addr HOST:PORT]   multi-session HTTP planning service
+//	version                       print build version and VCS revision
 //
 // FLOW is a path ending in .xlm or .ktr, or one of the built-in names
 // tpcds-purchases, tpcds-sales, tpcds-inventory, tpch-revenue,
@@ -111,6 +112,8 @@ func main() {
 		err = cmdSession(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "version", "-version", "--version":
+		err = cmdVersion()
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -133,6 +136,7 @@ commands:
   export   -in FLOW -out FILE  export to .dot (Graphviz) or .json
   session  -in FLOW [flags]    interactive explore/select loop (stdin-driven)
   serve    [-addr HOST:PORT]   HTTP planning service (multi-session API)
+  version                      print build version and VCS revision
 
 FLOW: a .xlm or .ktr file, or one of tpcds-purchases | tpcds-sales |
 tpcds-inventory | tpch-revenue | tpch-pricing
@@ -430,6 +434,17 @@ func cmdExport(args []string) error {
 		return err
 	}
 	fmt.Printf("wrote %s (%d bytes)\n", *out, len(b))
+	return nil
+}
+
+// cmdVersion prints the build identity the binary can know about itself:
+// the module version and the VCS revision stamped by the Go toolchain
+// (both "unknown" for a bare `go build` of a dirty tree). The same fields
+// appear in GET /v1/healthz and the poiesis_build_info metric, so an
+// operator can match a running replica to a binary on disk.
+func cmdVersion() error {
+	version, revision := poiesis.BuildInfo()
+	fmt.Printf("poiesis %s (revision %s)\n", version, revision)
 	return nil
 }
 

@@ -4,8 +4,10 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"sort"
 	"time"
@@ -36,6 +38,8 @@ func cmdServe(args []string) error {
 	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown budget for in-flight requests")
 	nodeID := fs.String("node-id", "", "this replica's node ID within -peers (cluster mode)")
 	peersSpec := fs.String("peers", "", "static cluster membership as id=url[,id=url...], including this replica; enables consistent-hash session sharding and the shared plan-cache tier")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (CPU/heap profiles over HTTP; keep off on exposed listeners)")
+	accessLog := fs.Bool("access-log", true, "log one line per served request (with its request ID) to stderr")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -150,9 +154,26 @@ func cmdServe(args []string) error {
 		cfg.Cluster = cl
 		clusterMode = fmt.Sprintf("cluster node %s of %d", *nodeID, len(members))
 	}
+	if *accessLog {
+		cfg.AccessLogf = log.New(os.Stderr, "", log.LstdFlags).Printf
+	}
 	handler := poiesis.NewServer(cfg)
+	var root http.Handler = handler
+	if *pprofOn {
+		// The profiler gets its own mux in front of the service so the
+		// service's routing (and its /metrics instrumentation) stays exactly
+		// as in production; /debug/pprof/ requests never reach the planner.
+		outer := http.NewServeMux()
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		outer.Handle("/", handler)
+		root = outer
+	}
 	httpSrv := &http.Server{
-		Handler:           handler,
+		Handler:           root,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -6,6 +6,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
+
+	"poiesis/internal/obs"
 )
 
 // The shared plan-cache tier. Every canonical plan key has exactly one
@@ -35,15 +38,18 @@ func (c *Cluster) FetchCachedResult(ctx context.Context, ownerID, wireKey string
 		return nil, false
 	}
 	p.cacheGets.Add(1)
+	start := time.Now()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.url+"/v1/cache/"+wireKey, nil)
 	if err != nil {
 		p.cacheErrors.Add(1)
 		return nil, false
 	}
 	req.Header.Set(ForwardedHeader, c.self)
+	setRequestID(ctx, req)
 	resp, err := c.client.Do(req)
 	if err != nil {
 		p.cacheErrors.Add(1)
+		c.observe(p.id, "cache_get", start, true)
 		if ctx.Err() == nil {
 			c.markDown(p)
 			c.logf("cluster: cache fetch from %s: %v", p.id, err)
@@ -53,6 +59,8 @@ func (c *Cluster) FetchCachedResult(ctx context.Context, ownerID, wireKey string
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+		// A miss is a normal outcome, not a failed call.
+		c.observe(p.id, "cache_get", start, resp.StatusCode != http.StatusNotFound)
 		if resp.StatusCode != http.StatusNotFound {
 			p.cacheErrors.Add(1)
 			c.logf("cluster: cache fetch from %s: status %d", p.id, resp.StatusCode)
@@ -62,10 +70,22 @@ func (c *Cluster) FetchCachedResult(ctx context.Context, ownerID, wireKey string
 	b, err := io.ReadAll(io.LimitReader(resp.Body, maxCacheFetchBytes+1))
 	if err != nil || int64(len(b)) > maxCacheFetchBytes {
 		p.cacheErrors.Add(1)
+		c.observe(p.id, "cache_get", start, true)
 		return nil, false
 	}
 	p.cacheHits.Add(1)
+	c.observe(p.id, "cache_get", start, false)
 	return b, true
+}
+
+// setRequestID stamps the context's request ID (if any) onto an
+// intra-cluster request, so one analyst request keeps one ID across every
+// hop — forwards clone the inbound headers, but cache calls build fresh
+// requests and need the ID restated.
+func setRequestID(ctx context.Context, req *http.Request) {
+	if rid := obs.RequestIDFrom(ctx); rid != "" {
+		req.Header.Set(obs.RequestIDHeader, rid)
+	}
 }
 
 // PushCachedResult writes a freshly computed result through to the key's
@@ -80,6 +100,7 @@ func (c *Cluster) PushCachedResult(ctx context.Context, ownerID, wireKey string,
 	if up, _ := c.available(p); !up {
 		return fmt.Errorf("cluster: peer %s is down", ownerID)
 	}
+	start := time.Now()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPut, p.url+"/v1/cache/"+wireKey, bytes.NewReader(payload))
 	if err != nil {
 		p.cacheErrors.Add(1)
@@ -87,9 +108,11 @@ func (c *Cluster) PushCachedResult(ctx context.Context, ownerID, wireKey string,
 	}
 	req.Header.Set(ForwardedHeader, c.self)
 	req.Header.Set("Content-Type", "application/json")
+	setRequestID(ctx, req)
 	resp, err := c.client.Do(req)
 	if err != nil {
 		p.cacheErrors.Add(1)
+		c.observe(p.id, "cache_put", start, true)
 		if ctx.Err() == nil {
 			c.markDown(p)
 			c.logf("cluster: cache push to %s: %v", p.id, err)
@@ -100,9 +123,11 @@ func (c *Cluster) PushCachedResult(ctx context.Context, ownerID, wireKey string,
 	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
 	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
 		p.cacheErrors.Add(1)
+		c.observe(p.id, "cache_put", start, true)
 		c.logf("cluster: cache push to %s: status %d", p.id, resp.StatusCode)
 		return fmt.Errorf("cluster: cache push to %s: status %d", ownerID, resp.StatusCode)
 	}
 	p.cachePuts.Add(1)
+	c.observe(p.id, "cache_put", start, false)
 	return nil
 }

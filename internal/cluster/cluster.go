@@ -75,6 +75,27 @@ type Cluster struct {
 	probeTimeout time.Duration
 	logf         func(format string, args ...any)
 	now          func() time.Time
+	observer     Observer
+}
+
+// Observer receives one sample per outbound peer call. op is "forward",
+// "cache_get" or "cache_put"; failed marks transport errors and error
+// statuses (a cache miss is not a failure). Calls are synchronous on the
+// request path, so observers must be cheap.
+type Observer func(peerID, op string, d time.Duration, failed bool)
+
+// SetObserver installs the outbound-call observer. Wire it during server
+// construction, before the cluster serves traffic; it is not synchronized
+// against in-flight calls.
+func (c *Cluster) SetObserver(fn Observer) { c.observer = fn }
+
+// observe reports one finished outbound call to the observer, if any.
+// Durations use the wall clock, not c.now — the fake test clock never
+// advances mid-call and latency histograms want real elapsed time.
+func (c *Cluster) observe(peerID, op string, start time.Time, failed bool) {
+	if c.observer != nil {
+		c.observer(peerID, op, time.Since(start), failed)
+	}
 }
 
 // peer is one remote replica plus its health state and traffic counters.

@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"poiesis/internal/obs"
 )
 
 // hopByHop lists headers that describe one TCP hop rather than the request
@@ -40,6 +42,7 @@ func (c *Cluster) Forward(w http.ResponseWriter, r *http.Request, ownerID string
 		unavailable(w, p, retry)
 		return
 	}
+	start := time.Now()
 
 	req, err := http.NewRequestWithContext(r.Context(), r.Method, p.url+r.URL.RequestURI(), r.Body)
 	if err != nil {
@@ -56,6 +59,7 @@ func (c *Cluster) Forward(w http.ResponseWriter, r *http.Request, ownerID string
 	resp, err := c.client.Do(req)
 	if err != nil {
 		p.forwardErrors.Add(1)
+		c.observe(p.id, "forward", start, true)
 		if r.Context().Err() != nil {
 			// The client went away; nothing to report and nobody to report
 			// it to — and no reason to penalize the peer.
@@ -68,8 +72,14 @@ func (c *Cluster) Forward(w http.ResponseWriter, r *http.Request, ownerID string
 	}
 	defer resp.Body.Close()
 	p.forwarded.Add(1)
+	// Observed at headers-received: a forwarded SSE stream may stay open for
+	// minutes, and the peer's responsiveness is what the histogram tracks.
+	c.observe(p.id, "forward", start, false)
 
 	h := w.Header()
+	// The local middleware already stamped the request ID and the upstream
+	// echoes the same value; drop ours so the client sees it exactly once.
+	h.Del(obs.RequestIDHeader)
 	for k, vs := range resp.Header {
 		for _, v := range vs {
 			h.Add(k, v)

@@ -36,6 +36,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"poiesis/internal/etl"
 	"poiesis/internal/fcp"
@@ -171,6 +172,13 @@ type Result struct {
 	Dims []measures.Characteristic
 	// Stats describes the run.
 	Stats Stats
+	// Stages are the planner stage spans of this run (pattern application,
+	// evaluation, constraint filter, skyline merge) in pipeline order —
+	// wall time summed across the workers that executed each stage. They
+	// describe the run that computed this result and are not part of the
+	// snapshot wire format: a restored or cache-shipped Result has no
+	// Stages.
+	Stages []StageTiming
 }
 
 // Skyline returns the frontier alternatives in index order.
@@ -250,11 +258,14 @@ func (p *Planner) PlanContext(ctx context.Context, initial *etl.Graph, bind sim.
 	}
 	engine := sim.NewEngine(p.opts.Sim)
 	ev := newEvaluator(engine, p.opts.DeltaEval)
+	clock := &stageClock{}
 
 	// Baseline evaluation anchors the measure normalisation and Fig. 5
 	// relative changes — and, under delta evaluation, seeds the shared cache
 	// with the initial flow's cones, the common prefix of every alternative.
+	baseStart := time.Now()
 	baseProfile, baseBatch, err := ev.evaluate(initial, bind)
+	clock.observe(siEval, baseStart)
 	if err != nil {
 		return nil, fmt.Errorf("core: evaluating initial flow: %w", err)
 	}
@@ -269,13 +280,14 @@ func (p *Planner) PlanContext(ctx context.Context, initial *etl.Graph, bind sim.
 	}
 
 	if p.opts.Streaming == StreamingOff {
-		err = p.planSequential(ctx, initial, bind, palette, ev, est, res)
+		err = p.planSequential(ctx, initial, bind, palette, ev, est, res, clock)
 	} else {
-		err = p.planStream(ctx, initial, bind, palette, ev, est, res)
+		err = p.planStream(ctx, initial, bind, palette, ev, est, res, clock)
 	}
 	if err != nil {
 		return nil, err
 	}
+	res.Stages = clock.timings()
 	return res, nil
 }
 
@@ -304,20 +316,23 @@ func (ev *evaluator) evaluate(g *etl.Graph, bind sim.Binding) (*sim.Profile, *tr
 // planSequential runs the three stages strictly in order: full generation,
 // then pooled evaluation, then constraint filtering and one skyline pass.
 // It is the behavioural oracle for the streaming pipeline.
-func (p *Planner) planSequential(ctx context.Context, initial *etl.Graph, bind sim.Binding, palette []fcp.Pattern, ev *evaluator, est *measures.Estimator, res *Result) error {
+func (p *Planner) planSequential(ctx context.Context, initial *etl.Graph, bind sim.Binding, palette []fcp.Pattern, ev *evaluator, est *measures.Estimator, res *Result, clock *stageClock) error {
 	// Pattern generation + application: breadth-first over rounds.
+	applyStart := time.Now()
 	alts, stats, err := p.generate(ctx, initial, palette)
+	clock.observe(siApply, applyStart)
 	if err != nil {
 		return err
 	}
 	res.Stats = stats
 
 	// Measures estimation on the worker pool.
-	if err := p.evaluate(ctx, alts, bind, ev, est, &res.Stats); err != nil {
+	if err := p.evaluate(ctx, alts, bind, ev, est, &res.Stats, clock); err != nil {
 		return err
 	}
 
 	// Constraint filtering.
+	filterStart := time.Now()
 	kept := alts[:0]
 	for i := range alts {
 		a := alts[i]
@@ -331,13 +346,16 @@ func (p *Planner) planSequential(ctx context.Context, initial *etl.Graph, bind s
 		kept = append(kept, a)
 	}
 	res.Alternatives = kept
+	clock.observe(siFilter, filterStart)
 
 	// Skyline over the chosen dimensions.
+	mergeStart := time.Now()
 	vecs := make([][]float64, len(res.Alternatives))
 	for i := range res.Alternatives {
 		vecs[i] = res.Alternatives[i].Report.Vector(p.opts.Dims)
 	}
 	res.SkylineIdx = skyline.Compute(vecs)
+	clock.observe(siMerge, mergeStart)
 	return nil
 }
 
@@ -399,7 +417,7 @@ func (p *Planner) generate(ctx context.Context, initial *etl.Graph, palette []fc
 // land at their input index, keeping the output deterministic regardless of
 // scheduling. On cancellation the remaining jobs are drained without work
 // and ctx's error is returned.
-func (p *Planner) evaluate(ctx context.Context, alts []Alternative, bind sim.Binding, ev *evaluator, est *measures.Estimator, stats *Stats) error {
+func (p *Planner) evaluate(ctx context.Context, alts []Alternative, bind sim.Binding, ev *evaluator, est *measures.Estimator, stats *Stats, clock *stageClock) error {
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	workers := p.opts.Workers
@@ -415,12 +433,14 @@ func (p *Planner) evaluate(ctx context.Context, alts []Alternative, bind sim.Bin
 					continue
 				}
 				a := &alts[idx]
+				start := time.Now()
 				profile, batch, err := ev.evaluate(a.Graph, bind)
 				if err != nil {
 					a.Err = err
 				} else {
 					a.Report = est.Estimate(a.Graph, profile, batch)
 				}
+				clock.observe(siEval, start)
 			}
 		}()
 	}

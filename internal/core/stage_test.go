@@ -1,0 +1,35 @@
+package core
+
+import "testing"
+
+// TestStageTimings asserts both pipelines report the four stage spans in
+// order, with evaluation (the dominant stage) having counted every
+// alternative plus the baseline.
+func TestStageTimings(t *testing.T) {
+	stream, seq := planBoth(t, "tpcds", Options{Depth: 1, Workers: 4, Sim: fastSim()})
+	for name, res := range map[string]*Result{"streaming": stream, "sequential": seq} {
+		if len(res.Stages) != siCount {
+			t.Fatalf("%s: %d stages, want %d", name, len(res.Stages), siCount)
+		}
+		for i, st := range res.Stages {
+			if st.Stage != stageNames[i] {
+				t.Errorf("%s: stage[%d] = %q, want %q", name, i, st.Stage, stageNames[i])
+			}
+			if st.Nanos < 0 || st.Count < 0 {
+				t.Errorf("%s: stage %s negative: %+v", name, st.Stage, st)
+			}
+		}
+		evals := res.Stages[siEval]
+		wantEvals := int64(res.Stats.Evaluated) + 1 // + baseline
+		if evals.Count < wantEvals {
+			t.Errorf("%s: evaluation count %d < %d", name, evals.Count, wantEvals)
+		}
+		if evals.Nanos <= 0 {
+			t.Errorf("%s: evaluation span empty: %+v", name, evals)
+		}
+		apply := res.Stages[siApply]
+		if apply.Count == 0 || apply.Nanos <= 0 {
+			t.Errorf("%s: pattern application span empty: %+v", name, apply)
+		}
+	}
+}

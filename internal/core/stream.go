@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"poiesis/internal/etl"
 	"poiesis/internal/fcp"
@@ -65,6 +66,11 @@ type ProgressEvent struct {
 	Kept int
 	// SkylineSize is the current size of the incremental Pareto frontier.
 	SkylineSize int
+	// StageNs holds the cumulative wall time (nanoseconds, summed across
+	// workers) each planner stage has consumed so far in this run, so
+	// progress consumers can watch where the time is going while the
+	// pipeline streams.
+	StageNs StageNanos
 }
 
 // streamItem carries one freshly generated alternative through the pipeline
@@ -90,7 +96,7 @@ type streamItem struct {
 //
 // The committed order equals the sequential path's, so the resulting
 // alternative set, stats and skyline are identical to StreamingOff.
-func (p *Planner) planStream(ctx context.Context, initial *etl.Graph, bind sim.Binding, palette []fcp.Pattern, ev *evaluator, est *measures.Estimator, res *Result) error {
+func (p *Planner) planStream(ctx context.Context, initial *etl.Graph, bind sim.Binding, palette []fcp.Pattern, ev *evaluator, est *measures.Estimator, res *Result, clock *stageClock) error {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -109,7 +115,7 @@ func (p *Planner) planStream(ctx context.Context, initial *etl.Graph, bind sim.B
 	go func() {
 		defer wgGen.Done()
 		defer close(genCh)
-		genStats, genErr = p.streamGenerate(ctx, initial, palette, genCh, &generated)
+		genStats, genErr = p.streamGenerate(ctx, initial, palette, genCh, &generated, clock)
 	}()
 
 	var wgEval sync.WaitGroup
@@ -121,12 +127,14 @@ func (p *Planner) planStream(ctx context.Context, initial *etl.Graph, bind sim.B
 				if ctx.Err() != nil {
 					return
 				}
+				start := time.Now()
 				profile, batch, err := ev.evaluate(it.alt.Graph, bind)
 				if err != nil {
 					it.alt.Err = err
 				} else {
 					it.alt.Report = est.Estimate(it.alt.Graph, profile, batch)
 				}
+				clock.observe(siEval, start)
 				select {
 				case evalCh <- it:
 				case <-ctx.Done():
@@ -158,11 +166,16 @@ func (p *Planner) planStream(ctx context.Context, initial *etl.Graph, bind sim.B
 			delete(pending, nextSeq)
 			if nxt.alt.Err == nil && nxt.alt.Report != nil {
 				evaluated++
-				if ok, _ := policy.CheckAll(nxt.alt.Report, p.opts.Constraints); !ok {
+				filterStart := time.Now()
+				ok, _ := policy.CheckAll(nxt.alt.Report, p.opts.Constraints)
+				clock.observe(siFilter, filterStart)
+				if !ok {
 					rejected++
 				} else {
 					kept = append(kept, nxt.alt)
+					mergeStart := time.Now()
 					inc.Add(len(kept)-1, nxt.alt.Report.Vector(p.opts.Dims))
+					clock.observe(siMerge, mergeStart)
 				}
 			}
 			if p.opts.Progress != nil {
@@ -174,6 +187,7 @@ func (p *Planner) planStream(ctx context.Context, initial *etl.Graph, bind sim.B
 					Evaluated:   evaluated,
 					Kept:        len(kept),
 					SkylineSize: inc.Len(),
+					StageNs:     clock.snapshot(),
 				})
 			}
 			nextSeq++
@@ -202,7 +216,7 @@ func (p *Planner) planStream(ctx context.Context, initial *etl.Graph, bind sim.B
 // bounds the work wasted when MaxAlternatives stops a round mid-batch.
 // Accepted alternatives are emitted immediately so evaluation overlaps
 // generation.
-func (p *Planner) streamGenerate(ctx context.Context, initial *etl.Graph, palette []fcp.Pattern, out chan<- streamItem, generated *atomic.Int64) (Stats, error) {
+func (p *Planner) streamGenerate(ctx context.Context, initial *etl.Graph, palette []fcp.Pattern, out chan<- streamItem, generated *atomic.Int64, clock *stageClock) (Stats, error) {
 	var stats Stats
 	seen := newFingerprintSet()
 	seen.Add(initial.Fingerprint())
@@ -230,7 +244,12 @@ func (p *Planner) streamGenerate(ctx context.Context, initial *etl.Graph, palett
 					end = len(cands)
 				}
 				ch := make(chan []applyResult, 1)
-				go func() { ch <- p.applyBatch(ctx, cur, cands[start:end], seen) }()
+				go func() {
+					t0 := time.Now()
+					results := p.applyBatch(ctx, cur, cands[start:end], seen)
+					clock.observe(siApply, t0)
+					ch <- results
+				}()
 				return ch
 			}
 			var ahead chan []applyResult

@@ -233,7 +233,16 @@ func Run(ctx context.Context, c Config) (*Report, error) {
 		}
 		g.pool.markPlanned(id)
 	}
-	return g.run(ctx)
+	// Bracket the measured window (not the warm-up) with /metrics scrapes,
+	// so the report can pair client-side latencies with what the server
+	// actually did. Best-effort: a target without the endpoint reports
+	// client-side numbers only.
+	before := scrapeMetrics(cfg.Client, cfg.BaseURL)
+	rep, err := g.run(ctx)
+	if rep != nil {
+		rep.Server = serverDelta(before, scrapeMetrics(cfg.Client, cfg.BaseURL))
+	}
+	return rep, err
 }
 
 type opStats struct {

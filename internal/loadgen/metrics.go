@@ -1,0 +1,120 @@
+package loadgen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Server-side counters around a run. The generator scrapes the service's
+// GET /metrics endpoint (Prometheus text format) after warm-up and again
+// after the drain, and reports the deltas: what the *server* did — planner
+// evaluations, cache traffic, backend I/O — next to what the client
+// measured. The scraper is deliberately minimal and local to this package
+// (loadgen imports nothing from the rest of the module): it aggregates every
+// sample by metric name, summing across label sets, which is exactly what a
+// delta over one server needs.
+
+// ServerDelta is the change in the service's own counters across a run.
+type ServerDelta struct {
+	Evaluations   int64   `json:"evaluations"`
+	PlansComputed int64   `json:"plans_computed"`
+	PlansCached   int64   `json:"plans_cached"`
+	CacheHits     int64   `json:"cache_hits"`
+	CacheMisses   int64   `json:"cache_misses"`
+	BackendOps    int64   `json:"backend_ops"`
+	BackendMeanNs float64 `json:"backend_mean_ns,omitempty"`
+}
+
+// scrapeMetrics fetches baseURL/metrics and aggregates sample values by
+// metric name (labels stripped, repeated series summed). A service without
+// the endpoint, or any transport/parse trouble, yields nil — the run's
+// client-side report is never hostage to the scrape.
+func scrapeMetrics(client *http.Client, baseURL string) map[string]float64 {
+	resp, err := client.Get(baseURL + "/metrics")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return parseMetricsText(resp.Body)
+}
+
+// parseMetricsText reads Prometheus text exposition, summing values per
+// metric name. Histogram series keep their _bucket/_sum/_count suffixes as
+// distinct names; le buckets for one histogram are summed together (the
+// deltas below only use _sum and _count, which carry no labels worth
+// separating here).
+func parseMetricsText(r io.Reader) map[string]float64 {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		rest := ""
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name, rest = line[:i], line[i:]
+		}
+		if strings.HasPrefix(rest, "{") {
+			end := strings.Index(rest, "}")
+			if end < 0 {
+				continue
+			}
+			rest = rest[end+1:]
+		}
+		fields := strings.Fields(rest)
+		if len(fields) == 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			continue
+		}
+		out[name] += v
+	}
+	if err := sc.Err(); err != nil {
+		return nil
+	}
+	return out
+}
+
+// serverDelta folds two scrapes into the counters the report carries. Either
+// scrape being nil (endpoint absent, scrape failed) yields nil.
+func serverDelta(before, after map[string]float64) *ServerDelta {
+	if before == nil || after == nil {
+		return nil
+	}
+	d := func(name string) float64 { return after[name] - before[name] }
+	sd := &ServerDelta{
+		Evaluations:   int64(d("poiesis_evaluations_total")),
+		PlansComputed: int64(d("poiesis_plans_computed_total")),
+		PlansCached:   int64(d("poiesis_plans_cached_total")),
+		CacheHits:     int64(d("poiesis_plan_cache_hits_total")),
+		CacheMisses:   int64(d("poiesis_plan_cache_misses_total")),
+		BackendOps:    int64(d("poiesis_backend_op_duration_seconds_count")),
+	}
+	if ops := d("poiesis_backend_op_duration_seconds_count"); ops > 0 {
+		sd.BackendMeanNs = d("poiesis_backend_op_duration_seconds_sum") * 1e9 / ops
+	}
+	return sd
+}
+
+// writeServerText renders the server-side deltas under the per-op table.
+func (sd *ServerDelta) writeText(w io.Writer) {
+	fmt.Fprintf(w, "server: %d evaluations, %d plans computed, %d served cached, cache %d hit / %d miss, %d backend ops",
+		sd.Evaluations, sd.PlansComputed, sd.PlansCached, sd.CacheHits, sd.CacheMisses, sd.BackendOps)
+	if sd.BackendMeanNs > 0 {
+		fmt.Fprintf(w, " (mean %s)", fmtNs(sd.BackendMeanNs))
+	}
+	fmt.Fprintln(w)
+}

@@ -32,6 +32,10 @@ type Report struct {
 	Arrivals    int        `json:"arrivals"`
 	Dropped     int        `json:"dropped"`
 	Ops         []OpReport `json:"ops"`
+	// Server holds the service's own counter deltas over the measured
+	// window, scraped from GET /metrics; nil when the target does not expose
+	// the endpoint (or a scrape failed).
+	Server *ServerDelta `json:"server,omitempty"`
 }
 
 // ErrorRate is the fraction of issued requests that failed outright
@@ -100,6 +104,15 @@ func (r *Report) Records(prefix string) []Record {
 	if okTotal > 0 {
 		overall.NsPerOp = meanSum / float64(okTotal)
 	}
+	if r.Server != nil {
+		overall.Metrics["srv-evaluations"] = float64(r.Server.Evaluations)
+		overall.Metrics["srv-plans-computed"] = float64(r.Server.PlansComputed)
+		overall.Metrics["srv-plans-cached"] = float64(r.Server.PlansCached)
+		overall.Metrics["srv-cache-hits"] = float64(r.Server.CacheHits)
+		overall.Metrics["srv-cache-misses"] = float64(r.Server.CacheMisses)
+		overall.Metrics["srv-backend-ops"] = float64(r.Server.BackendOps)
+		overall.Metrics["srv-backend-mean-ns"] = r.Server.BackendMeanNs
+	}
 	return append(out, overall)
 }
 
@@ -114,6 +127,9 @@ func (r *Report) WriteText(w io.Writer) {
 			op.Op, op.OK,
 			fmtNs(op.MeanNs), fmtNs(op.P50Ns), fmtNs(op.P95Ns), fmtNs(op.P99Ns), fmtNs(op.MaxNs),
 			op.Conflicts, op.Errors)
+	}
+	if r.Server != nil {
+		r.Server.writeText(w)
 	}
 }
 

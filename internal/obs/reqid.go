@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"runtime/debug"
+)
+
+// RequestIDHeader carries the request ID across the wire: the server echoes
+// it on every response, `cluster.Forward` propagates it to the session owner
+// (headers are cloned wholesale), and the intra-cluster cache client stamps
+// it on /v1/cache calls, so one slow request is greppable on every replica
+// it touched.
+const RequestIDHeader = "X-Poiesis-Request-ID"
+
+// NewRequestID returns a fresh 16-hex-char random request ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a zero ID is
+		// still a valid (if non-unique) trace handle.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ValidRequestID reports whether a client-supplied ID is safe to adopt:
+// non-empty, bounded, and limited to characters that cannot corrupt log
+// lines or headers.
+func ValidRequestID(s string) bool {
+	if s == "" || len(s) > 64 {
+		return false
+	}
+	for _, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+type requestIDKey struct{}
+
+// ContextWithRequestID attaches a request ID to the context.
+func ContextWithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom returns the request ID attached to the context, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// BuildInfo returns the module version and VCS revision baked into the
+// binary by the go toolchain. Either may be "unknown" for test binaries or
+// builds outside a checkout; the revision is truncated to 12 characters.
+func BuildInfo() (version, revision string) {
+	version, revision = "unknown", "unknown"
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return version, revision
+	}
+	if v := bi.Main.Version; v != "" {
+		version = v
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" && s.Value != "" {
+			revision = s.Value
+			if len(revision) > 12 {
+				revision = revision[:12]
+			}
+		}
+	}
+	return version, revision
+}

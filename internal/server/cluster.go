@@ -219,12 +219,12 @@ func (s *Server) fetchPeerResult(ctx context.Context, ownerID, key string) (*cor
 	}
 	var snap core.ResultSnapshot
 	if err := json.Unmarshal(payload, &snap); err != nil {
-		s.cfg.Logf("server: parsing peer cache payload from %s: %v", ownerID, err)
+		s.logfFor(ctx)("server: parsing peer cache payload from %s: %v", ownerID, err)
 		return nil, false
 	}
 	res, err := core.RestoreResult(&snap)
 	if err != nil {
-		s.cfg.Logf("server: restoring peer cache payload from %s: %v", ownerID, err)
+		s.logfFor(ctx)("server: restoring peer cache payload from %s: %v", ownerID, err)
 		return nil, false
 	}
 	return res, true
@@ -237,15 +237,15 @@ func (s *Server) fetchPeerResult(ctx context.Context, ownerID, key string) (*cor
 func (s *Server) pushPeerResult(ctx context.Context, ownerID, key string, res *core.Result) {
 	snap, err := core.SnapshotResult(res)
 	if err != nil {
-		s.cfg.Logf("server: serializing result for peer cache %s: %v", ownerID, err)
+		s.logfFor(ctx)("server: serializing result for peer cache %s: %v", ownerID, err)
 		return
 	}
 	payload, err := json.Marshal(snap)
 	if err != nil {
-		s.cfg.Logf("server: encoding result for peer cache %s: %v", ownerID, err)
+		s.logfFor(ctx)("server: encoding result for peer cache %s: %v", ownerID, err)
 		return
 	}
 	if err := s.cluster.PushCachedResult(ctx, ownerID, wireCacheKey(key), payload); err != nil {
-		s.cfg.Logf("server: pushing result to peer cache %s: %v", ownerID, err)
+		s.logfFor(ctx)("server: pushing result to peer cache %s: %v", ownerID, err)
 	}
 }

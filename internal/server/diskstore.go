@@ -31,15 +31,17 @@ import (
 type DiskBackend struct {
 	dir string
 	// Logf reports skipped records and cleanup actions during List; nil uses
-	// log.Printf. Set it before the backend is shared across goroutines
-	// (server.New wires it to Config.Logf when unset).
+	// log.Printf. Set it before the backend is shared across goroutines;
+	// server.New derives a logging view via WithLogf instead of writing here.
 	Logf func(format string, args ...any)
 
 	// removeFile unlinks one path; tests inject failures here. Nil uses
 	// os.Remove.
 	removeFile func(path string) error
 
-	mu sync.RWMutex
+	// mu is behind a pointer so WithLogf views of one backend share the
+	// same lock (and struct copies stay legal).
+	mu *sync.RWMutex
 }
 
 // NewDiskBackend opens (creating if needed) a snapshot directory.
@@ -50,7 +52,16 @@ func NewDiskBackend(dir string) (*DiskBackend, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("server: creating session store dir: %w", err)
 	}
-	return &DiskBackend{dir: dir}, nil
+	return &DiskBackend{dir: dir, mu: new(sync.RWMutex)}, nil
+}
+
+// WithLogf returns a view of the same backend — shared directory, lock and
+// state — whose warnings go to logf. The receiver is not modified, so a
+// backend shared between two servers never races on Logf.
+func (b *DiskBackend) WithLogf(logf func(format string, args ...any)) *DiskBackend {
+	nb := *b
+	nb.Logf = logf
+	return &nb
 }
 
 func (b *DiskBackend) Name() string { return "disk" }

@@ -10,12 +10,14 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"time"
 
 	"poiesis/internal/cluster"
 	"poiesis/internal/config"
 	"poiesis/internal/core"
 	"poiesis/internal/etl"
 	"poiesis/internal/fcp"
+	"poiesis/internal/obs"
 	"poiesis/internal/pdi"
 	"poiesis/internal/sim"
 	"poiesis/internal/workloads"
@@ -115,7 +117,8 @@ func uncacheableKey() string {
 // Liveness, service stats, palette and builtin listings -----------------------
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	version, revision := obs.BuildInfo()
+	writeJSON(w, http.StatusOK, healthzJSON{Status: "ok", Version: version, Revision: revision})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -313,6 +316,8 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 
 	// A dropped client cancels the in-flight run through the request context.
 	ctx := r.Context()
+	planStart := time.Now()
+	startWall := s.cfg.Now()
 
 	var stream *sseWriter
 	if wantsSSE(r) {
@@ -322,6 +327,8 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		stream = sse
+		s.metrics.sseStreams.Inc()
+		defer s.metrics.sseStreams.Dec()
 		// Keep the connection visibly alive through quiet stretches of the
 		// plan (slow alternatives emit no events for their whole runtime).
 		stopKeepAlive := s.keepAlive(stream)
@@ -352,6 +359,12 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 				Evaluated:   e.Evaluated,
 				Kept:        e.Kept,
 				SkylineSize: e.SkylineSize,
+				StageNs: stageNsJSON{
+					PatternApplication: e.StageNs.PatternApplication,
+					Evaluation:         e.StageNs.Evaluation,
+					ConstraintFilter:   e.StageNs.ConstraintFilter,
+					SkylineMerge:       e.StageNs.SkylineMerge,
+				},
 			})
 		})
 	}
@@ -407,10 +420,32 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		res, err = run()
 	}
 	if err != nil {
+		st.recordTrace(planTrace{
+			RequestID: obs.RequestIDFrom(ctx),
+			Start:     startWall,
+			Duration:  time.Since(planStart),
+			Err:       err.Error(),
+		})
 		s.planError(w, stream, ctx, err)
 		return
 	}
 	hit = hit || fetchedFromPeer
+	if !hit {
+		// This request computed the run locally: feed its stage spans into
+		// the service-wide stage histograms.
+		for _, sp := range res.Stages {
+			s.metrics.stageSpans.With(sp.Stage).Observe(sp.Duration())
+		}
+	}
+	st.recordTrace(planTrace{
+		RequestID: obs.RequestIDFrom(ctx),
+		Start:     startWall,
+		Duration:  time.Since(planStart),
+		Cached:    hit,
+		Evaluated: res.Stats.Evaluated,
+		Skyline:   len(res.SkylineIdx),
+		Stages:    res.Stages,
+	})
 	st.planDone(s.cfg.Now())
 	// Write the new state (result, plan count, liveness) through to the
 	// backend while opMu still excludes deletion and eviction. A failed
@@ -482,6 +517,31 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 	includeReports := r.URL.Query().Get("reports") == "1"
 	writeJSON(w, http.StatusOK, toResultJSON(res, includeReports))
+}
+
+// handleTrace serves the session's recent plan-run timeline: one entry per
+// plan request (newest last) with its request ID, duration, cache outcome
+// and — for locally computed runs — the planner stage spans.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	traces := st.traceList()
+	out := make([]traceJSON, 0, len(traces))
+	for _, t := range traces {
+		out = append(out, traceJSON{
+			RequestID:   t.RequestID,
+			Start:       t.Start,
+			DurationNs:  int64(t.Duration),
+			Cached:      t.Cached,
+			Error:       t.Err,
+			Evaluated:   t.Evaluated,
+			SkylineSize: t.Skyline,
+			Stages:      t.Stages,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"session": st.id, "traces": out})
 }
 
 func (s *Server) handleSkyline(w http.ResponseWriter, r *http.Request) {

@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/json"
 	"math"
+	"time"
 
 	"poiesis/internal/cluster"
 	"poiesis/internal/core"
@@ -104,6 +105,9 @@ type statsJSON struct {
 	Capped             bool `json:"capped"`
 }
 
+// resultJSON deliberately omits planner stage timings: the result body must
+// be byte-identical whether it was computed here, restored from a snapshot
+// or fetched from a peer's cache. Timings live in GET .../trace.
 type resultJSON struct {
 	Cached         bool                  `json:"cached"`
 	Dims           []string              `json:"dims"`
@@ -140,6 +144,39 @@ type progressJSON struct {
 	Evaluated   int    `json:"evaluated"`
 	Kept        int    `json:"kept"`
 	SkylineSize int    `json:"skylineSize"`
+	// StageNs summarises cumulative planner stage time (nanoseconds) at the
+	// moment the event was emitted.
+	StageNs stageNsJSON `json:"stageNs"`
+}
+
+// stageNsJSON mirrors core.StageNanos on the wire.
+type stageNsJSON struct {
+	PatternApplication int64 `json:"patternApplication"`
+	Evaluation         int64 `json:"evaluation"`
+	ConstraintFilter   int64 `json:"constraintFilter"`
+	SkylineMerge       int64 `json:"skylineMerge"`
+}
+
+// healthzJSON is the liveness probe body, carrying build identity.
+type healthzJSON struct {
+	Status   string `json:"status"`
+	Version  string `json:"version"`
+	Revision string `json:"revision"`
+}
+
+// traceJSON is one recorded plan run in GET .../trace, newest last.
+type traceJSON struct {
+	RequestID   string    `json:"requestId"`
+	Start       time.Time `json:"start"`
+	DurationNs  int64     `json:"durationNs"`
+	Cached      bool      `json:"cached"`
+	Error       string    `json:"error,omitempty"`
+	Evaluated   int       `json:"evaluated"`
+	SkylineSize int       `json:"skylineSize"`
+	// Stages describe the run that originally computed the result: a cache
+	// hit repeats the computing run's spans, and results restored from a
+	// snapshot or fetched from a peer carry none (timings don't serialize).
+	Stages []core.StageTiming `json:"stages,omitempty"`
 }
 
 type serverStatsJSON struct {
@@ -348,6 +385,7 @@ func toSessionJSON(st *sessionState, includeHistory bool) sessionJSON {
 			"skyline": base + "/skyline",
 			"select":  base + "/select",
 			"flow":    base + "/flow",
+			"trace":   base + "/trace",
 		}
 	}
 	return out

@@ -1,0 +1,328 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"poiesis/internal/obs"
+)
+
+// scrape fetches /metrics through the handler and parses the exposition.
+func scrape(t testing.TB, s *Server) map[string]obs.Sample {
+	t.Helper()
+	rr := do(t, s, "GET", "/metrics", "", nil)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("GET /metrics: %d %s", rr.Code, rr.Body.String())
+	}
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("GET /metrics content type %q", ct)
+	}
+	samples, err := obs.ParseText(rr.Body)
+	if err != nil {
+		t.Fatalf("parsing exposition: %v\n%s", err, rr.Body.String())
+	}
+	out := make(map[string]obs.Sample, len(samples))
+	for _, sm := range samples {
+		out[sm.Key()] = sm
+	}
+	return out
+}
+
+// sampleValue sums every series of one metric name, across label sets.
+func sampleValue(samples map[string]obs.Sample, name string) (float64, bool) {
+	var total float64
+	found := false
+	for _, sm := range samples {
+		if sm.Name == name {
+			total += sm.Value
+			found = true
+		}
+	}
+	return total, found
+}
+
+// TestMetricsExposition drives real traffic through the handler and asserts
+// the scrape covers every layer: HTTP routes, planner stages, plan cache,
+// session backend and build identity — and that the format round-trips
+// through the strict parser.
+func TestMetricsExposition(t *testing.T) {
+	s := newTestServer(t)
+	id := createSession(t, s, "obs")
+	if rr := do(t, s, "POST", "/v1/sessions/"+id+"/plan", "", nil); rr.Code != http.StatusOK {
+		t.Fatalf("plan: %d %s", rr.Code, rr.Body.String())
+	}
+	// Same key: the second plan must be a cache hit.
+	if rr := do(t, s, "POST", "/v1/sessions/"+id+"/plan", "", nil); rr.Code != http.StatusOK {
+		t.Fatalf("replan: %d %s", rr.Code, rr.Body.String())
+	}
+	samples := scrape(t, s)
+
+	if v, ok := sampleValue(samples, "poiesis_http_requests_total"); !ok || v < 3 {
+		t.Errorf("poiesis_http_requests_total = %v (found %v), want >= 3", v, ok)
+	}
+	// The plan route must be labeled by its mux pattern, not the raw path.
+	route := `route="POST /v1/sessions/{id}/plan"`
+	foundRoute := false
+	for key := range samples {
+		if strings.Contains(key, route) {
+			foundRoute = true
+			break
+		}
+	}
+	if !foundRoute {
+		t.Errorf("no sample labeled %s in scrape", route)
+	}
+	for _, stage := range []string{"pattern_application", "evaluation", "constraint_filter", "skyline_merge"} {
+		key := fmt.Sprintf(`poiesis_planner_stage_duration_seconds_count{stage=%q}`, stage)
+		sm, ok := samples[key]
+		if !ok || sm.Value < 1 {
+			t.Errorf("stage span %s: sample %+v (found %v), want count >= 1", stage, sm, ok)
+		}
+	}
+	if v, ok := sampleValue(samples, "poiesis_plan_cache_hits_total"); !ok || v != 1 {
+		t.Errorf("poiesis_plan_cache_hits_total = %v (found %v), want 1", v, ok)
+	}
+	if v, ok := sampleValue(samples, "poiesis_plans_computed_total"); !ok || v != 1 {
+		t.Errorf("poiesis_plans_computed_total = %v (found %v), want 1", v, ok)
+	}
+	if v, ok := sampleValue(samples, "poiesis_backend_op_duration_seconds_count"); !ok || v < 1 {
+		t.Errorf("backend op count = %v (found %v), want >= 1", v, ok)
+	}
+	if _, ok := samples[`poiesis_backend_op_duration_seconds_count{backend="memory",op="put"}`]; !ok {
+		t.Error("no memory-backend put histogram in scrape")
+	}
+	if v, ok := sampleValue(samples, "poiesis_build_info"); !ok || v != 1 {
+		t.Errorf("poiesis_build_info = %v (found %v), want 1", v, ok)
+	}
+	if v, ok := sampleValue(samples, "poiesis_evaluations_total"); !ok || v < 1 {
+		t.Errorf("poiesis_evaluations_total = %v (found %v), want >= 1", v, ok)
+	}
+}
+
+// TestStatsGoldenKeys pins the exact top-level key set of /v1/stats: new
+// fields must be added here deliberately, and removals are API breaks.
+func TestStatsGoldenKeys(t *testing.T) {
+	s := newTestServer(t)
+	id := createSession(t, s, "stats")
+	if rr := do(t, s, "POST", "/v1/sessions/"+id+"/plan", "", nil); rr.Code != http.StatusOK {
+		t.Fatalf("plan: %d", rr.Code)
+	}
+	rr := do(t, s, "GET", "/v1/stats", "", nil)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("stats: %d", rr.Code)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(rr.Body.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]string, 0, len(raw))
+	for k := range raw {
+		got = append(got, k)
+	}
+	sort.Strings(got)
+	// "cluster" is omitempty and absent in single-node mode.
+	want := []string{
+		"backend", "cacheBytes", "cacheHits", "cacheMisses", "cacheSize",
+		"evaluations", "evictDropped", "evictQueue", "evictions",
+		"persistErrors", "plansCached", "plansComputed", "sessions",
+		"sessionsRestored",
+	}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("stats keys drifted:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestHealthzBuildInfo asserts the liveness probe carries build identity
+// (unstamped test binaries report the "unknown" placeholders, never "").
+func TestHealthzBuildInfo(t *testing.T) {
+	s := newTestServer(t)
+	var hz healthzJSON
+	if rr := do(t, s, "GET", "/v1/healthz", "", &hz); rr.Code != http.StatusOK {
+		t.Fatalf("healthz: %d", rr.Code)
+	}
+	if hz.Status != "ok" || hz.Version == "" || hz.Revision == "" {
+		t.Errorf("healthz body incomplete: %+v", hz)
+	}
+}
+
+// TestRequestIDHeader covers the middleware contract: a minted ID on bare
+// requests, echo of a valid caller ID, and replacement of an invalid one.
+func TestRequestIDHeader(t *testing.T) {
+	s := newTestServer(t)
+	rr := do(t, s, "GET", "/v1/healthz", "", nil)
+	if rid := rr.Header().Get(obs.RequestIDHeader); !obs.ValidRequestID(rid) {
+		t.Errorf("minted request ID %q is invalid", rid)
+	}
+
+	req := httptest.NewRequest("GET", "/v1/healthz", nil)
+	req.Header.Set(obs.RequestIDHeader, "caller-chose.this_1")
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if got := rec.Header().Get(obs.RequestIDHeader); got != "caller-chose.this_1" {
+		t.Errorf("valid caller ID not echoed: got %q", got)
+	}
+
+	req = httptest.NewRequest("GET", "/v1/healthz", nil)
+	req.Header.Set(obs.RequestIDHeader, "bad id\nwith junk")
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if got := rec.Header().Get(obs.RequestIDHeader); !obs.ValidRequestID(got) || got == "bad id\nwith junk" {
+		t.Errorf("invalid caller ID not replaced: got %q", got)
+	}
+}
+
+// TestPlanTrace exercises GET .../trace: a computed run records its stage
+// spans, a cache hit records cached=true, and both carry request IDs.
+func TestPlanTrace(t *testing.T) {
+	s := newTestServer(t)
+	id := createSession(t, s, "trace")
+	req := httptest.NewRequest("POST", "/v1/sessions/"+id+"/plan", nil)
+	req.Header.Set(obs.RequestIDHeader, "trace-run-1")
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("plan: %d %s", rec.Code, rec.Body.String())
+	}
+	if rr := do(t, s, "POST", "/v1/sessions/"+id+"/plan", "", nil); rr.Code != http.StatusOK {
+		t.Fatalf("replan: %d", rr.Code)
+	}
+
+	var body struct {
+		Session string      `json:"session"`
+		Traces  []traceJSON `json:"traces"`
+	}
+	if rr := do(t, s, "GET", "/v1/sessions/"+id+"/trace", "", &body); rr.Code != http.StatusOK {
+		t.Fatalf("trace: %d %s", rr.Code, rr.Body.String())
+	}
+	if body.Session != id || len(body.Traces) != 2 {
+		t.Fatalf("trace body: session %q, %d traces", body.Session, len(body.Traces))
+	}
+	first, second := body.Traces[0], body.Traces[1]
+	if first.Cached || first.RequestID != "trace-run-1" {
+		t.Errorf("first trace: %+v", first)
+	}
+	if len(first.Stages) != 4 {
+		t.Errorf("first trace has %d stages, want 4: %+v", len(first.Stages), first.Stages)
+	}
+	if !second.Cached {
+		t.Errorf("second trace not cached: %+v", second)
+	}
+	if second.RequestID == "" || second.RequestID == first.RequestID {
+		t.Errorf("second trace request ID %q (first %q)", second.RequestID, first.RequestID)
+	}
+	if first.Evaluated == 0 || first.SkylineSize == 0 || first.DurationNs <= 0 {
+		t.Errorf("first trace counters: %+v", first)
+	}
+}
+
+// TestClusterForwardRequestID boots two replicas with captured access logs
+// and sends a session request to the replica that does NOT own it. Exactly
+// one request ID must appear end-to-end: on the response, in the proxying
+// replica's access log, and in the owner's access log.
+func TestClusterForwardRequestID(t *testing.T) {
+	var mu sync.Mutex
+	logs := make([][]string, 2)
+	_, urls := startReplicas(t, 2, func(i int, cfg *Config) {
+		cfg.AccessLogf = func(format string, args ...any) {
+			mu.Lock()
+			logs[i] = append(logs[i], fmt.Sprintf(format, args...))
+			mu.Unlock()
+		}
+	})
+
+	id := clusterCreateSession(t, urls[0], "fwd")
+	// The creating replica owns the session, so the other replica forwards.
+	req, err := http.NewRequest("GET", urls[1]+"/v1/sessions/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(obs.RequestIDHeader, "xcluster-rid-7")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forwarded get: %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(obs.RequestIDHeader); got != "xcluster-rid-7" {
+		t.Errorf("response request ID %q, want the caller's", got)
+	}
+	// Exactly once: the proxy drops its own copy before relaying the
+	// upstream's, so a forwarded response must not double the header.
+	if vs := resp.Header.Values(obs.RequestIDHeader); len(vs) != 1 {
+		t.Errorf("forwarded response carries %d request-ID headers (%q), want 1", len(vs), vs)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	ridLine := regexp.MustCompile(`rid=xcluster-rid-7\b`)
+	for i, replica := range logs {
+		found := false
+		for _, line := range replica {
+			if ridLine.MatchString(line) && strings.Contains(line, "/v1/sessions/"+id) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("replica %d access log has no line for rid=xcluster-rid-7:\n%s",
+				i, strings.Join(replica, "\n"))
+		}
+	}
+	// The proxying replica must label the request as a forward, not a route.
+	foundForward := false
+	for _, line := range logs[1] {
+		if ridLine.MatchString(line) && strings.Contains(line, `route="forward"`) {
+			foundForward = true
+		}
+	}
+	if !foundForward {
+		t.Errorf("proxying replica never logged route=\"forward\":\n%s", strings.Join(logs[1], "\n"))
+	}
+}
+
+// TestMetricsScrapeUnderLoad hammers /metrics while plans run — the scrape
+// path locks the registry families the hot path writes through, so this is
+// the -race coverage for the whole instrumentation layer.
+func TestMetricsScrapeUnderLoad(t *testing.T) {
+	s := newTestServer(t)
+	ids := make([]string, 4)
+	for i := range ids {
+		ids[i] = createSession(t, s, fmt.Sprintf("load-%d", i))
+	}
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				do(t, s, "POST", "/v1/sessions/"+id+"/plan", "", nil)
+				do(t, s, "GET", "/v1/sessions/"+id, "", nil)
+			}
+		}(id)
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				scrape(t, s)
+				do(t, s, "GET", "/v1/stats", "", nil)
+			}
+		}()
+	}
+	wg.Wait()
+	// One final scrape must still parse and reflect the traffic.
+	samples := scrape(t, s)
+	if v, ok := sampleValue(samples, "poiesis_http_requests_total"); !ok || v < 12 {
+		t.Errorf("after load, poiesis_http_requests_total = %v (found %v)", v, ok)
+	}
+}

@@ -30,9 +30,18 @@
 // gains a shared tier keyed by canonical plan-key ownership, and startup
 // restores only the backend records the ring assigns to this replica.
 //
-// Endpoints (all under /v1):
+// Every request carries a request ID (X-Poiesis-Request-ID, minted when the
+// client sends none) that is echoed on the response, propagated on cluster
+// forwards and intra-cluster cache calls, stamped on the request-scoped log
+// lines, and written to the structured access log (Config.AccessLogf) — so a
+// slow forwarded request is greppable on every replica it touched. /metrics
+// exposes the service's counters, gauges and latency histograms in the
+// Prometheus text format.
 //
-//	GET    /v1/healthz                  liveness
+// Endpoints:
+//
+//	GET    /metrics                     Prometheus text exposition
+//	GET    /v1/healthz                  liveness + build info
 //	GET    /v1/readyz                   readiness (restored + ring configured)
 //	GET    /v1/cluster                  membership, ring and per-peer counters
 //	GET    /v1/cache/{key}              peer cache fetch (intra-cluster)
@@ -45,6 +54,7 @@
 //	GET    /v1/sessions/{id}            session detail + history
 //	DELETE /v1/sessions/{id}            drop a session
 //	POST   /v1/sessions/{id}/plan       run one exploration (SSE optional)
+//	GET    /v1/sessions/{id}/trace      recent plan-run traces (stage spans)
 //	GET    /v1/sessions/{id}/result     full last result as JSON
 //	GET    /v1/sessions/{id}/skyline    frontier with full measure reports
 //	GET    /v1/sessions/{id}/flow       current design (json|dot|xlm|ktr)
@@ -62,6 +72,7 @@ import (
 
 	"poiesis/internal/cluster"
 	"poiesis/internal/core"
+	"poiesis/internal/obs"
 )
 
 // Config tunes the service.
@@ -101,6 +112,12 @@ type Config struct {
 	// Logf reports restore progress, skipped snapshots and write-through
 	// failures. Default log.Printf.
 	Logf func(format string, args ...any)
+	// AccessLogf, when non-nil, receives one structured line per served
+	// request (request ID, method, path, route, status, duration, bytes).
+	// Nil (the default) disables access logging — benchmarks and tests
+	// should not drown in per-request lines; `poiesis serve` wires it to
+	// the process logger.
+	AccessLogf func(format string, args ...any)
 	// Now is the clock; tests inject a fake. Default time.Now.
 	Now func() time.Time
 }
@@ -129,12 +146,15 @@ func (c Config) withDefaults() Config {
 	}
 	// A backend's own warnings (skipped snapshots or rows, temp-file
 	// cleanup) must reach the same sink as the server's, unless the caller
-	// already routed them elsewhere.
+	// already routed them elsewhere. The logger is injected on a derived
+	// view sharing the backend's state — never written onto the caller's
+	// struct, which may be shared with another server (two New calls
+	// racing on one backend's Logf field).
 	if db, ok := c.Backend.(*DiskBackend); ok && db.Logf == nil {
-		db.Logf = c.Logf
+		c.Backend = db.WithLogf(c.Logf)
 	}
 	if sb, ok := c.Backend.(*SQLBackend); ok && sb.Logf == nil {
-		sb.Logf = c.Logf
+		c.Backend = sb.WithLogf(c.Logf)
 	}
 	if c.Now == nil {
 		c.Now = time.Now
@@ -150,6 +170,7 @@ type Server struct {
 	cache   *planCache
 	mux     *http.ServeMux
 	cluster *cluster.Cluster
+	metrics *serverMetrics
 
 	plansComputed atomic.Int64
 	plansCached   atomic.Int64
@@ -168,6 +189,10 @@ type Server struct {
 // startup.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	metrics := newServerMetrics()
+	// Every backend op — including the restore List/Sweep below and the
+	// eviction worker's deletes — flows through the metrics decorator.
+	cfg.Backend = newObsBackend(cfg.Backend, metrics.reg)
 	ttl := cfg.SessionTTL
 	if ttl < 0 {
 		ttl = 0 // sessionStore treats 0 as "no eviction"
@@ -178,8 +203,19 @@ func New(cfg Config) *Server {
 		cache:   newPlanCache(cfg.CacheCapacity, cfg.CacheMaxBytes),
 		mux:     http.NewServeMux(),
 		cluster: cfg.Cluster,
+		metrics: metrics,
+	}
+	if s.cluster != nil {
+		s.cluster.SetObserver(func(peer, op string, d time.Duration, failed bool) {
+			metrics.peerOps.With(peer, op).Observe(d)
+			if failed {
+				metrics.peerErrs.With(peer, op).Inc()
+			}
+		})
 	}
 	s.restoreSessions(ttl)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /v1/cluster", s.handleCluster)
@@ -287,15 +323,46 @@ func restoreState(rec *SessionRecord) (*sessionState, error) {
 
 var errNoSessionSnapshot = errors.New("server: record carries no session snapshot")
 
-// ServeHTTP implements http.Handler. In cluster mode, requests for sessions
-// another replica owns are transparently proxied there before routing;
-// everything else — and every request that already arrived forwarded — is
-// served locally.
+// ServeHTTP implements http.Handler. Every request first passes the
+// observability middleware: a request ID is adopted from X-Poiesis-Request-ID
+// (or minted), set back into the request headers — cluster forwards clone
+// them, so the ID rides to the owning replica — attached to the context for
+// request-scoped logging, and echoed on the response; route metrics and the
+// access log are recorded when the handler returns. In cluster mode,
+// requests for sessions another replica owns are transparently proxied there
+// before routing; everything else — and every request that already arrived
+// forwarded — is served locally.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if s.interceptForward(w, r) {
-		return
+	start := time.Now()
+	rid := r.Header.Get(obs.RequestIDHeader)
+	if !obs.ValidRequestID(rid) {
+		rid = obs.NewRequestID()
+		r.Header.Set(obs.RequestIDHeader, rid)
 	}
-	s.mux.ServeHTTP(w, r)
+	w.Header().Set(obs.RequestIDHeader, rid)
+	r = r.WithContext(obs.ContextWithRequestID(r.Context(), rid))
+
+	ww, sw := wrapWriter(w)
+	route := "forward"
+	if !s.interceptForward(ww, r) {
+		if _, pattern := s.mux.Handler(r); pattern != "" {
+			route = pattern
+		} else {
+			route = "unmatched"
+		}
+		s.mux.ServeHTTP(ww, r)
+	}
+	status := sw.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	elapsed := time.Since(start)
+	s.metrics.httpRequests.With(route, r.Method, codeClass(status)).Inc()
+	s.metrics.httpLatency.With(route).Observe(elapsed)
+	if s.cfg.AccessLogf != nil {
+		s.cfg.AccessLogf("access rid=%s method=%s path=%s route=%q status=%d dur=%s bytes=%d remote=%s",
+			rid, r.Method, r.URL.Path, route, status, elapsed.Round(time.Microsecond), sw.bytes, r.RemoteAddr)
+	}
 }
 
 // Close retires the server's background machinery: the session store's

@@ -31,8 +31,16 @@ import (
 type SQLBackend struct {
 	db *sql.DB
 	// Logf reports rows skipped during List; nil uses the log package
-	// default (server.New wires it to Config.Logf when unset).
+	// default. server.New derives a logging view via WithLogf instead of
+	// writing here.
 	Logf func(format string, args ...any)
+}
+
+// WithLogf returns a view of the same backend — shared connection pool —
+// whose warnings go to logf. The receiver is not modified, so a backend
+// shared between two servers never races on Logf.
+func (b *SQLBackend) WithLogf(logf func(format string, args ...any)) *SQLBackend {
+	return &SQLBackend{db: b.db, Logf: logf}
 }
 
 const sqlSessionsSchema = `CREATE TABLE IF NOT EXISTS poiesis_sessions (` +

@@ -39,6 +39,7 @@ import (
 	"poiesis/internal/etl"
 	"poiesis/internal/fcp"
 	"poiesis/internal/measures"
+	"poiesis/internal/obs"
 	"poiesis/internal/pdi"
 	"poiesis/internal/policy"
 	"poiesis/internal/server"
@@ -200,6 +201,11 @@ type PlanServer = server.Server
 // disk backend holding records from a previous run, the non-expired sessions
 // are restored before the first request is served.
 func NewServer(cfg ServerConfig) *PlanServer { return server.New(cfg) }
+
+// BuildInfo reports the binary's module version and VCS revision as stamped
+// by the Go toolchain ("unknown" when unstamped). The same identity appears
+// in GET /v1/healthz and the service's poiesis_build_info metric.
+func BuildInfo() (version, revision string) { return obs.BuildInfo() }
 
 // SessionBackend is the pluggable persistence layer of the service's session
 // registry: reads stay in-memory-fast, every state-changing operation writes
