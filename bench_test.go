@@ -693,6 +693,53 @@ func BenchmarkA5DeltaEval(b *testing.B) {
 }
 
 // -----------------------------------------------------------------------
+// A8 — columnar engine ablation: the simulator over typed column batches
+// with selection vectors and column-wise hashing vs the row-at-a-time
+// oracle. Both modes run full evaluation (DeltaOff) so the comparison
+// isolates the operator data path rather than cache hit rates; identical
+// results are enforced by core's TestColumnarEquivalenceMatrix.
+
+func BenchmarkA8Columnar(b *testing.B) {
+	flow := tpcds.SalesETL()
+	bind := tpcds.Binding(flow, 300, 1)
+	for _, mode := range []struct {
+		name string
+		m    core.ColumnarMode
+	}{
+		{"columnar=on", core.ColumnarOn},
+		{"columnar=off", core.ColumnarOff},
+	} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			planner := core.NewPlanner(nil, core.Options{
+				Policy:          policy.Exhaustive{},
+				Depth:           2,
+				MaxAlternatives: 4096,
+				Sim:             benchSim(300),
+				DeltaEval:       core.DeltaOff,
+				Columnar:        mode.m,
+			})
+			b.ReportAllocs()
+			b.ResetTimer()
+			var res *core.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = planner.Plan(flow, bind)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(len(res.Alternatives)), "alternatives")
+			once("a8:"+mode.name, func() {
+				fmt.Printf("[A8] %s: %d alternatives evaluated, skyline %d\n",
+					mode.name, len(res.Alternatives), len(res.SkylineIdx))
+			})
+		})
+	}
+}
+
+// -----------------------------------------------------------------------
 // A4 — pipeline-overlap model ablation: how much of the cycle time comes
 // from the partial pipelining assumption of the simulator.
 

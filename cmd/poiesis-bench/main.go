@@ -18,6 +18,10 @@
 //
 //	poiesis-bench [-qps 50] [-duration 5s] [-mix get=5,plan=3,...] [-seed 1]
 //	              [-url URL | -backends LIST] [-out BENCH.json] [-error-budget 0.01]
+//	              [-row-engine]
+//
+// Record labels carry the engine mode ("LoadHTTP/<target>/columnar" or
+// ".../row") so BENCH trajectories distinguish simulation-engine ablations.
 package main
 
 import (
@@ -51,6 +55,7 @@ func run(args []string) error {
 	duration := fs.Duration("duration", 5*time.Second, "arrival window per run")
 	mixSpec := fs.String("mix", "", "traffic mix as op=weight[,op=weight...] over create,plan,select,get,sse,delete (empty = default mix)")
 	seed := fs.Int64("seed", 1, "arrival-schedule seed (same seed = same schedule)")
+	rowEngine := fs.Bool("row-engine", false, "plan with the row-at-a-time simulation engine instead of the columnar default")
 	out := fs.String("out", "", "write benchjson-format records to this file ('-' = stdout)")
 	budget := fs.Float64("error-budget", 0.01, "fail when any run's error rate exceeds this fraction")
 	if err := fs.Parse(args); err != nil {
@@ -89,16 +94,21 @@ func run(args []string) error {
 		}
 	}
 
+	engine := "columnar"
+	if *rowEngine {
+		engine = "row"
+	}
 	var records []loadgen.Record
 	exceeded := false
 	for _, tgt := range targets {
 		fmt.Fprintf(os.Stderr, "== %s ==\n", tgt.name)
 		report, err := loadgen.Run(context.Background(), loadgen.Config{
-			BaseURL:  tgt.url,
-			QPS:      *qps,
-			Duration: *duration,
-			Mix:      mix,
-			Seed:     *seed,
+			BaseURL:   tgt.url,
+			QPS:       *qps,
+			Duration:  *duration,
+			Mix:       mix,
+			Seed:      *seed,
+			RowEngine: *rowEngine,
 		})
 		if tgt.close != nil {
 			tgt.close()
@@ -107,7 +117,7 @@ func run(args []string) error {
 			return fmt.Errorf("run against %s: %w", tgt.name, err)
 		}
 		report.WriteText(os.Stderr)
-		records = append(records, report.Records("LoadHTTP/"+tgt.name)...)
+		records = append(records, report.Records("LoadHTTP/"+tgt.name+"/"+engine)...)
 		if rate := report.ErrorRate(); rate > *budget {
 			fmt.Fprintf(os.Stderr, "error budget exceeded on %s: %.4f > %.4f\n", tgt.name, rate, *budget)
 			exceeded = true

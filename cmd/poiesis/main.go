@@ -239,6 +239,7 @@ func cmdPlan(args []string) error {
 	bars := fs.Bool("bars", true, "print Fig. 5 relative-change bars for the best design")
 	sequential := fs.Bool("sequential", false, "disable the streaming pipeline (ignored with -config)")
 	fullEval := fs.Bool("full-eval", false, "disable delta evaluation: re-simulate every alternative from its sources (ignored with -config)")
+	rowEngine := fs.Bool("row-engine", false, "disable the columnar simulation engine: execute flows row-at-a-time (ignored with -config)")
 	progress := fs.Bool("progress", false, "stream per-alternative progress to stderr")
 	if err := parseFlags(fs, args); err != nil {
 		return err
@@ -270,6 +271,9 @@ func cmdPlan(args []string) error {
 		}
 		if *fullEval {
 			opts.DeltaEval = poiesis.DeltaOff
+		}
+		if *rowEngine {
+			opts.Columnar = poiesis.ColumnarOff
 		}
 		if *exhaustive {
 			opts.Policy = poiesis.ExhaustivePolicy{}

@@ -58,6 +58,11 @@ type Document struct {
 	// are identical either way; the switch exists for ablations and
 	// debugging.
 	FullEval bool `json:"fullEval,omitempty"`
+
+	// RowEngine disables the columnar simulation engine: flows execute
+	// row-at-a-time instead of over typed column batches. Results are
+	// identical either way; the switch exists for ablations and debugging.
+	RowEngine bool `json:"rowEngine,omitempty"`
 }
 
 // ConstraintDoc is one measure constraint: exactly one of Max/Min/MinScore
@@ -126,6 +131,9 @@ func (d *Document) Options() (core.Options, error) {
 	}
 	if d.FullEval {
 		opts.DeltaEval = core.DeltaOff
+	}
+	if d.RowEngine {
+		opts.Columnar = core.ColumnarOff
 	}
 	goals, err := d.GoalSet()
 	if err != nil {

@@ -85,6 +85,12 @@ type Options struct {
 	// application point; DeltaOff re-executes every flow from its sources
 	// (the oracle for the A5 ablation). Both produce identical results.
 	DeltaEval DeltaMode
+	// Columnar selects the simulation engine's data representation. The zero
+	// value (ColumnarOn) executes flows over typed column batches with
+	// selection vectors and column-wise hashing; ColumnarOff keeps the
+	// row-at-a-time oracle engine (the A8 ablation baseline). Both produce
+	// byte-identical results, and both representations share one EvalCache.
+	Columnar ColumnarMode
 	// Progress, when non-nil, receives one event per alternative as the
 	// streaming pipeline finishes processing it, in generation order from a
 	// single goroutine. The sequential path does not emit events.
@@ -257,6 +263,9 @@ func (p *Planner) PlanContext(ctx context.Context, initial *etl.Graph, bind sim.
 		return nil, err
 	}
 	engine := sim.NewEngine(p.opts.Sim)
+	if p.opts.Columnar == ColumnarOff {
+		engine = sim.NewRowEngine(p.opts.Sim)
+	}
 	ev := newEvaluator(engine, p.opts.DeltaEval)
 	clock := &stageClock{}
 

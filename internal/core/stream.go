@@ -47,6 +47,22 @@ const (
 	DeltaOff
 )
 
+// ColumnarMode selects the simulation engine's data representation
+// (Options.Columnar).
+type ColumnarMode int
+
+const (
+	// ColumnarOn (the zero value, hence the default) runs the columnar
+	// engine: node outputs are typed column batches with selection vectors,
+	// operator kernels are per-column loops, and dedup/partition hashing is
+	// column-wise. Profiles are byte-identical to the row engine's.
+	ColumnarOn ColumnarMode = iota
+	// ColumnarOff runs the row-at-a-time engine — the behavioural oracle the
+	// columnar path is validated against, and the baseline of the A8
+	// ablation benchmark.
+	ColumnarOff
+)
+
 // ProgressEvent describes one alternative as the streaming pipeline finishes
 // processing it. Events are delivered in generation order from a single
 // goroutine, so callbacks need no synchronisation of their own.

@@ -70,6 +70,48 @@ func ParseAttrType(s string) AttrType {
 // prerequisites (e.g. derive-value parallelisation) require numeric fields.
 func (t AttrType) IsNumeric() bool { return t == TypeInt || t == TypeFloat }
 
+// ValueKind is the physical Go representation that cells of an attribute
+// type use inside a Row. Execution engines that lay rows out column-wise use
+// it as the typed-storage hint for each attribute: TypeDate values are
+// int64 days-since-epoch, so dates share the int64 kind.
+type ValueKind uint8
+
+// Physical value kinds. KindAny is the fallback for attributes whose cells
+// have no single Go representation (TypeUnknown, mixed data).
+const (
+	KindAny ValueKind = iota
+	KindInt64
+	KindFloat64
+	KindString
+	KindBool
+)
+
+// ValueKind maps the attribute type to its physical cell representation.
+func (t AttrType) ValueKind() ValueKind {
+	switch t {
+	case TypeInt, TypeDate:
+		return KindInt64
+	case TypeFloat:
+		return KindFloat64
+	case TypeString:
+		return KindString
+	case TypeBool:
+		return KindBool
+	default:
+		return KindAny
+	}
+}
+
+// ValueKinds returns the per-attribute physical kinds in schema order — the
+// typed-storage hint a columnar engine uses to build one slice per attribute.
+func (s Schema) ValueKinds() []ValueKind {
+	out := make([]ValueKind, len(s.Attrs))
+	for i, a := range s.Attrs {
+		out[i] = a.Type.ValueKind()
+	}
+	return out
+}
+
 // Attribute is a single named, typed field of an operation schema.
 type Attribute struct {
 	Name     string

@@ -24,6 +24,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"poiesis/internal/data"
 	"poiesis/internal/etl"
@@ -192,9 +193,14 @@ func (p *Profile) RestartsFromCheckpoint(id etl.NodeID) bool {
 // use with distinct arguments.
 type Engine struct {
 	cfg Config
+	// row selects the row-at-a-time oracle data path instead of the default
+	// columnar one. The two paths produce byte-identical profiles.
+	row bool
 }
 
-// NewEngine returns an engine with the given configuration.
+// NewEngine returns an engine with the given configuration, running the
+// columnar data path (typed column batches, selection vectors, column-wise
+// hashing).
 func NewEngine(cfg Config) *Engine {
 	if cfg.DefaultRows <= 0 {
 		cfg.DefaultRows = 1000
@@ -214,46 +220,87 @@ func NewEngine(cfg Config) *Engine {
 	return &Engine{cfg: cfg}
 }
 
-// batchArena recycles the []etl.Row backing arrays the engine uses for
-// routing and flattening scratch. Arenas are pooled via sync.Pool: a full
-// (uncached) execution borrows one, hands out buffers as needed and returns
-// the arena — with all its buffers — when the execution's profile has been
-// assembled, so steady-state full evaluations allocate no new batch arrays.
+// NewRowEngine returns an engine that executes row-at-a-time — the oracle the
+// columnar path is validated against. Profiles are byte-identical to
+// NewEngine's; only the internal representation (and its cost) differs.
+func NewRowEngine(cfg Config) *Engine {
+	e := NewEngine(cfg)
+	e.row = true
+	return e
+}
+
+// Columnar reports whether the engine runs the columnar data path.
+func (e *Engine) Columnar() bool { return !e.row }
+
+// subPool recycles backing arrays of one element type inside a batchArena.
+// get hands out zero-length buffers; reset makes every buffer reusable.
+type subPool[T any] struct {
+	bufs [][]T
+	next int
+}
+
+// get returns a zero-length buffer with at least the given capacity,
+// reusing a pooled backing array when one is large enough.
+func (p *subPool[T]) get(n int) []T {
+	for i := p.next; i < len(p.bufs); i++ {
+		if cap(p.bufs[i]) >= n {
+			p.bufs[i], p.bufs[p.next] = p.bufs[p.next], p.bufs[i]
+			b := p.bufs[p.next][:0]
+			p.next++
+			return b
+		}
+	}
+	b := make([]T, 0, n)
+	p.bufs = append(p.bufs, b)
+	last := len(p.bufs) - 1
+	p.bufs[last], p.bufs[p.next] = p.bufs[p.next], p.bufs[last]
+	p.next++
+	return b
+}
+
+func (p *subPool[T]) reset() { p.next = 0 }
+
+// batchArena recycles the backing arrays the engine uses for routing,
+// flattening and per-operator scratch: row batches for the row oracle, plus
+// typed sub-pools (selection vectors, hash scratch, column storage) for the
+// columnar path. Arenas are pooled via sync.Pool: a full (uncached) execution
+// borrows one, hands out buffers as needed and returns the arena — with all
+// its buffers — when the execution's profile has been assembled, so
+// steady-state full evaluations allocate no new batch arrays.
 //
 // Arenas are only used when no EvalCache is in play: cached node outputs (and
 // everything they alias through pass-through operations) outlive the
 // execution, so delta evaluation allocates its batches normally.
 type batchArena struct {
-	bufs [][]etl.Row
-	next int
+	rows  subPool[etl.Row]
+	sels  subPool[int32]
+	u64s  subPool[uint64]
+	i64s  subPool[int64]
+	f64s  subPool[float64]
+	strs  subPool[string]
+	bools subPool[bool]
+	anys  subPool[etl.Value]
 }
 
 var arenaPool = sync.Pool{New: func() any { return &batchArena{} }}
 
-// get returns a zero-length buffer with at least the given capacity,
-// reusing a pooled backing array when one is large enough.
+// get returns a zero-length row buffer with at least the given capacity.
 func (a *batchArena) get(n int) []etl.Row {
-	for i := a.next; i < len(a.bufs); i++ {
-		if cap(a.bufs[i]) >= n {
-			a.bufs[i], a.bufs[a.next] = a.bufs[a.next], a.bufs[i]
-			b := a.bufs[a.next][:0]
-			a.next++
-			return b
-		}
-	}
-	b := make([]etl.Row, 0, n)
-	a.bufs = append(a.bufs, b)
-	last := len(a.bufs) - 1
-	a.bufs[last], a.bufs[a.next] = a.bufs[a.next], a.bufs[last]
-	a.next++
-	return b
+	return a.rows.get(n)
 }
 
-// release makes every buffer reusable and returns the arena to the pool. Row
+// release makes every buffer reusable and returns the arena to the pool. Cell
 // pointers linger in the backing arrays until the next reuse or pool GC; the
-// rows are per-execution synthetic data, so the retention window is short.
+// data is per-execution synthetic scratch, so the retention window is short.
 func (a *batchArena) release() {
-	a.next = 0
+	a.rows.reset()
+	a.sels.reset()
+	a.u64s.reset()
+	a.i64s.reset()
+	a.f64s.reset()
+	a.strs.reset()
+	a.bools.reset()
+	a.anys.reset()
 	arenaPool.Put(a)
 }
 
@@ -269,7 +316,10 @@ func scratchFor(ar *batchArena, rows []etl.Row) []etl.Row {
 
 // Execute runs the data path of the flow once and returns its profile.
 func (e *Engine) Execute(g *etl.Graph, bind Binding) (*Profile, error) {
-	return e.execute(g, bind, nil)
+	if e.row {
+		return e.execute(g, bind, nil)
+	}
+	return e.executeCols(g, bind, nil)
 }
 
 // ExecuteDelta runs the data path reusing (and populating) the per-node
@@ -283,7 +333,10 @@ func (e *Engine) Execute(g *etl.Graph, bind Binding) (*Profile, error) {
 // configuration and the same binding (the planner scopes one cache per
 // planning run). Sharing a cache across concurrent goroutines is safe.
 func (e *Engine) ExecuteDelta(g *etl.Graph, bind Binding, cache *EvalCache) (*Profile, error) {
-	return e.execute(g, bind, cache)
+	if e.row {
+		return e.execute(g, bind, cache)
+	}
+	return e.executeCols(g, bind, cache)
 }
 
 func (e *Engine) execute(g *etl.Graph, bind Binding, cache *EvalCache) (*Profile, error) {
@@ -328,7 +381,7 @@ func (e *Engine) execute(g *etl.Graph, bind Binding, cache *EvalCache) (*Profile
 		if cache != nil {
 			if rec := cache.lookup(keys[i]); rec != nil {
 				recs[i] = rec
-				outs[i], flat[i] = rec.out, rec.flat
+				outs[i], flat[i] = rec.rowBatches(), rec.flat
 				p.RowsIn[i] = rec.rowsIn
 				e.finishNode(p, n, i, flat[i], nsucc)
 				continue
@@ -359,7 +412,7 @@ func (e *Engine) execute(g *etl.Graph, bind Binding, cache *EvalCache) (*Profile
 		e.finishNode(p, n, i, f, nsucc)
 
 		if cache != nil {
-			rec := &coneRecord{out: out, rowsIn: rowsIn, flat: f}
+			rec := newRowRecord(out, rowsIn, f)
 			if n.Kind.IsSink() && nsucc == 0 {
 				rows := flatten(out, nil)
 				schema := g.InputSchema(id)
@@ -368,8 +421,7 @@ func (e *Engine) execute(g *etl.Graph, bind Binding, cache *EvalCache) (*Profile
 				rec.sinkRows = len(rows)
 				rec.sinkCells = rec.sinkStats.Rows * schema.Len()
 			}
-			cache.store(keys[i], rec)
-			recs[i] = rec
+			recs[i] = cache.store(keys[i], rec)
 		}
 	}
 
@@ -500,35 +552,79 @@ func route(n *etl.Node, out [][]etl.Row, succs []etl.NodeID, ar *batchArena) map
 // with the row ordinal. The common value types take allocation-free fast
 // paths that hash exactly the bytes fmt.Sprintf("%v", ...) would produce, so
 // routing decisions are unchanged while hash-split flows stop paying one
-// allocation per routed row.
+// allocation per routed row. It is the oracle the columnar path's
+// selectHashes reproduces byte for byte.
 func hashRow(r etl.Row, i int) uint64 {
+	h := hashOrdinal(i)
+	if len(r) > 0 && r[0] != nil {
+		h = hashValue(h, r[0])
+	}
+	return h
+}
+
+// hashOrdinal seeds the row hash with the row ordinal, FNV-mixed before any
+// value bytes so per-row hashes cannot be factored into a per-value hash.
+func hashOrdinal(i int) uint64 {
 	h := uint64(1469598103934665603)
 	h ^= uint64(i)
 	h *= 1099511628211
-	if len(r) > 0 && r[0] != nil {
-		var buf [32]byte
-		var s string
-		switch v := r[0].(type) {
-		case string:
-			s = v
-		case int64:
-			return hashBytes(h, strconv.AppendInt(buf[:0], v, 10))
-		case int:
-			return hashBytes(h, strconv.AppendInt(buf[:0], int64(v), 10))
-		case float64:
-			return hashBytes(h, strconv.AppendFloat(buf[:0], v, 'g', -1, 64))
-		case bool:
-			s = "false"
-			if v {
-				s = "true"
-			}
-		default:
-			s = fmt.Sprintf("%v", r[0])
+	return h
+}
+
+// Type tags folded into the hash for values outside the fast paths, so two
+// distinct values that happen to render identically (a []byte and its string,
+// a fmt.Stringer and its output) cannot collide deterministically in dedup or
+// hash-partition decisions.
+const (
+	hashTagBytes = 0x01
+	hashTagTime  = 0x02
+	hashTagOther = 0x03
+)
+
+// hashValue folds one value into h. The int/float/string/bool fast paths hash
+// exactly the bytes their %v rendering produces (no tag — their renderings
+// cannot collide across these types in practice and changing them would
+// reshuffle every simulated routing decision). Other types hash a type tag
+// alongside the rendered form: []byte and time.Time explicitly, and everything
+// else as tag + dynamic type + rendering.
+func hashValue(h uint64, val etl.Value) uint64 {
+	var buf [48]byte
+	switch v := val.(type) {
+	case string:
+		return hashStringInto(h, v)
+	case int64:
+		return hashBytes(h, strconv.AppendInt(buf[:0], v, 10))
+	case int:
+		return hashBytes(h, strconv.AppendInt(buf[:0], int64(v), 10))
+	case float64:
+		return hashBytes(h, strconv.AppendFloat(buf[:0], v, 'g', -1, 64))
+	case bool:
+		if v {
+			return hashStringInto(h, "true")
 		}
-		for j := 0; j < len(s); j++ {
-			h ^= uint64(s[j])
-			h *= 1099511628211
-		}
+		return hashStringInto(h, "false")
+	case []byte:
+		h ^= hashTagBytes
+		h *= 1099511628211
+		return hashBytes(h, v)
+	case time.Time:
+		h ^= hashTagTime
+		h *= 1099511628211
+		return hashBytes(h, v.AppendFormat(buf[:0], time.RFC3339Nano))
+	default:
+		h ^= hashTagOther
+		h *= 1099511628211
+		h = hashStringInto(h, fmt.Sprintf("%T", val))
+		h ^= 0x00
+		h *= 1099511628211
+		return hashStringInto(h, fmt.Sprintf("%v", val))
+	}
+}
+
+func hashStringInto(h uint64, s string) uint64 {
+	for j := 0; j < len(s); j++ {
+		h ^= uint64(s[j])
+		h *= 1099511628211
 	}
 	return h
 }
@@ -696,6 +792,212 @@ func describe(batches [][]etl.Row) string {
 	parts := make([]string, len(batches))
 	for i, b := range batches {
 		parts[i] = fmt.Sprintf("%d", len(b))
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}
+
+// executeCols is the columnar twin of execute: identical control flow, cache
+// protocol and profile formulas, with node outputs held as column batches
+// instead of row slices. Both paths go through finishNode, computeSchedule
+// and computeRecovery, and the data kernels are value-equivalent, so the
+// resulting profile is byte-identical to the row oracle's.
+func (e *Engine) executeCols(g *etl.Graph, bind Binding, cache *EvalCache) (*Profile, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	p := newProfile(g.Name, order)
+	nn := len(order)
+
+	var keys []etl.ConeKey
+	var recs []*coneRecord
+	if cache != nil {
+		keys = g.ConeKeys(order)
+		recs = make([]*coneRecord, nn)
+	}
+	var ar *batchArena
+	if cache == nil {
+		ar = arenaPool.Get().(*batchArena)
+		defer ar.release()
+	}
+
+	// outs[i] holds node i's pre-routing output batches; routing to specific
+	// successors is derived lazily, only when a (dirty) consumer needs it.
+	outs := make([][]*colBatch, nn)
+	flat := make([]int, nn)
+	var routed []map[etl.NodeID]*colBatch
+	routedFor := func(i int) map[etl.NodeID]*colBatch {
+		if routed == nil {
+			routed = make([]map[etl.NodeID]*colBatch, nn)
+		}
+		if routed[i] == nil {
+			id := order[i]
+			routed[i] = colRoute(g.Node(id), outs[i], g.SuccView(id), ar)
+		}
+		return routed[i]
+	}
+
+	for i, id := range order {
+		n := g.Node(id)
+		nsucc := len(g.SuccView(id))
+		if cache != nil {
+			if rec := cache.lookup(keys[i]); rec != nil {
+				recs[i] = rec
+				outs[i], flat[i] = rec.colBatches(), rec.flat
+				p.RowsIn[i] = rec.rowsIn
+				e.finishNode(p, n, i, flat[i], nsucc)
+				continue
+			}
+		}
+
+		var in []*colBatch
+		rowsIn := 0
+		for _, pred := range g.PredView(id) {
+			b := routedFor(p.pos[pred])[id]
+			in = append(in, b)
+			rowsIn += b.len()
+		}
+		out, err := e.applyCols(g, n, in, bind, ar)
+		if err != nil {
+			return nil, fmt.Errorf("sim: executing %s: %w", n, err)
+		}
+		outs[i] = out
+		f := 0
+		for _, b := range out {
+			f += b.len()
+		}
+		flat[i] = f
+		if n.Kind.IsSource() {
+			rowsIn = f
+		}
+		p.RowsIn[i] = rowsIn
+		e.finishNode(p, n, i, f, nsucc)
+
+		if cache != nil {
+			rec := newColRecord(out, rowsIn, f)
+			if n.Kind.IsSink() && nsucc == 0 {
+				all := colFlatten(out, nil)
+				schema := g.InputSchema(id)
+				rec.sink = true
+				rec.sinkStats = measureColumns(schema, all)
+				rec.sinkRows = all.len()
+				rec.sinkCells = rec.sinkStats.Rows * schema.Len()
+			}
+			recs[i] = cache.store(keys[i], rec)
+		}
+	}
+
+	e.computeSchedule(g, p)
+	e.computeRecovery(g, p)
+	e.measureOutputsCols(g, p, outs, recs)
+	return p, nil
+}
+
+// colRoute distributes a node's output batches across its successors with the
+// same semantics as route, but partition and hash-split emit selection
+// vectors over the shared flattened batch instead of copying rows.
+func colRoute(n *etl.Node, out []*colBatch, succs []etl.NodeID, ar *batchArena) map[etl.NodeID]*colBatch {
+	m := make(map[etl.NodeID]*colBatch, len(succs))
+	if len(succs) == 0 {
+		return m
+	}
+	all := colFlatten(out, ar)
+	if all.len() == 0 {
+		for _, s := range succs {
+			m[s] = nil
+		}
+		return m
+	}
+	switch n.Kind {
+	case etl.OpPartition:
+		// Horizontal partition: round-robin across branches.
+		k := len(succs)
+		nrows := all.len()
+		dests := make([][]int32, k)
+		for j := range dests {
+			cnt := nrows / k
+			if j < nrows%k {
+				cnt++
+			}
+			dests[j] = selScratch(ar, cnt)
+		}
+		for i := 0; i < nrows; i++ {
+			j := i % k
+			dests[j] = append(dests[j], int32(all.phys(i)))
+		}
+		for j, s := range succs {
+			m[s] = withSel(all, dests[j])
+		}
+	case etl.OpSplit:
+		if n.Param("route") == "hash" && len(succs) > 1 {
+			k := len(succs)
+			nrows := all.len()
+			hashes := u64Scratch(ar, nrows)
+			all.selectHashes(hashes)
+			dests := make([][]int32, k)
+			for j := range dests {
+				dests[j] = selScratch(ar, nrows/k+8)
+			}
+			for i := 0; i < nrows; i++ {
+				j := int(hashes[i] % uint64(k))
+				dests[j] = append(dests[j], int32(all.phys(i)))
+			}
+			for j, s := range succs {
+				m[s] = withSel(all, dests[j])
+			}
+		} else {
+			// Copy semantics: each branch receives the full stream.
+			for _, s := range succs {
+				m[s] = all
+			}
+		}
+	default:
+		for _, s := range succs {
+			m[s] = all
+		}
+	}
+	return m
+}
+
+// measureOutputsCols is measureOutputs over columnar sink outputs: the same
+// statistics, produced by per-column scans instead of row materialization.
+func (e *Engine) measureOutputsCols(g *etl.Graph, p *Profile, outs [][]*colBatch, recs []*coneRecord) {
+	var sinks []int
+	for i, id := range p.Order {
+		if g.Node(id).Kind.IsSink() && len(g.SuccView(id)) == 0 {
+			sinks = append(sinks, i)
+		}
+	}
+	sort.Slice(sinks, func(a, b int) bool { return p.Order[sinks[a]] < p.Order[sinks[b]] })
+	for _, i := range sinks {
+		if recs != nil && recs[i] != nil && recs[i].sink {
+			rec := recs[i]
+			p.RowsLoaded += rec.sinkRows
+			p.OutRows += rec.sinkStats.Rows
+			p.OutNullCells += rec.sinkStats.NullCells
+			p.OutCells += rec.sinkCells
+			p.OutDupRows += rec.sinkStats.Duplicates
+			p.OutErrRows += rec.sinkStats.Errors
+			continue
+		}
+		id := p.Order[i]
+		all := colFlatten(outs[i], nil)
+		schema := g.InputSchema(id)
+		st := measureColumns(schema, all)
+		p.RowsLoaded += all.len()
+		p.OutRows += st.Rows
+		p.OutNullCells += st.NullCells
+		p.OutCells += st.Rows * schema.Len()
+		p.OutDupRows += st.Duplicates
+		p.OutErrRows += st.Errors
+	}
+}
+
+// colDescribe is describe for columnar batches (error paths).
+func colDescribe(batches []*colBatch) string {
+	parts := make([]string, len(batches))
+	for i, b := range batches {
+		parts[i] = fmt.Sprintf("%d", b.len())
 	}
 	return "[" + strings.Join(parts, ",") + "]"
 }

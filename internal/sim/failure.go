@@ -19,18 +19,39 @@ func (e *Engine) Sample(g *etl.Graph, p *Profile, runs int) []trace.Run {
 	out := make([]trace.Run, 0, runs)
 	// One backing array serves every run's Ops slice: each run appends at
 	// most |V| entries into its own capacity-clamped segment, turning
-	// runs-many allocations into one.
+	// runs-many allocations into one. The per-node attributes the inner loop
+	// reads are gathered into dense topo-ordered columns once, so the
+	// runs×nodes hot loop does no graph map lookups.
 	nn := len(p.Order)
 	backing := make([]trace.OpStats, runs*nn)
+	nodes := nodeColumns{
+		kinds:    make([]etl.OpKind, nn),
+		rates:    make([]float64, nn),
+		blocking: make([]bool, nn),
+	}
+	for i, id := range p.Order {
+		n := g.Node(id)
+		nodes.kinds[i] = n.Kind
+		nodes.rates[i] = n.Cost.FailureRate
+		nodes.blocking[i] = n.Kind.IsBlocking()
+	}
 	for i := 0; i < runs; i++ {
 		rng := root.Fork()
 		seg := backing[i*nn : i*nn : (i+1)*nn]
-		out = append(out, e.sampleOne(g, p, i, rng, seg))
+		out = append(out, e.sampleOne(nodes, p, i, rng, seg))
 	}
 	return out
 }
 
-func (e *Engine) sampleOne(g *etl.Graph, p *Profile, seq int, rng *data.RNG, ops []trace.OpStats) trace.Run {
+// nodeColumns carries the per-node attributes of the failure model in dense
+// topo-ordered slices, mirroring the profile's layout.
+type nodeColumns struct {
+	kinds    []etl.OpKind
+	rates    []float64
+	blocking []bool
+}
+
+func (e *Engine) sampleOne(nodes nodeColumns, p *Profile, seq int, rng *data.RNG, ops []trace.OpStats) trace.Run {
 	run := trace.Run{
 		Flow:        p.Flow,
 		Seq:         seq,
@@ -47,20 +68,19 @@ func (e *Engine) sampleOne(g *etl.Graph, p *Profile, seq int, rng *data.RNG, ops
 	budget := e.cfg.RetryBudget
 	run.Ops = ops
 	for i, id := range p.Order {
-		n := g.Node(id)
 		st := trace.OpStats{
 			Node:    id,
-			Kind:    n.Kind,
+			Kind:    nodes.kinds[i],
 			RowsIn:  p.RowsIn[i],
 			RowsOut: p.RowsOut[i],
 			TimeMs:  p.TimeMs[i],
 		}
-		if n.Kind.IsBlocking() {
+		if nodes.blocking[i] {
 			st.MemRows = p.RowsIn[i]
 		}
 		// Each attempt of the operation may fail independently; a failed
 		// attempt forces re-execution from the nearest upstream savepoint.
-		for rng.Bool(n.Cost.FailureRate) {
+		for rng.Bool(nodes.rates[i]) {
 			st.Failures++
 			run.FailureCount++
 			run.RecoveryMs += p.RestartMs[i]
@@ -97,7 +117,7 @@ func (e *Engine) Evaluate(g *etl.Graph, bind Binding) (*Profile, *trace.Batch, e
 // cache is a full evaluation. Results are identical to Evaluate; see
 // ExecuteDelta for the cache-sharing contract.
 func (e *Engine) EvaluateDelta(g *etl.Graph, bind Binding, cache *EvalCache) (*Profile, *trace.Batch, error) {
-	p, err := e.execute(g, bind, cache)
+	p, err := e.ExecuteDelta(g, bind, cache)
 	if err != nil {
 		return nil, nil, err
 	}

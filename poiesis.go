@@ -141,6 +141,19 @@ const (
 	DeltaOff = core.DeltaOff
 )
 
+// ColumnarMode selects the simulation engine's data representation
+// (Options.Columnar).
+type ColumnarMode = core.ColumnarMode
+
+// Engine modes: ColumnarOn (the zero value, hence the default) executes
+// flows over typed column batches with selection vectors and column-wise
+// hashing; ColumnarOff keeps the row-at-a-time oracle engine. Both produce
+// byte-identical results.
+const (
+	ColumnarOn  = core.ColumnarOn
+	ColumnarOff = core.ColumnarOff
+)
+
 // ProgressEvent is delivered to Options.Progress once per alternative as the
 // streaming pipeline finishes processing it.
 type ProgressEvent = core.ProgressEvent
