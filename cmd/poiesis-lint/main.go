@@ -1,0 +1,101 @@
+// Command poiesis-lint runs the repo's invariant analyzers (package
+// internal/lint) over Go packages and, exit-code-wise, behaves like a
+// compiler: 0 when clean, 1 when diagnostics were reported, 2 when analysis
+// itself failed.
+//
+// Usage:
+//
+//	poiesis-lint [flags] [packages]
+//
+// Packages are go-list patterns (default ./...). Fixture directories under
+// testdata are accepted as explicit arguments even though ./... skips them —
+// CI uses that to self-test the linter against seeded violations.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"poiesis/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	catalog := flag.Bool("catalog", false, "print the analyzer catalog and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default all)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: poiesis-lint [flags] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *catalog {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		want := map[string]bool{}
+		for _, n := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+		var sel []*lint.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				sel = append(sel, a)
+				delete(want, a.Name)
+			}
+		}
+		if len(want) > 0 {
+			var unknown []string
+			for n := range want {
+				unknown = append(unknown, n)
+			}
+			sort.Strings(unknown)
+			fmt.Fprintf(os.Stderr, "poiesis-lint: unknown analyzer(s): %s\n", strings.Join(unknown, ", "))
+			os.Exit(2)
+		}
+		analyzers = sel
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "poiesis-lint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(wd, flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "poiesis-lint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, p := range pkgs {
+		for _, te := range p.TypeErrors {
+			fmt.Fprintf(os.Stderr, "poiesis-lint: %s: type error: %v\n", p.ImportPath, te)
+		}
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			fmt.Println("[]")
+		} else if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(os.Stderr, "poiesis-lint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d.String())
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

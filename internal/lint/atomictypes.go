@@ -1,0 +1,33 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// Atomictypes enforces the typed-atomics migration: the package-level
+// sync/atomic functions (atomic.AddInt64 over a raw int64 field, etc.) make
+// it possible to mix atomic and plain access to the same word; the typed
+// values (atomic.Int64, atomic.Uint64, atomic.Bool, ...) make the atomicity
+// part of the field's type and are self-aligning on 32-bit platforms.
+var Atomictypes = &Analyzer{
+	Name: "atomictypes",
+	Doc:  "forbid package-level sync/atomic calls in favour of typed atomic values",
+	Run:  runAtomictypes,
+}
+
+func runAtomictypes(p *Pass) {
+	for _, f := range p.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Pkg.Info, call)
+			if fn == nil || funcPkgPath(fn) != "sync/atomic" || recvNamed(fn) != nil {
+				return true
+			}
+			p.Reportf(call.Pos(), "package-level atomic.%s on a raw word: migrate the field to a typed atomic value (atomic.Int64 and friends)", fn.Name())
+			return true
+		})
+	}
+}

@@ -1,0 +1,180 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// Deferunlock catches the leak-on-early-return bug: in a function with more
+// than one return statement, a bare x.Lock() whose unlock is neither
+// deferred immediately nor reached before the next returning statement will
+// leak the mutex on at least one path. The repo's sanctioned patterns both
+// pass: `mu.Lock(); defer mu.Unlock()` and the store's
+// "lock, mutate, unlock-then-I/O" sequence where every early-return
+// statement performs its own unlock.
+var Deferunlock = &Analyzer{
+	Name: "deferunlock",
+	Doc:  "require defer Unlock (or unlock-before-return) after Lock in multi-return functions",
+	Run:  runDeferunlock,
+}
+
+func runDeferunlock(p *Pass) {
+	for _, f := range p.Files() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if countReturns(fd.Body) < 2 {
+				continue
+			}
+			checkLockPairs(p, fd.Body)
+		}
+	}
+}
+
+// countReturns counts return statements in the function body, not entering
+// function literals.
+func countReturns(body *ast.BlockStmt) int {
+	n := 0
+	ast.Inspect(body, func(node ast.Node) bool {
+		switch node.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// checkLockPairs walks every block in the body and audits each bare
+// Lock/RLock statement against the statements that follow it in the same
+// block.
+func checkLockPairs(p *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(node ast.Node) bool {
+		if _, ok := node.(*ast.FuncLit); ok {
+			return false
+		}
+		block, ok := node.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for i, s := range block.List {
+			es, ok := s.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			name, recv := mutexMethod(p.Pkg.Info, call)
+			if name != "Lock" && name != "RLock" {
+				continue
+			}
+			key := exprKey(recv)
+			if !unlockIsSafe(p, block.List[i+1:], key, name) {
+				p.Reportf(call.Pos(), "%s.%s() in a multi-return function without defer %s.%s(): an early return leaks the lock", key, name, key, unlockName(name))
+			}
+		}
+		return true
+	})
+}
+
+func unlockName(lockName string) string {
+	if lockName == "RLock" {
+		return "RUnlock"
+	}
+	return "Unlock"
+}
+
+// unlockIsSafe scans the statements following a Lock in its block. The lock
+// is safe when the next statement defers the matching unlock (directly or
+// inside a deferred closure), or when every statement up to the matching
+// unlock is return-free. A returning statement encountered first means some
+// path exits with the mutex held.
+func unlockIsSafe(p *Pass, rest []ast.Stmt, key, lockName string) bool {
+	want := unlockName(lockName)
+	if len(rest) > 0 {
+		if d, ok := rest[0].(*ast.DeferStmt); ok && deferContainsUnlock(p, d, key, want) {
+			return true
+		}
+	}
+	for _, s := range rest {
+		if stmtContainsUnlock(p, s, key, want) {
+			return true
+		}
+		if stmtContainsReturn(s) {
+			return false
+		}
+	}
+	// Neither an unlock nor a return follows in this block: the lock escapes
+	// the block lexically (e.g. released by a helper); out of scope.
+	return true
+}
+
+// deferContainsUnlock matches `defer mu.Unlock()` and
+// `defer func() { ...; mu.Unlock(); ... }()`.
+func deferContainsUnlock(p *Pass, d *ast.DeferStmt, key, want string) bool {
+	if name, recv := mutexMethod(p.Pkg.Info, d.Call); name == want && exprKey(recv) == key {
+		return true
+	}
+	if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+		found := false
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if name, recv := mutexMethod(p.Pkg.Info, call); name == want && exprKey(recv) == key {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		return found
+	}
+	return false
+}
+
+// stmtContainsUnlock reports whether stmt performs (or defers) the matching
+// unlock anywhere, not entering function literals except deferred ones.
+func stmtContainsUnlock(p *Pass, stmt ast.Stmt, key, want string) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if d, ok := n.(*ast.DeferStmt); ok && deferContainsUnlock(p, d, key, want) {
+			found = true
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if name, recv := mutexMethod(p.Pkg.Info, call); name == want && exprKey(recv) == key {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// stmtContainsReturn reports whether stmt contains a return statement, not
+// entering function literals.
+func stmtContainsReturn(stmt ast.Stmt) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,92 @@
+// Package diag is the shared diagnostics model of the poiesis static
+// analysis tooling. Two producers speak it: the Go-source analyzers of
+// internal/lint (positions are file:line:col) and the flow/constraint
+// validator etl.Lint (positions name graph elements, e.g. "flow/node-id").
+// Keeping the model in a leaf package lets etl report diagnostics without
+// pulling the go/types machinery into its dependency tree.
+package diag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding of one check.
+type Diagnostic struct {
+	// Check names the analyzer or flow check that produced the finding
+	// (e.g. "nodeterminism", "flow/dangling-edge").
+	Check string `json:"check"`
+	// Pos locates the finding: "file.go:12:3" for source diagnostics,
+	// "flowname/node-id" or "constraint:<label>" for flow diagnostics.
+	Pos string `json:"pos"`
+	// Message states the problem and, where possible, the fix.
+	Message string `json:"message"`
+}
+
+// String renders "pos: check: message", the one-line CLI form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Check, d.Message)
+}
+
+// Sort orders diagnostics by position, then check, then message. Source
+// positions of the form file:line:col sort numerically by line so output is
+// stable and readable.
+func Sort(ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		fi, li, ci := splitPos(ds[i].Pos)
+		fj, lj, cj := splitPos(ds[j].Pos)
+		if fi != fj {
+			return fi < fj
+		}
+		if li != lj {
+			return li < lj
+		}
+		if ci != cj {
+			return ci < cj
+		}
+		if ds[i].Check != ds[j].Check {
+			return ds[i].Check < ds[j].Check
+		}
+		return ds[i].Message < ds[j].Message
+	})
+}
+
+// splitPos decomposes "file:line:col" into comparable parts; positions that
+// do not match the shape compare as plain strings with line/col zero.
+func splitPos(pos string) (file string, line, col int) {
+	// Scan from the right: the file part may itself contain colons on
+	// Windows-style paths, which we don't produce but defend against.
+	parts := strings.Split(pos, ":")
+	if len(parts) >= 3 {
+		if l, c, ok := parseInts(parts[len(parts)-2], parts[len(parts)-1]); ok {
+			return strings.Join(parts[:len(parts)-2], ":"), l, c
+		}
+	}
+	if len(parts) >= 2 {
+		if l, _, ok := parseInts(parts[len(parts)-1], "0"); ok {
+			return strings.Join(parts[:len(parts)-1], ":"), l, 0
+		}
+	}
+	return pos, 0, 0
+}
+
+func parseInts(a, b string) (int, int, bool) {
+	x, ok1 := atoi(a)
+	y, ok2 := atoi(b)
+	return x, y, ok1 && ok2
+}
+
+func atoi(s string) (int, bool) {
+	if s == "" {
+		return 0, false
+	}
+	n := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return 0, false
+		}
+		n = n*10 + int(s[i]-'0')
+	}
+	return n, true
+}

@@ -1,0 +1,175 @@
+// Package lint is the poiesis static-analysis framework: a small,
+// zero-dependency analyzer driver (stdlib go/ast + go/types + go/importer)
+// that encodes the engine's determinism and concurrency invariants as
+// checked-in analyzers. The invariants it guards were all violated — and
+// fixed by hand — in earlier PRs: `%p` cache-key aliasing, backend I/O under
+// the store mutex, fmt-rendered hash collisions in the simulator. Each
+// analyzer turns one of those reviewer-memory rules into a machine check.
+//
+// Findings use the shared diagnostics model of internal/lint/diag, which the
+// flow validator etl.Lint also speaks; cmd/poiesis-lint is the CLI driver.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"poiesis/internal/lint/diag"
+)
+
+// An Analyzer is one invariant check. Run inspects a loaded package through
+// the Pass and reports findings.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //lint:ignore comments.
+	Name string
+	// Doc is a one-line description for the CLI catalog.
+	Doc string
+	// Applies filters packages by import path; nil means all packages.
+	Applies func(importPath string) bool
+	// Run inspects one package.
+	Run func(*Pass)
+}
+
+// Pass carries one analyzer over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	diags    []diag.Diagnostic
+}
+
+// Files returns the package's parsed source files.
+func (p *Pass) Files() []*ast.File { return p.Pkg.Files }
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, diag.Diagnostic{
+		Check:   p.Analyzer.Name,
+		Pos:     p.Pkg.Fset.Position(pos).String(),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full analyzer suite in catalog order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Atomictypes,
+		Ctxpropagate,
+		Deferunlock,
+		Nodeterminism,
+		Nofmtkernel,
+		Nolockio,
+	}
+}
+
+// Run applies the analyzers to the packages and returns the surviving
+// diagnostics, sorted, with //lint:ignore suppressions applied. Malformed
+// ignore directives (missing analyzer name or reason) are themselves
+// reported under the check name "lintdirective".
+func Run(pkgs []*Package, analyzers []*Analyzer) []diag.Diagnostic {
+	var out []diag.Diagnostic
+	for _, pkg := range pkgs {
+		sup, bad := suppressions(pkg)
+		out = append(out, bad...)
+		for _, a := range analyzers {
+			if a.Applies != nil && !a.Applies(pkg.ImportPath) {
+				continue
+			}
+			pass := &Pass{Analyzer: a, Pkg: pkg}
+			a.Run(pass)
+			for _, d := range pass.diags {
+				if !sup.covers(a.Name, d.Pos) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	diag.Sort(out)
+	return out
+}
+
+// suppression is one //lint:ignore directive: it silences the named
+// analyzers on its own line and on the line immediately below (so the
+// directive can sit on the offending line or on its own line above it).
+type suppression struct {
+	file  string
+	line  int
+	names map[string]bool
+}
+
+type suppressionSet []suppression
+
+func (s suppressionSet) covers(name, pos string) bool {
+	file, line := posFileLine(pos)
+	for _, sup := range s {
+		if sup.file == file && (sup.line == line || sup.line == line-1) && sup.names[name] {
+			return true
+		}
+	}
+	return false
+}
+
+// suppressions scans a package's comments for //lint:ignore directives.
+// Form: `//lint:ignore name1,name2 reason...` — a missing reason is a
+// diagnostic in its own right, so silently-broad suppressions can't creep in.
+func suppressions(pkg *Package) (suppressionSet, []diag.Diagnostic) {
+	var set suppressionSet
+	var bad []diag.Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				position := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, diag.Diagnostic{
+						Check:   "lintdirective",
+						Pos:     position.String(),
+						Message: "malformed //lint:ignore: want \"//lint:ignore <name[,name]> reason\"",
+					})
+					continue
+				}
+				names := map[string]bool{}
+				for _, n := range strings.Split(fields[0], ",") {
+					names[strings.TrimSpace(n)] = true
+				}
+				set = append(set, suppression{file: position.Filename, line: position.Line, names: names})
+			}
+		}
+	}
+	return set, bad
+}
+
+// posFileLine splits a "file:line:col" position into file and line.
+func posFileLine(pos string) (string, int) {
+	parts := strings.Split(pos, ":")
+	if len(parts) < 3 {
+		return pos, 0
+	}
+	line := 0
+	for _, ch := range parts[len(parts)-2] {
+		if ch < '0' || ch > '9' {
+			return pos, 0
+		}
+		line = line*10 + int(ch-'0')
+	}
+	return strings.Join(parts[:len(parts)-2], ":"), line
+}
+
+// pathHasSuffix reports whether importPath ends with one of the given
+// package-path suffixes (matched on "/" boundaries). Matching by suffix lets
+// the same analyzer scope cover both real repo packages
+// ("poiesis/internal/sim") and lint test fixtures
+// ("poiesis/internal/lint/testdata/src/case/internal/sim").
+func pathHasSuffix(importPath string, suffixes ...string) bool {
+	for _, s := range suffixes {
+		if importPath == s || strings.HasSuffix(importPath, "/"+s) {
+			return true
+		}
+	}
+	return false
+}

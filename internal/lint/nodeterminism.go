@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// Nodeterminism guards the byte-identical oracle paths. Packages whose
+// output feeds fingerprints, snapshots, wire encodings or the metrics
+// exposition must not read wall clocks, draw from the global (seedless)
+// math/rand source, format pointer addresses (`%p` — the PR 4 cache-key
+// aliasing bug), or render bytes while ranging over a map in unspecified
+// order.
+var Nodeterminism = &Analyzer{
+	Name: "nodeterminism",
+	Doc:  "forbid time.Now/global rand/%p/ordered-output map ranges in byte-deterministic packages",
+	Applies: func(importPath string) bool {
+		return pathHasSuffix(importPath,
+			"internal/sim", "internal/etl", "internal/skyline", "internal/obs",
+			"internal/core")
+	},
+	Run: runNodeterminism,
+}
+
+func runNodeterminism(p *Pass) {
+	// core legitimately reads the clock for stage timing (spans are
+	// documented non-wire); everywhere else in scope, wall time is banned.
+	timeBanned := !pathHasSuffix(p.Pkg.ImportPath, "internal/core")
+	for _, f := range p.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkDeterminismCall(p, n, timeBanned)
+			case *ast.RangeStmt:
+				checkMapRangeOutput(p, n)
+			}
+			return true
+		})
+	}
+}
+
+func checkDeterminismCall(p *Pass, call *ast.CallExpr, timeBanned bool) {
+	fn := calleeFunc(p.Pkg.Info, call)
+	if fn == nil {
+		return
+	}
+	switch funcPkgPath(fn) {
+	case "time":
+		if timeBanned && recvNamed(fn) == nil {
+			switch fn.Name() {
+			case "Now", "Since", "Until":
+				p.Reportf(call.Pos(), "time.%s in byte-deterministic package: results must not depend on the wall clock (inject a clock or move timing to the caller)", fn.Name())
+			}
+		}
+	case "math/rand", "math/rand/v2":
+		// Constructors (New, NewSource, NewZipf, ...) build seeded
+		// generators and are fine; package-level draws use the shared
+		// seedless source.
+		if recvNamed(fn) == nil && !strings.HasPrefix(fn.Name(), "New") {
+			p.Reportf(call.Pos(), "global %s.%s draws from the shared unseeded source: use a rand.New(rand.NewSource(seed)) instance", funcPkgPath(fn), fn.Name())
+		}
+	case "fmt":
+		checkPointerVerb(p, call, fn)
+	}
+}
+
+// checkPointerVerb flags %p verbs in fmt format strings: pointer addresses
+// vary run to run, so they must never reach fingerprints or cache keys.
+func checkPointerVerb(p *Pass, call *ast.CallExpr, fn *types.Func) {
+	var formatArg int
+	switch fn.Name() {
+	case "Printf", "Sprintf", "Errorf":
+		formatArg = 0
+	case "Fprintf", "Appendf":
+		formatArg = 1
+	default:
+		return
+	}
+	if len(call.Args) <= formatArg {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[formatArg]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	if hasPointerVerb(s) {
+		p.Reportf(lit.Pos(), "%%p formats a pointer address, which varies between runs: format the value's identity instead")
+	}
+}
+
+// hasPointerVerb scans a format string for a %p verb, skipping %% escapes
+// and flag/width/precision characters.
+func hasPointerVerb(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '%' {
+			continue
+		}
+		i++
+		for i < len(s) && strings.ContainsRune("#+- 0123456789.*", rune(s[i])) {
+			i++
+		}
+		if i < len(s) && s[i] == 'p' {
+			return true
+		}
+	}
+	return false
+}
+
+// checkMapRangeOutput flags ranges over maps whose body emits bytes (Write*
+// methods or fmt.Fprint*): Go map iteration order is unspecified, so such
+// loops produce different bytes on identical input. Sort the keys first.
+func checkMapRangeOutput(p *Pass, rng *ast.RangeStmt) {
+	tv, ok := p.Pkg.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	writes := false
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if writes {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(p.Pkg.Info, call)
+		if fn == nil {
+			return true
+		}
+		if funcPkgPath(fn) == "fmt" && strings.HasPrefix(fn.Name(), "Fprint") {
+			writes = true
+			return false
+		}
+		if recvNamed(fn) != nil {
+			switch fn.Name() {
+			case "Write", "WriteString", "WriteByte", "WriteRune":
+				writes = true
+				return false
+			}
+		}
+		return true
+	})
+	if writes {
+		p.Reportf(rng.Pos(), "byte output inside a map range: iteration order is unspecified, so the produced bytes are nondeterministic; sort the keys first")
+	}
+}

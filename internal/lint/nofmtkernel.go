@@ -1,0 +1,44 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// Nofmtkernel guards the simulator's column kernels against reflection-based
+// rendering (the PR 8 bug class: fmt-rendered row keys cost an allocation
+// per value and collide across types). Inside internal/sim, every fmt call
+// except fmt.Errorf and every use of package reflect is flagged; the rare
+// deliberate fallback (hashing a value of unknown dynamic type) carries a
+// //lint:ignore annotation explaining why it is off the hot path.
+var Nofmtkernel = &Analyzer{
+	Name: "nofmtkernel",
+	Doc:  "forbid fmt/reflect rendering in internal/sim column kernels",
+	Applies: func(importPath string) bool {
+		return pathHasSuffix(importPath, "internal/sim")
+	},
+	Run: runNofmtkernel,
+}
+
+func runNofmtkernel(p *Pass) {
+	for _, f := range p.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Pkg.Info, call)
+			if fn == nil {
+				return true
+			}
+			switch funcPkgPath(fn) {
+			case "fmt":
+				if fn.Name() != "Errorf" {
+					p.Reportf(call.Pos(), "fmt.%s in a simulator kernel package: fmt renders through reflection (allocates, and collides across types when used for keys); use strconv or typed appends", fn.Name())
+				}
+			case "reflect":
+				p.Reportf(call.Pos(), "reflect.%s in a simulator kernel package: kernels must stay allocation-free and type-direct", fn.Name())
+			}
+			return true
+		})
+	}
+}

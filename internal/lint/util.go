@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// calleeFunc resolves a call expression to the *types.Func it invokes, or
+// nil when the callee is not a named function/method (e.g. a func-typed
+// variable or a conversion).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return nil
+	}
+	f, _ := info.Uses[id].(*types.Func)
+	return f
+}
+
+// funcPkgPath returns the import path of the package a function belongs to
+// ("" for builtins and error.Error-style universe methods).
+func funcPkgPath(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	return f.Pkg().Path()
+}
+
+// recvNamed returns the named type of a method's receiver (unwrapping
+// pointers), or nil for package-level functions.
+func recvNamed(f *types.Func) *types.Named {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isPkgFunc reports whether f is the package-level function pkgPath.name
+// (not a method).
+func isPkgFunc(f *types.Func, pkgPath, name string) bool {
+	return f != nil && funcPkgPath(f) == pkgPath && f.Name() == name &&
+		recvNamed(f) == nil
+}
+
+// isMethodOf reports whether f is a method named name on the named type
+// pkgPath.typeName.
+func isMethodOf(f *types.Func, pkgPath, typeName, name string) bool {
+	if f == nil || f.Name() != name {
+		return false
+	}
+	n := recvNamed(f)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == pkgPath && n.Obj().Name() == typeName
+}
+
+// mutexMethod classifies a call as a sync.Mutex / sync.RWMutex method.
+// Returns the method name ("Lock", "Unlock", "RLock", "RUnlock", "TryLock",
+// "TryRLock") and the receiver expression, or "" when the call is not a
+// mutex method.
+func mutexMethod(info *types.Info, call *ast.CallExpr) (string, ast.Expr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", nil
+	}
+	f, _ := info.Uses[sel.Sel].(*types.Func)
+	if f == nil {
+		return "", nil
+	}
+	n := recvNamed(f)
+	if n == nil || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != "sync" {
+		return "", nil
+	}
+	switch n.Obj().Name() {
+	case "Mutex", "RWMutex":
+		return f.Name(), sel.X
+	}
+	return "", nil
+}
+
+// exprKey renders an expression to a comparable string so lock/unlock pairs
+// on the same receiver can be matched lexically (s.mu.Lock / s.mu.Unlock).
+func exprKey(e ast.Expr) string {
+	return types.ExprString(e)
+}
