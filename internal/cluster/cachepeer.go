@@ -34,7 +34,7 @@ func (c *Cluster) FetchCachedResult(ctx context.Context, ownerID, wireKey string
 	if p == nil {
 		return nil, false
 	}
-	if up, _ := c.available(p); !up {
+	if up, _ := c.available(ctx, p); !up {
 		return nil, false
 	}
 	p.cacheGets.Add(1)
@@ -97,7 +97,7 @@ func (c *Cluster) PushCachedResult(ctx context.Context, ownerID, wireKey string,
 	if p == nil {
 		return fmt.Errorf("cluster: unknown peer %q", ownerID)
 	}
-	if up, _ := c.available(p); !up {
+	if up, _ := c.available(ctx, p); !up {
 		return fmt.Errorf("cluster: peer %s is down", ownerID)
 	}
 	start := time.Now()

@@ -278,7 +278,7 @@ func (c *Cluster) markDown(p *peer) {
 // whose cooldown has elapsed must first pass a /v1/readyz probe — the probe
 // is what revives a dead peer, so a replica that restarted is picked back up
 // within one cooldown without any background loop.
-func (c *Cluster) available(p *peer) (ok bool, retryAfter time.Duration) {
+func (c *Cluster) available(ctx context.Context, p *peer) (ok bool, retryAfter time.Duration) {
 	now := c.now()
 	p.mu.Lock()
 	down := p.downUntil.After(now)
@@ -291,7 +291,7 @@ func (c *Cluster) available(p *peer) (ok bool, retryAfter time.Duration) {
 		return false, retryAfter
 	}
 	if wasDown {
-		if !c.probe(p) {
+		if !c.probe(ctx, p) {
 			c.markDown(p)
 			return false, c.cooldown
 		}
@@ -303,9 +303,12 @@ func (c *Cluster) available(p *peer) (ok bool, retryAfter time.Duration) {
 	return true, 0
 }
 
-// probe asks the peer's readiness endpoint whether it can serve.
-func (c *Cluster) probe(p *peer) bool {
-	ctx, cancel := context.WithTimeout(context.Background(), c.probeTimeout)
+// probe asks the peer's readiness endpoint whether it can serve. It runs on
+// a request path (the first request after a cooldown expires), so the probe
+// deadline is layered onto the triggering request's context: the client
+// hanging up cancels the probe too.
+func (c *Cluster) probe(ctx context.Context, p *peer) bool {
+	ctx, cancel := context.WithTimeout(ctx, c.probeTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.url+"/v1/readyz", nil)
 	if err != nil {

@@ -38,7 +38,7 @@ func (c *Cluster) Forward(w http.ResponseWriter, r *http.Request, ownerID string
 		forwardError(w, http.StatusInternalServerError, fmt.Sprintf("owner %q is not a known peer", ownerID))
 		return
 	}
-	if ok, retry := c.available(p); !ok {
+	if ok, retry := c.available(r.Context(), p); !ok {
 		unavailable(w, p, retry)
 		return
 	}

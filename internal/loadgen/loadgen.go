@@ -240,11 +240,11 @@ func Run(ctx context.Context, c Config) (*Report, error) {
 	// Warm the pool synchronously so the measured window never starts
 	// against an empty store; warm requests are not recorded.
 	for i := 0; i < cfg.WarmSessions; i++ {
-		id, status, err := g.create()
+		id, status, err := g.create(ctx)
 		if err != nil || status != http.StatusCreated {
 			return nil, fmt.Errorf("loadgen: warm-up create failed (status %d): %v", status, err)
 		}
-		if status, err := g.plan(id, false); err != nil || status != http.StatusOK {
+		if status, err := g.plan(ctx, id, false); err != nil || status != http.StatusOK {
 			return nil, fmt.Errorf("loadgen: warm-up plan failed (status %d): %v", status, err)
 		}
 		g.pool.markPlanned(id)
@@ -330,7 +330,7 @@ func (g *generator) run(ctx context.Context) (*Report, error) {
 		go func(op Op, id string) {
 			defer wg.Done()
 			defer func() { <-tokens }()
-			g.issue(op, id)
+			g.issue(ctx, op, id)
 		}(op, id)
 	}
 	wg.Wait()
@@ -383,8 +383,10 @@ func (g *generator) chooseOp(rng *rand.Rand) (Op, string, bool) {
 	}
 }
 
-// issue performs one operation and records its outcome.
-func (g *generator) issue(op Op, id string) {
+// issue performs one operation and records its outcome. Requests carry the
+// run's context so cancelling the run aborts in-flight requests instead of
+// waiting out their server-side completion.
+func (g *generator) issue(ctx context.Context, op Op, id string) {
 	start := time.Now()
 	var (
 		status int
@@ -393,22 +395,22 @@ func (g *generator) issue(op Op, id string) {
 	switch op {
 	case OpCreate:
 		var newID string
-		newID, status, err = g.create()
+		newID, status, err = g.create(ctx)
 		if err == nil && status == http.StatusCreated {
 			g.pool.add(newID)
 		}
 	case OpPlan:
-		status, err = g.plan(id, false)
+		status, err = g.plan(ctx, id, false)
 		if err == nil && status == http.StatusOK {
 			g.pool.markPlanned(id)
 		}
 	case OpSSE:
-		status, err = g.plan(id, true)
+		status, err = g.plan(ctx, id, true)
 		if err == nil && status == http.StatusOK {
 			g.pool.markPlanned(id)
 		}
 	case OpSelect:
-		status, err = g.do("POST", "/v1/sessions/"+id+"/select", `{"index":0}`, nil)
+		status, err = g.do(ctx, "POST", "/v1/sessions/"+id+"/select", `{"index":0}`, nil)
 		if err == nil && status == http.StatusOK {
 			g.pool.clearPlanned(id)
 		}
@@ -419,9 +421,9 @@ func (g *generator) issue(op Op, id string) {
 			status = http.StatusConflict
 		}
 	case OpGet:
-		status, err = g.do("GET", "/v1/sessions/"+id, "", nil)
+		status, err = g.do(ctx, "GET", "/v1/sessions/"+id, "", nil)
 	case OpDelete:
-		status, err = g.do("DELETE", "/v1/sessions/"+id, "", nil)
+		status, err = g.do(ctx, "DELETE", "/v1/sessions/"+id, "", nil)
 		if status == http.StatusNoContent {
 			status = http.StatusOK
 		}
@@ -429,23 +431,23 @@ func (g *generator) issue(op Op, id string) {
 	g.stats[op].record(time.Since(start), status, err)
 }
 
-func (g *generator) create() (string, int, error) {
+func (g *generator) create(ctx context.Context) (string, int, error) {
 	var out struct {
 		ID string `json:"id"`
 	}
-	status, err := g.do("POST", "/v1/sessions", g.cfg.SessionBody, &out)
+	status, err := g.do(ctx, "POST", "/v1/sessions", g.cfg.SessionBody, &out)
 	return out.ID, status, err
 }
 
 // plan runs a plan request; when stream is set it subscribes to the SSE
 // progress stream and drains it to the final event, so the measured latency
 // is the full time-to-last-byte of the stream.
-func (g *generator) plan(id string, stream bool) (int, error) {
+func (g *generator) plan(ctx context.Context, id string, stream bool) (int, error) {
 	path := "/v1/sessions/" + id + "/plan"
 	if !stream {
-		return g.do("POST", path, "", nil)
+		return g.do(ctx, "POST", path, "", nil)
 	}
-	req, err := http.NewRequest("POST", g.cfg.BaseURL+path+"?stream=sse", nil)
+	req, err := http.NewRequestWithContext(ctx, "POST", g.cfg.BaseURL+path+"?stream=sse", nil)
 	if err != nil {
 		return 0, err
 	}
@@ -461,12 +463,12 @@ func (g *generator) plan(id string, stream bool) (int, error) {
 	return resp.StatusCode, nil
 }
 
-func (g *generator) do(method, path, body string, out any) (int, error) {
+func (g *generator) do(ctx context.Context, method, path, body string, out any) (int, error) {
 	var rdr io.Reader
 	if body != "" {
 		rdr = strings.NewReader(body)
 	}
-	req, err := http.NewRequest(method, g.cfg.BaseURL+path, rdr)
+	req, err := http.NewRequestWithContext(ctx, method, g.cfg.BaseURL+path, rdr)
 	if err != nil {
 		return 0, err
 	}
