@@ -287,20 +287,25 @@ func (db *database) release() error {
 		return nil
 	}
 	registry.Lock()
-	defer registry.Unlock()
 	db.refs--
 	if db.refs > 0 {
+		registry.Unlock()
 		return nil
 	}
 	delete(registry.m, db.path)
+	registry.Unlock()
+	// Close outside both the registry and database locks: a slow flush must
+	// not stall every concurrent Open on the registry mutex. os.File has no
+	// userspace buffering, so a re-open racing the close still replays every
+	// appended byte.
 	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.logFile == nil {
+	f := db.logFile
+	db.logFile = nil
+	db.mu.Unlock()
+	if f == nil {
 		return nil
 	}
-	err := db.logFile.Close()
-	db.logFile = nil
-	return err
+	return f.Close()
 }
 
 // Persistence log -------------------------------------------------------------
