@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"strconv"
 
 	"poiesis/internal/data"
 	"poiesis/internal/etl"
@@ -212,7 +213,7 @@ func computeDerived(a etl.Attribute, r etl.Row, numPos []int) etl.Value {
 	case etl.TypeFloat:
 		return acc * 1.1
 	case etl.TypeString:
-		return fmt.Sprintf("d%.0f", acc)
+		return "d" + strconv.FormatFloat(acc, 'f', 0, 64)
 	case etl.TypeBool:
 		return acc > 0
 	case etl.TypeDate:

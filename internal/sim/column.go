@@ -220,6 +220,7 @@ func cellEqual(a, b cellRef) bool {
 	default:
 		// Oddball types compare by the same canonical identity hashValue
 		// hashes: dynamic type plus rendered form.
+		//lint:ignore nofmtkernel off-hot-path fallback mirroring hashValue's canonical identity
 		return fmt.Sprintf("%T\x00%v", a.v, a.v) == fmt.Sprintf("%T\x00%v", b.v, b.v)
 	}
 }
