@@ -63,6 +63,13 @@ type Document struct {
 	// row-at-a-time instead of over typed column batches. Results are
 	// identical either way; the switch exists for ablations and debugging.
 	RowEngine bool `json:"rowEngine,omitempty"`
+
+	// NoPrune disables static achievability pruning: alternatives that
+	// provably violate a structural Max constraint are evaluated and then
+	// constraint-rejected instead of being dropped pre-evaluation.
+	// Alternatives and the skyline are identical either way; the switch
+	// exists for ablations and debugging.
+	NoPrune bool `json:"noPrune,omitempty"`
 }
 
 // ConstraintDoc is one measure constraint: exactly one of Max/Min/MinScore
@@ -134,6 +141,9 @@ func (d *Document) Options() (core.Options, error) {
 	}
 	if d.RowEngine {
 		opts.Columnar = core.ColumnarOff
+	}
+	if d.NoPrune {
+		opts.StaticPrune = core.PruneOff
 	}
 	goals, err := d.GoalSet()
 	if err != nil {

@@ -51,7 +51,10 @@ func PlanKey(g *etl.Graph, bind sim.Binding, opts Options) (string, bool) {
 	fmt.Fprintf(&b, "flow:%s\n", g.Fingerprint())
 	fmt.Fprintf(&b, "palette:%q\n", o.Palette)
 	fmt.Fprintf(&b, "policy:%s\n", pol)
-	fmt.Fprintf(&b, "depth:%d max:%d dedup:%t\n", o.Depth, o.MaxAlternatives, !o.DisableDedup)
+	// StaticPrune is keyed even though Alternatives and the skyline are
+	// mode-independent: Stats (StaticPruned vs Evaluated/ConstraintRejected
+	// splits) are part of the cached Result.
+	fmt.Fprintf(&b, "depth:%d max:%d dedup:%t prune:%d\n", o.Depth, o.MaxAlternatives, !o.DisableDedup, o.StaticPrune)
 	dims := make([]string, len(o.Dims))
 	for i, d := range o.Dims {
 		dims[i] = string(d)

@@ -91,6 +91,15 @@ type Options struct {
 	// row-at-a-time oracle engine (the A8 ablation baseline). Both produce
 	// byte-identical results, and both representations share one EvalCache.
 	Columnar ColumnarMode
+	// StaticPrune selects constraint-achievability pruning. The zero value
+	// (PruneOn) statically drops generated flows — and their whole
+	// pattern-combination subtrees — that provably violate a Max bound on a
+	// monotone structural measure, before any evaluation (see staticPruner
+	// for the soundness argument). Alternatives and the skyline are
+	// identical either way as long as MaxAlternatives does not cap the run;
+	// Stats differ (StaticPruned vs Evaluated+ConstraintRejected), which is
+	// why PlanKey keys on the mode. PruneOff is the oracle/ablation path.
+	StaticPrune PruneMode
 	// Progress, when non-nil, receives one event per alternative as the
 	// streaming pipeline finishes processing it, in generation order from a
 	// single goroutine. The sequential path does not emit events.
@@ -161,6 +170,10 @@ type Stats struct {
 	Evaluated int
 	// ConstraintRejected counts evaluated flows that violated constraints.
 	ConstraintRejected int
+	// StaticPruned counts flows dropped before evaluation because they — and
+	// their whole pattern subtree — provably violate a constraint
+	// (Options.StaticPrune).
+	StaticPruned int
 	// Capped reports whether MaxAlternatives stopped generation early.
 	Capped bool
 }
@@ -374,6 +387,7 @@ func (p *Planner) generate(ctx context.Context, initial *etl.Graph, palette []fc
 	var stats Stats
 	seen := map[string]bool{initial.Fingerprint(): true}
 	frontier := []Alternative{{Graph: initial}}
+	pruner := newStaticPruner(p.opts)
 	var out []Alternative
 
 	for round := 0; round < p.opts.Depth; round++ {
@@ -404,6 +418,13 @@ func (p *Planner) generate(ctx context.Context, initial *etl.Graph, palette []fc
 						continue
 					}
 					seen[fp] = true
+				}
+				// After dedup, before evaluation: a statically infeasible
+				// flow is dropped together with its whole subtree (it joins
+				// neither the output nor the next frontier).
+				if pruner.prune(clone) {
+					stats.StaticPruned++
+					continue
 				}
 				alt := Alternative{
 					Graph:        clone,

@@ -79,6 +79,7 @@ type StatsSnapshot struct {
 	Deduped            int  `json:"deduped,omitempty"`
 	Evaluated          int  `json:"evaluated,omitempty"`
 	ConstraintRejected int  `json:"constraintRejected,omitempty"`
+	StaticPruned       int  `json:"staticPruned,omitempty"`
 	Capped             bool `json:"capped,omitempty"`
 }
 

@@ -237,6 +237,7 @@ func (p *Planner) streamGenerate(ctx context.Context, initial *etl.Graph, palett
 	seen := newFingerprintSet()
 	seen.Add(initial.Fingerprint())
 	frontier := []Alternative{{Graph: initial}}
+	pruner := newStaticPruner(p.opts)
 	seq := 0
 
 	chunk := p.opts.Workers * 8
@@ -297,6 +298,12 @@ func (p *Planner) streamGenerate(ctx context.Context, initial *etl.Graph, palett
 							stats.Deduped++
 							continue
 						}
+					}
+					// Same position as the sequential path: after dedup,
+					// before emission, so both pipelines prune identically.
+					if pruner.prune(r.graph) {
+						stats.StaticPruned++
+						continue
 					}
 					alt := Alternative{
 						Graph:        r.graph,

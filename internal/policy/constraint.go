@@ -30,32 +30,83 @@ func NewConstraint(name string, fn func(*measures.Report) bool) Constraint {
 	return constraintFunc{name: name, fn: fn}
 }
 
+// Bound is the declarative shape of a constraint: one interval endpoint on a
+// measure (or, with Measure empty, a characteristic's composite score).
+// Opaque predicate constraints (NewConstraint) have no Bound; the standard
+// Max/Min/MinScore constructors expose theirs through the Bounded interface
+// so static achievability checking (etl.Lint, planner pruning) can reason
+// about them without evaluating anything.
+type Bound struct {
+	Characteristic measures.Characteristic
+	// Measure names the bounded measure; empty means the composite score.
+	Measure string
+	Min     *float64
+	Max     *float64
+	// Label is the owning constraint's Name.
+	Label string
+}
+
+// Bounded is implemented by constraints whose predicate is a declared
+// interval bound.
+type Bounded interface {
+	Bound() Bound
+}
+
+// boundedConstraint pairs the evaluating predicate with its declared bound.
+type boundedConstraint struct {
+	constraintFunc
+	bound Bound
+}
+
+func (c boundedConstraint) Bound() Bound { return c.bound }
+
+// BoundsOf extracts the declared bounds of a constraint list; opaque
+// predicates contribute nothing.
+func BoundsOf(cs []Constraint) []Bound {
+	var out []Bound
+	for _, c := range cs {
+		if b, ok := c.(Bounded); ok {
+			out = append(out, b.Bound())
+		}
+	}
+	return out
+}
+
 // MaxMeasure bounds a raw measure value from above (e.g. cycle time below an
 // SLA).
 func MaxMeasure(c measures.Characteristic, name string, bound float64) Constraint {
 	label := fmt.Sprintf("%s.%s <= %g", c, name, bound)
-	return NewConstraint(label, func(r *measures.Report) bool {
-		v, ok := r.MeasureValue(c, name)
-		return ok && v <= bound
-	})
+	return boundedConstraint{
+		constraintFunc: constraintFunc{name: label, fn: func(r *measures.Report) bool {
+			v, ok := r.MeasureValue(c, name)
+			return ok && v <= bound
+		}},
+		bound: Bound{Characteristic: c, Measure: name, Max: &bound, Label: label},
+	}
 }
 
 // MinMeasure bounds a raw measure value from below (e.g. completeness of at
 // least 0.99).
 func MinMeasure(c measures.Characteristic, name string, bound float64) Constraint {
 	label := fmt.Sprintf("%s.%s >= %g", c, name, bound)
-	return NewConstraint(label, func(r *measures.Report) bool {
-		v, ok := r.MeasureValue(c, name)
-		return ok && v >= bound
-	})
+	return boundedConstraint{
+		constraintFunc: constraintFunc{name: label, fn: func(r *measures.Report) bool {
+			v, ok := r.MeasureValue(c, name)
+			return ok && v >= bound
+		}},
+		bound: Bound{Characteristic: c, Measure: name, Min: &bound, Label: label},
+	}
 }
 
 // MinScore bounds a characteristic's composite score from below.
 func MinScore(c measures.Characteristic, bound float64) Constraint {
 	label := fmt.Sprintf("score(%s) >= %g", c, bound)
-	return NewConstraint(label, func(r *measures.Report) bool {
-		return r.Score(c) >= bound
-	})
+	return boundedConstraint{
+		constraintFunc: constraintFunc{name: label, fn: func(r *measures.Report) bool {
+			return r.Score(c) >= bound
+		}},
+		bound: Bound{Characteristic: c, Min: &bound, Label: label},
+	}
 }
 
 // CheckAll evaluates all constraints, returning the first violated one's

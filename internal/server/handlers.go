@@ -39,6 +39,27 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorJSON{Error: fmt.Sprintf(format, args...)})
 }
 
+// lintFlowConfig statically validates a flow against the planner's declared
+// constraint bounds (etl.Lint: structural defects plus unachievable
+// constraint sets). On findings it writes the 422 response and reports true.
+// 422 rather than 400: the request is syntactically well-formed — the flow
+// and constraints are individually valid — but semantically unprocessable.
+func lintFlowConfig(w http.ResponseWriter, g *etl.Graph, planner *core.Planner) bool {
+	ds := etl.Lint(g, planner.Options().LintBounds())
+	if len(ds) == 0 {
+		return false
+	}
+	out := lintErrorJSON{
+		Error:       fmt.Sprintf("flow/constraint lint failed: %d problem(s)", len(ds)),
+		Diagnostics: make([]diagnosticJSON, 0, len(ds)),
+	}
+	for _, d := range ds {
+		out.Diagnostics = append(out.Diagnostics, diagnosticJSON{Check: d.Check, Pos: d.Pos, Message: d.Message})
+	}
+	writeJSON(w, http.StatusUnprocessableEntity, out)
+	return true
+}
+
 // decodeBody decodes a JSON body into v; an empty body leaves v untouched.
 func decodeBody(r *http.Request, v any) error {
 	b, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
@@ -202,6 +223,9 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if lintFlowConfig(w, g, planner) {
+		return
+	}
 	scale := req.Scale
 	if scale <= 0 {
 		scale = 2000
@@ -301,6 +325,12 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		var err error
 		if base, err = plannerFromDoc(req.Config); err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		// The session's flow was linted at create time against the session
+		// config; a per-request config brings new constraint bounds, and the
+		// flow may have evolved through selections — re-lint the pair.
+		if lintFlowConfig(w, st.sess.Current(), base) {
 			return
 		}
 		regKey = registryKeyFromDoc(req.Config)

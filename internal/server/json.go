@@ -19,6 +19,22 @@ type errorJSON struct {
 	Error string `json:"error"`
 }
 
+// diagnosticJSON is one static-analysis finding (etl.Lint) on the wire. The
+// shape mirrors internal/lint/diag.Diagnostic's JSON tags so the HTTP API and
+// the poiesis-lint CLI emit interchangeable diagnostics.
+type diagnosticJSON struct {
+	Check   string `json:"check"`
+	Pos     string `json:"pos"`
+	Message string `json:"message"`
+}
+
+// lintErrorJSON is the 422 body for statically invalid flow/constraint
+// pairs: the summary error plus every individual finding.
+type lintErrorJSON struct {
+	Error       string           `json:"error"`
+	Diagnostics []diagnosticJSON `json:"diagnostics"`
+}
+
 type sessionJSON struct {
 	ID         string            `json:"id"`
 	Name       string            `json:"name,omitempty"`
@@ -102,6 +118,7 @@ type statsJSON struct {
 	Deduped            int  `json:"deduped"`
 	Evaluated          int  `json:"evaluated"`
 	ConstraintRejected int  `json:"constraintRejected"`
+	StaticPruned       int  `json:"staticPruned,omitempty"`
 	Capped             bool `json:"capped"`
 }
 
@@ -253,6 +270,7 @@ func toResultJSON(res *core.Result, includeReports bool) resultJSON {
 			Deduped:            res.Stats.Deduped,
 			Evaluated:          res.Stats.Evaluated,
 			ConstraintRejected: res.Stats.ConstraintRejected,
+			StaticPruned:       res.Stats.StaticPruned,
 			Capped:             res.Stats.Capped,
 		},
 		Initial: skylineEntryJSON{
