@@ -1,0 +1,217 @@
+package etl
+
+import (
+	"sort"
+	"testing"
+)
+
+func fptr(v float64) *float64 { return &v }
+
+// lintKeys renders Lint's findings as "check pos" strings for set comparison.
+func lintKeys(g *Graph, bounds []QualityBound) []string {
+	var out []string
+	for _, d := range Lint(g, bounds) {
+		out = append(out, d.Check+" "+d.Pos)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestLintFlow(t *testing.T) {
+	s := NewSchema(
+		Attribute{Name: "id", Type: TypeInt, Key: true},
+		Attribute{Name: "amount", Type: TypeFloat},
+	)
+
+	clean := linearFlow(t)
+
+	// flt's output never reaches a sink (the split keeps everyone's arity
+	// legal, so only the dangling output is reported).
+	dangling := New("dangling")
+	dangling.MustAddNode(NewNode("src", "S", OpExtract, s))
+	dangling.MustAddNode(NewNode("split", "route", OpSplit, s))
+	dangling.MustAddNode(NewNode("flt", "filter", OpFilter, s))
+	dangling.MustAddNode(NewNode("load", "DW", OpLoad, Schema{}))
+	dangling.MustAddEdge("src", "split")
+	dangling.MustAddEdge("split", "flt")
+	dangling.MustAddEdge("split", "load")
+
+	// A locally well-formed island: nothing feeds flt2, so load2 — whose
+	// arity is fine — is a sink no source can reach.
+	island := New("island")
+	island.MustAddNode(NewNode("src", "S", OpExtract, s))
+	island.MustAddNode(NewNode("load", "DW", OpLoad, Schema{}))
+	island.MustAddNode(NewNode("flt2", "filter", OpFilter, s))
+	island.MustAddNode(NewNode("load2", "DW2", OpLoad, Schema{}))
+	island.MustAddEdge("src", "load")
+	island.MustAddEdge("flt2", "load2")
+
+	// The filter claims attributes its producer does not emit / emits with
+	// another type.
+	mismatched := New("mismatched")
+	mismatched.MustAddNode(NewNode("src", "S", OpExtract, s))
+	mismatched.MustAddNode(NewNode("flt", "filter", OpFilter, NewSchema(
+		Attribute{Name: "id", Type: TypeString},
+		Attribute{Name: "missing", Type: TypeInt},
+	)))
+	mismatched.MustAddNode(NewNode("load", "DW", OpLoad, Schema{}))
+	mismatched.MustAddEdge("src", "flt")
+	mismatched.MustAddEdge("flt", "load")
+
+	cyclic := New("cyclic")
+	cyclic.MustAddNode(NewNode("a", "da", OpDerive, s))
+	cyclic.MustAddNode(NewNode("b", "db", OpDerive, s))
+	cyclic.MustAddEdge("a", "b")
+	cyclic.MustAddEdge("b", "a")
+
+	// An edge into a source: two arity violations on the source itself (the
+	// 0-input cap and the source-has-inputs rule).
+	backfed := New("backfed")
+	backfed.MustAddNode(NewNode("src2", "S2", OpExtract, s))
+	backfed.MustAddNode(NewNode("src", "S", OpExtract, s))
+	backfed.MustAddNode(NewNode("drv", "derive", OpDerive, s))
+	backfed.MustAddNode(NewNode("load", "DW", OpLoad, Schema{}))
+	backfed.MustAddEdge("src2", "src")
+	backfed.MustAddEdge("src", "drv")
+	backfed.MustAddEdge("drv", "load")
+
+	cases := []struct {
+		name string
+		g    *Graph
+		want []string
+	}{
+		{"clean", clean, nil},
+		{"empty", New("empty"), []string{"flow/empty empty"}},
+		{"dangling", dangling, []string{"flow/dangling dangling/flt"}},
+		{"island", island, []string{
+			"flow/dangling island/flt2",
+			"flow/unreachable island/load2",
+		}},
+		{"mismatched", mismatched, []string{
+			// checkEdgeSchema reports the first problem per edge.
+			"flow/schema mismatched/src->flt",
+		}},
+		{"cyclic", cyclic, []string{"flow/cycle cyclic"}},
+		{"backfed", backfed, []string{
+			"flow/arity backfed/src",
+			"flow/arity backfed/src",
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := lintKeys(c.g, nil)
+			want := append([]string(nil), c.want...)
+			sort.Strings(want)
+			if !equalStrings(got, want) {
+				t.Errorf("Lint = %v, want %v", got, want)
+			}
+		})
+	}
+}
+
+func TestLintBounds(t *testing.T) {
+	g := linearFlow(t) // 4 nodes, longest path 4
+
+	cases := []struct {
+		name   string
+		bounds []QualityBound
+		want   []string
+	}{
+		{"achievable", []QualityBound{
+			{Characteristic: "manageability", Measure: "flow_size", Max: fptr(10)},
+			{Characteristic: "performance", Measure: "process_cycle_time", Max: fptr(1e9)},
+		}, nil},
+		{"range-below-min", []QualityBound{
+			{Characteristic: "data_quality", Measure: "completeness", Max: fptr(-0.5)},
+		}, []string{"constraint/range constraint:data_quality.completeness"}},
+		{"range-above-max", []QualityBound{
+			{Characteristic: "data_quality", Measure: "completeness", Min: fptr(1.5)},
+		}, []string{"constraint/range constraint:data_quality.completeness"}},
+		{"score-range", []QualityBound{
+			{Characteristic: "performance", Min: fptr(2)},
+		}, []string{"constraint/range constraint:performance.score"}},
+		{"conflict", []QualityBound{
+			{Characteristic: "performance", Measure: "process_cycle_time", Min: fptr(10), Label: "ct >= 10"},
+			{Characteristic: "performance", Measure: "process_cycle_time", Max: fptr(5), Label: "ct <= 5"},
+		}, []string{"constraint/conflict constraint:ct >= 10"}},
+		{"achievability", []QualityBound{
+			{Characteristic: "manageability", Measure: "flow_size", Max: fptr(3)},
+		}, []string{"constraint/achievability constraint:manageability.flow_size"}},
+		{"min-structural-cannot-prune", []QualityBound{
+			// A structural Min below the current value is satisfiable deeper
+			// in the space, so it must not be reported.
+			{Characteristic: "manageability", Measure: "flow_size", Min: fptr(6)},
+		}, nil},
+		{"unknown-measure-conflict", []QualityBound{
+			// Custom measures skip the range pass but a contradictory pair is
+			// still a conflict.
+			{Characteristic: "cost", Measure: "custom_units", Min: fptr(4), Label: "cu >= 4"},
+			{Characteristic: "cost", Measure: "custom_units", Max: fptr(2), Label: "cu <= 2"},
+		}, []string{"constraint/conflict constraint:cu >= 4"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := lintKeys(g, c.bounds)
+			want := append([]string(nil), c.want...)
+			sort.Strings(want)
+			if !equalStrings(got, want) {
+				t.Errorf("Lint = %v, want %v", got, want)
+			}
+		})
+	}
+}
+
+// TestLintConstraintLabels pins the derived label and target fallbacks.
+func TestLintConstraintLabels(t *testing.T) {
+	b := QualityBound{Characteristic: "performance", Measure: "throughput"}
+	if b.label() != "performance.throughput" {
+		t.Errorf("label = %q", b.label())
+	}
+	b.Measure = ""
+	if b.label() != "performance.score" || b.target() != "score(performance)" {
+		t.Errorf("score label = %q target = %q", b.label(), b.target())
+	}
+	b.Label = "custom"
+	if b.label() != "custom" {
+		t.Errorf("explicit label = %q", b.label())
+	}
+}
+
+func TestStructuralValue(t *testing.T) {
+	g := diamondFlow(t) // 6 nodes, split+merge
+	checks := []struct {
+		measure string
+		want    float64
+	}{
+		{"flow_size", float64(g.Len())},
+		{"longest_path", float64(g.LongestPath())},
+		{"merge_elements", float64(g.MergeCount())},
+		{"cyclomatic_complexity", float64(g.CyclomaticComplexity())},
+	}
+	for _, c := range checks {
+		v, ok := g.StructuralValue(c.measure)
+		if !ok || v != c.want {
+			t.Errorf("StructuralValue(%s) = %v, %v; want %v", c.measure, v, ok, c.want)
+		}
+	}
+	if _, ok := g.StructuralValue("throughput"); ok {
+		t.Error("throughput must not be structural")
+	}
+	for _, m := range StructuralMeasures() {
+		if _, ok := g.StructuralValue(m); !ok {
+			t.Errorf("StructuralMeasures lists %s but StructuralValue rejects it", m)
+		}
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

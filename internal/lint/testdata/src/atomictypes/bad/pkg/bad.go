@@ -1,0 +1,13 @@
+// Package pkg seeds atomictypes violations: package-level sync/atomic calls
+// on raw words. The lint test asserts the exact positions reported here.
+package pkg
+
+import "sync/atomic"
+
+var counter int64
+
+// Bump mixes package-level atomic calls over a raw int64 field.
+func Bump() int64 {
+	atomic.AddInt64(&counter, 1)
+	return atomic.LoadInt64(&counter)
+}

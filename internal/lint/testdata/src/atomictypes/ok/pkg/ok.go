@@ -1,0 +1,13 @@
+// Package pkg is the clean twin of atomictypes/bad: typed atomic values,
+// whose methods the analyzer must not flag.
+package pkg
+
+import "sync/atomic"
+
+var counter atomic.Int64
+
+// Bump uses the typed atomic API.
+func Bump() int64 {
+	counter.Add(1)
+	return counter.Load()
+}

@@ -1,0 +1,15 @@
+// Package server seeds ctxpropagate violations on a request-path package
+// scope (the internal/server path suffix puts it in the analyzer's scope).
+package server
+
+import (
+	"context"
+	"net/http"
+)
+
+// Probe builds an outbound request without propagating any caller context.
+func Probe(url string) (*http.Request, error) {
+	ctx := context.Background()
+	_ = ctx
+	return http.NewRequest("GET", url, nil)
+}

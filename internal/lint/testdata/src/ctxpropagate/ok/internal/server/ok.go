@@ -1,0 +1,13 @@
+// Package server is the clean twin of ctxpropagate/bad: the request context
+// flows into the outbound call.
+package server
+
+import (
+	"context"
+	"net/http"
+)
+
+// Probe threads the caller's context into the outbound request.
+func Probe(ctx context.Context, url string) (*http.Request, error) {
+	return http.NewRequestWithContext(ctx, "GET", url, nil)
+}

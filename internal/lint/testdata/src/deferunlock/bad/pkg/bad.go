@@ -1,0 +1,22 @@
+// Package pkg seeds a deferunlock violation: a multi-return function whose
+// early return leaks the mutex.
+package pkg
+
+import "sync"
+
+// Box guards a counter.
+type Box struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Bump returns early while b.mu is still held.
+func (b *Box) Bump(limit int) int {
+	b.mu.Lock()
+	if b.n >= limit {
+		return -1
+	}
+	b.n++
+	b.mu.Unlock()
+	return b.n
+}

@@ -1,0 +1,35 @@
+// Package pkg is the clean twin of deferunlock/bad: both sanctioned shapes —
+// defer-immediately and unlock-on-every-path — must pass.
+package pkg
+
+import "sync"
+
+// Box guards a counter.
+type Box struct {
+	mu sync.Mutex
+	n  int
+}
+
+// BumpDeferred releases through a defer directly after the acquisition.
+func (b *Box) BumpDeferred(limit int) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.n >= limit {
+		return -1
+	}
+	b.n++
+	return b.n
+}
+
+// BumpEarlyUnlock releases explicitly on the early-return path (the store's
+// "lock, mutate, unlock-then-I/O" sequence).
+func (b *Box) BumpEarlyUnlock(limit int) int {
+	b.mu.Lock()
+	if b.n >= limit {
+		b.mu.Unlock()
+		return -1
+	}
+	b.n++
+	b.mu.Unlock()
+	return b.n
+}

@@ -1,0 +1,35 @@
+// Package etl seeds nodeterminism violations on a byte-deterministic scope
+// (the internal/etl path suffix): wall clock, global rand, %p, and byte
+// output while ranging a map.
+package etl
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// Stamp reads the wall clock.
+func Stamp() string {
+	return time.Now().String()
+}
+
+// Jitter draws from the shared seedless source.
+func Jitter() int {
+	return rand.Intn(10)
+}
+
+// Key formats a pointer address.
+func Key(v *int) string {
+	return fmt.Sprintf("node-%p", v)
+}
+
+// Render writes bytes in map-iteration order.
+func Render(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k)
+	}
+	return b.String()
+}

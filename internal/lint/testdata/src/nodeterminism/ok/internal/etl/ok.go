@@ -1,0 +1,35 @@
+// Package etl is the clean twin of nodeterminism/bad: seeded rand, value
+// (not pointer) formatting, and sorted-key map rendering.
+package etl
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Jitter draws from an explicitly seeded generator.
+func Jitter(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// Key formats the value's identity, not its address.
+func Key(v int) string {
+	return fmt.Sprintf("node-%d", v)
+}
+
+// Render sorts the keys before emitting bytes.
+func Render(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+	}
+	return b.String()
+}

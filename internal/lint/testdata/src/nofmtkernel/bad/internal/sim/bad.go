@@ -1,0 +1,25 @@
+// Package sim seeds nofmtkernel violations on the kernel scope (the
+// internal/sim path suffix): reflection-based rendering and reflect itself.
+// The file deliberately avoids the nodeterminism triggers that share this
+// scope, so only nofmtkernel fires.
+package sim
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// Render formats through reflection.
+func Render(v any) string {
+	return fmt.Sprint(v)
+}
+
+// Describe renders a counter with fmt instead of strconv.
+func Describe(n int) string {
+	return fmt.Sprintf("rows=%d", n)
+}
+
+// Inspect uses package reflect in a kernel package.
+func Inspect(v any) {
+	_ = reflect.ValueOf(v)
+}

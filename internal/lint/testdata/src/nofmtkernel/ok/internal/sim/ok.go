@@ -1,0 +1,18 @@
+// Package sim is the clean twin of nofmtkernel/bad: strconv on the hot path
+// and fmt.Errorf (the one allowed fmt function) on error paths.
+package sim
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Describe renders a counter type-directly.
+func Describe(n int) string {
+	return "rows=" + strconv.Itoa(n)
+}
+
+// Fail constructs an error; fmt.Errorf is exempt.
+func Fail(n int) error {
+	return fmt.Errorf("bad batch size %d", n)
+}

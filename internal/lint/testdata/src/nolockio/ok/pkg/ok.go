@@ -1,0 +1,33 @@
+// Package pkg is the clean twin of nolockio/bad: copy what you need under
+// the lock, release it, then do the I/O — and function literals built under
+// a lock run later, outside the critical section.
+package pkg
+
+import (
+	"os"
+	"sync"
+)
+
+// Store keeps a path under a mutex.
+type Store struct {
+	mu   sync.Mutex
+	path string
+}
+
+// Load snapshots the path under the lock and reads outside it.
+func (s *Store) Load() ([]byte, error) {
+	s.mu.Lock()
+	path := s.path
+	s.mu.Unlock()
+	return os.ReadFile(path)
+}
+
+// Reader returns a closure; the I/O inside it executes after the unlock.
+func (s *Store) Reader() func() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	path := s.path
+	return func() ([]byte, error) {
+		return os.ReadFile(path)
+	}
+}

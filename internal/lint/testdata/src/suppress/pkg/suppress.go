@@ -1,0 +1,20 @@
+// Package pkg exercises the //lint:ignore machinery: a well-formed directive
+// silences the next line's finding; a malformed one (no reason) is itself a
+// lintdirective diagnostic and silences nothing.
+package pkg
+
+import "sync/atomic"
+
+var word int64
+
+// Suppressed is silenced by the directive above the offending line.
+func Suppressed() int64 {
+	//lint:ignore atomictypes fixture exercising suppression
+	return atomic.LoadInt64(&word)
+}
+
+// Unsuppressed carries a directive with no reason: malformed, not honoured.
+func Unsuppressed() int64 {
+	//lint:ignore atomictypes
+	return atomic.AddInt64(&word, 1)
+}

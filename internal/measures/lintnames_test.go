@@ -1,0 +1,63 @@
+package measures
+
+import (
+	"sort"
+	"testing"
+
+	"poiesis/internal/etl"
+)
+
+// etl.Lint's interval table and structural-measure list are written with
+// string literals (importing this package from etl would be a cycle). These
+// tests pin the literals to the canonical constants so a renamed measure
+// cannot silently detach the static validator from the estimator.
+
+func TestLintKnownMeasuresMatchConstants(t *testing.T) {
+	want := []string{
+		MCycleTime, MLatencyPerTup, MThroughput,
+		MFreshness, MCurrency,
+		MCompleteness, MUniqueness, MAccuracy,
+		MLongestPath, MCoupling, MMergeCount, MSize, MCyclomatic,
+		MSuccessRate, MWithinDeadline, MRecoveryTime, MCPCoverage,
+		MTotalWork, MMemPeak, MMonetaryCost,
+	}
+	sort.Strings(want)
+	got := etl.KnownMeasures()
+	if len(got) != len(want) {
+		t.Fatalf("etl.KnownMeasures lists %d measures, this package defines %d:\ngot  %v\nwant %v",
+			len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("measure %d: etl interval table has %q, constants have %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLintStructuralMeasuresMatchConstants(t *testing.T) {
+	want := map[string]bool{MSize: true, MLongestPath: true, MMergeCount: true, MCyclomatic: true}
+	got := etl.StructuralMeasures()
+	if len(got) != len(want) {
+		t.Fatalf("StructuralMeasures = %v, want the %d manageability structure measures", got, len(want))
+	}
+	for _, m := range got {
+		if !want[m] {
+			t.Errorf("StructuralMeasures lists %q, which is not a structural constant", m)
+		}
+	}
+	// Coupling is deliberately absent: node insertion can lower 2|E|/|V|, so
+	// it is not monotone over the pattern space and must never prune.
+	for _, m := range got {
+		if m == MCoupling {
+			t.Error("coupling must not be treated as a monotone structural measure")
+		}
+	}
+}
+
+// TestManageabilityName pins the characteristic literal etl.Lint's
+// achievability pass and core's staticPruner both compare against.
+func TestManageabilityName(t *testing.T) {
+	if string(Manageability) != "manageability" {
+		t.Fatalf("Manageability = %q; the etl lint achievability pass matches the literal \"manageability\"", Manageability)
+	}
+}

@@ -1,0 +1,91 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// unachievableBody is a session-create payload whose constraint set no flow
+// in the pattern space can satisfy: tpcds-purchases starts above the
+// flow_size cap, and every pattern application grows the flow.
+const unachievableBody = `{
+	"name": "doomed",
+	"flow": {"builtin": "tpcds-purchases"},
+	"config": {
+		"policy": "greedy", "topK": 1, "depth": 1,
+		"constraints": [
+			{"characteristic": "manageability", "measure": "flow_size", "max": 2}
+		]
+	}
+}`
+
+func TestCreateSessionRejectsUnachievableConstraints(t *testing.T) {
+	s := newTestServer(t)
+	rr := do(t, s, "POST", "/v1/sessions", unachievableBody, nil)
+	if rr.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("create with unachievable constraints: %d %s", rr.Code, rr.Body.String())
+	}
+	var out lintErrorJSON
+	if err := json.Unmarshal(rr.Body.Bytes(), &out); err != nil {
+		t.Fatalf("decoding 422 body %q: %v", rr.Body.String(), err)
+	}
+	if out.Error == "" || len(out.Diagnostics) == 0 {
+		t.Fatalf("422 body lacks diagnostics: %+v", out)
+	}
+	d := out.Diagnostics[0]
+	if d.Check != "constraint/achievability" {
+		t.Errorf("check = %q, want constraint/achievability", d.Check)
+	}
+	if !strings.HasPrefix(d.Pos, "constraint:") || d.Message == "" {
+		t.Errorf("diagnostic incomplete: %+v", d)
+	}
+	// The rejected session must not exist.
+	var list struct {
+		Sessions []sessionJSON `json:"sessions"`
+	}
+	do(t, s, "GET", "/v1/sessions", "", &list)
+	if len(list.Sessions) != 0 {
+		t.Errorf("rejected session was stored: %+v", list.Sessions)
+	}
+}
+
+func TestPlanRejectsUnachievablePerRequestConfig(t *testing.T) {
+	s := newTestServer(t)
+	id := createSession(t, s, "alice")
+	body := `{"config": {
+		"policy": "greedy", "topK": 1, "depth": 1,
+		"constraints": [
+			{"characteristic": "manageability", "measure": "longest_path", "max": 1}
+		]
+	}}`
+	rr := do(t, s, "POST", "/v1/sessions/"+id+"/plan", body, nil)
+	if rr.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("plan with unachievable constraints: %d %s", rr.Code, rr.Body.String())
+	}
+	var out lintErrorJSON
+	if err := json.Unmarshal(rr.Body.Bytes(), &out); err != nil {
+		t.Fatalf("decoding 422 body: %v", err)
+	}
+	if len(out.Diagnostics) == 0 || out.Diagnostics[0].Check != "constraint/achievability" {
+		t.Fatalf("unexpected diagnostics: %+v", out.Diagnostics)
+	}
+}
+
+func TestCreateSessionAcceptsAchievableConstraints(t *testing.T) {
+	s := newTestServer(t)
+	body := `{
+		"name": "fine",
+		"flow": {"builtin": "tpcds-purchases"},
+		"config": {
+			"policy": "greedy", "topK": 1, "depth": 1, "sim": {"runs": 4, "defaultRows": 100},
+			"constraints": [
+				{"characteristic": "manageability", "measure": "flow_size", "max": 64}
+			]
+		}
+	}`
+	if rr := do(t, s, "POST", "/v1/sessions", body, nil); rr.Code != http.StatusCreated {
+		t.Fatalf("create with achievable constraints: %d %s", rr.Code, rr.Body.String())
+	}
+}
