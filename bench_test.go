@@ -892,6 +892,14 @@ func BenchmarkServePlan(b *testing.B) {
 	benchServePlan(b, poiesis.ServerConfig{})
 }
 
+// BenchmarkServePlanNoTrace is SV1 with tracing disabled (TraceSample < 0):
+// the delta against BenchmarkServePlan is the whole cost of span collection
+// on the hot path, which the obs kit promises is within the ≤2% budget
+// sampled and ~0 disabled.
+func BenchmarkServePlanNoTrace(b *testing.B) {
+	benchServePlan(b, poiesis.ServerConfig{TraceSample: -1})
+}
+
 // BenchmarkServePlanDiskStore is SV1 with the crash-safe disk session
 // backend: every plan response additionally snapshots the session and
 // fsyncs the record, so the delta against BenchmarkServePlan is the

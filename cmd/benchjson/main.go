@@ -9,6 +9,7 @@
 //	go test -run xxx -bench 'Fig3|Fig4|A5' -benchmem -count=1 . | go run ./cmd/benchjson > BENCH.json
 //	go run ./cmd/benchjson -diff-schema committed.json regenerated.json
 //	go run ./cmd/benchjson -check-metrics metrics.txt
+//	go run ./cmd/benchjson -check-trace trace.json
 //
 // The -diff-schema mode compares the *shape* of two record files — the set
 // of record names and each record's metric keys — and exits non-zero on
@@ -21,6 +22,11 @@
 // own strict exposition parser and requires the core poiesis_* families to
 // be present, so CI catches a scrape that serves but has gone syntactically
 // or structurally bad.
+//
+// The -check-trace mode validates a saved GET /v1/traces/{id} document: one
+// consistent trace ID, a single root span, resolvable parent links, and at
+// least three child layers under the root — the tree a healthy instrumented
+// plan request always produces (http → planner → alternative → sim).
 package main
 
 import (
@@ -77,6 +83,17 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintln(os.Stderr, "benchjson: metrics exposition OK")
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "-check-trace" {
+		if len(os.Args) != 3 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -check-trace TRACE.json")
+			os.Exit(2)
+		}
+		if err := checkTrace(os.Args[2]); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
 		return
 	}
 	sc := bufio.NewScanner(os.Stdin)
@@ -184,6 +201,78 @@ func checkMetrics(path string) error {
 			path, len(samples), strings.Join(missing, ", "))
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: %d samples across %d metric names\n", len(samples), len(seen))
+	return nil
+}
+
+// checkTrace validates a saved /v1/traces/{id} span-tree document. The
+// shape requirements mirror what one instrumented plan request must always
+// produce: every span carries the document's trace ID, parent links resolve
+// within the trace, exactly one span is the root, and the tree is at least
+// four layers deep (root plus three child layers).
+func checkTrace(path string) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		ID    string `json:"id"`
+		Root  string `json:"root"`
+		Spans []struct {
+			TraceID  string `json:"traceId"`
+			SpanID   string `json:"spanId"`
+			ParentID string `json:"parentId"`
+			Name     string `json:"name"`
+			Service  string `json:"service"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if doc.ID == "" || len(doc.Spans) == 0 {
+		return fmt.Errorf("%s: not a trace document (id %q, %d spans)", path, doc.ID, len(doc.Spans))
+	}
+	parent := map[string]string{}
+	services := map[string]bool{}
+	roots := 0
+	for _, sp := range doc.Spans {
+		if sp.TraceID != doc.ID {
+			return fmt.Errorf("%s: span %s (%s) carries trace %s, want %s", path, sp.SpanID, sp.Name, sp.TraceID, doc.ID)
+		}
+		parent[sp.SpanID] = sp.ParentID
+		services[sp.Service] = true
+	}
+	for _, sp := range doc.Spans {
+		if sp.ParentID == "" {
+			roots++
+		} else if _, ok := parent[sp.ParentID]; !ok {
+			return fmt.Errorf("%s: span %s (%s) has unresolved parent %s", path, sp.SpanID, sp.Name, sp.ParentID)
+		}
+	}
+	if roots != 1 {
+		return fmt.Errorf("%s: %d root spans, want exactly 1", path, roots)
+	}
+	// Depth is the longest parent chain; the chain length is bounded by the
+	// span count, so a corrupt parent cycle also fails here.
+	depth := 0
+	for _, sp := range doc.Spans {
+		d, id := 1, sp.SpanID
+		for parent[id] != "" && d <= len(doc.Spans) {
+			id = parent[id]
+			d++
+		}
+		if d > len(doc.Spans) {
+			return fmt.Errorf("%s: parent cycle through span %s", path, sp.SpanID)
+		}
+		if d > depth {
+			depth = d
+		}
+	}
+	const wantDepth = 4 // root + three child layers
+	if depth < wantDepth {
+		return fmt.Errorf("%s: span tree depth %d, want >= %d (root %q, %d spans)", path, depth, wantDepth, doc.Root, len(doc.Spans))
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: trace %s OK: root %q, %d spans, depth %d, %d service(s)\n",
+		doc.ID, doc.Root, len(doc.Spans), depth, len(services))
 	return nil
 }
 

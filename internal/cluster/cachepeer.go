@@ -34,7 +34,11 @@ func (c *Cluster) FetchCachedResult(ctx context.Context, ownerID, wireKey string
 	if p == nil {
 		return nil, false
 	}
+	ctx, span := obs.StartSpan(ctx, "cluster.cache_get")
+	defer span.End()
+	span.SetAttr("peer.id", ownerID)
 	if up, _ := c.available(ctx, p); !up {
+		span.FailMsg("peer down")
 		return nil, false
 	}
 	p.cacheGets.Add(1)
@@ -42,10 +46,12 @@ func (c *Cluster) FetchCachedResult(ctx context.Context, ownerID, wireKey string
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.url+"/v1/cache/"+wireKey, nil)
 	if err != nil {
 		p.cacheErrors.Add(1)
+		span.Fail(err)
 		return nil, false
 	}
 	req.Header.Set(ForwardedHeader, c.self)
 	setRequestID(ctx, req)
+	setTraceParent(ctx, req)
 	resp, err := c.client.Do(req)
 	if err != nil {
 		p.cacheErrors.Add(1)
@@ -54,6 +60,7 @@ func (c *Cluster) FetchCachedResult(ctx context.Context, ownerID, wireKey string
 			c.markDown(p)
 			c.logf("cluster: cache fetch from %s: %v", p.id, err)
 		}
+		span.Fail(err)
 		return nil, false
 	}
 	defer resp.Body.Close()
@@ -61,9 +68,11 @@ func (c *Cluster) FetchCachedResult(ctx context.Context, ownerID, wireKey string
 		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
 		// A miss is a normal outcome, not a failed call.
 		c.observe(p.id, "cache_get", start, resp.StatusCode != http.StatusNotFound)
+		span.SetBool("hit", false)
 		if resp.StatusCode != http.StatusNotFound {
 			p.cacheErrors.Add(1)
 			c.logf("cluster: cache fetch from %s: status %d", p.id, resp.StatusCode)
+			span.FailMsg("status " + resp.Status)
 		}
 		return nil, false
 	}
@@ -71,10 +80,13 @@ func (c *Cluster) FetchCachedResult(ctx context.Context, ownerID, wireKey string
 	if err != nil || int64(len(b)) > maxCacheFetchBytes {
 		p.cacheErrors.Add(1)
 		c.observe(p.id, "cache_get", start, true)
+		span.FailMsg("payload truncated or unreadable")
 		return nil, false
 	}
 	p.cacheHits.Add(1)
 	c.observe(p.id, "cache_get", start, false)
+	span.SetBool("hit", true)
+	span.SetInt("bytes", int64(len(b)))
 	return b, true
 }
 
@@ -88,6 +100,15 @@ func setRequestID(ctx context.Context, req *http.Request) {
 	}
 }
 
+// setTraceParent stamps the context's active span as the W3C traceparent of
+// an intra-cluster request, so the receiving replica's trace fragment grafts
+// under the calling span and the whole exchange renders as one tree.
+func setTraceParent(ctx context.Context, req *http.Request) {
+	if sp := obs.SpanFrom(ctx); sp != nil {
+		req.Header.Set(obs.TraceParentHeader, sp.TraceParent())
+	}
+}
+
 // PushCachedResult writes a freshly computed result through to the key's
 // owning peer, so the next replica that misses on this key finds it at the
 // owner. Strictly best-effort: a failed push costs future sharing, never the
@@ -97,18 +118,25 @@ func (c *Cluster) PushCachedResult(ctx context.Context, ownerID, wireKey string,
 	if p == nil {
 		return fmt.Errorf("cluster: unknown peer %q", ownerID)
 	}
+	ctx, span := obs.StartSpan(ctx, "cluster.cache_put")
+	defer span.End()
+	span.SetAttr("peer.id", ownerID)
+	span.SetInt("bytes", int64(len(payload)))
 	if up, _ := c.available(ctx, p); !up {
+		span.FailMsg("peer down")
 		return fmt.Errorf("cluster: peer %s is down", ownerID)
 	}
 	start := time.Now()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPut, p.url+"/v1/cache/"+wireKey, bytes.NewReader(payload))
 	if err != nil {
 		p.cacheErrors.Add(1)
+		span.Fail(err)
 		return err
 	}
 	req.Header.Set(ForwardedHeader, c.self)
 	req.Header.Set("Content-Type", "application/json")
 	setRequestID(ctx, req)
+	setTraceParent(ctx, req)
 	resp, err := c.client.Do(req)
 	if err != nil {
 		p.cacheErrors.Add(1)
@@ -117,6 +145,7 @@ func (c *Cluster) PushCachedResult(ctx context.Context, ownerID, wireKey string,
 			c.markDown(p)
 			c.logf("cluster: cache push to %s: %v", p.id, err)
 		}
+		span.Fail(err)
 		return err
 	}
 	defer resp.Body.Close()
@@ -125,6 +154,7 @@ func (c *Cluster) PushCachedResult(ctx context.Context, ownerID, wireKey string,
 		p.cacheErrors.Add(1)
 		c.observe(p.id, "cache_put", start, true)
 		c.logf("cluster: cache push to %s: status %d", p.id, resp.StatusCode)
+		span.FailMsg("status " + resp.Status)
 		return fmt.Errorf("cluster: cache push to %s: status %d", ownerID, resp.StatusCode)
 	}
 	p.cachePuts.Add(1)

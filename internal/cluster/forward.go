@@ -38,14 +38,19 @@ func (c *Cluster) Forward(w http.ResponseWriter, r *http.Request, ownerID string
 		forwardError(w, http.StatusInternalServerError, fmt.Sprintf("owner %q is not a known peer", ownerID))
 		return
 	}
-	if ok, retry := c.available(r.Context(), p); !ok {
+	ctx, span := obs.StartSpan(r.Context(), "cluster.forward")
+	defer span.End()
+	span.SetAttr("peer.id", ownerID)
+	if ok, retry := c.available(ctx, p); !ok {
+		span.FailMsg("peer down")
 		unavailable(w, p, retry)
 		return
 	}
 	start := time.Now()
 
-	req, err := http.NewRequestWithContext(r.Context(), r.Method, p.url+r.URL.RequestURI(), r.Body)
+	req, err := http.NewRequestWithContext(ctx, r.Method, p.url+r.URL.RequestURI(), r.Body)
 	if err != nil {
+		span.Fail(err)
 		forwardError(w, http.StatusInternalServerError, fmt.Sprintf("building forward request: %v", err))
 		return
 	}
@@ -54,17 +59,21 @@ func (c *Cluster) Forward(w http.ResponseWriter, r *http.Request, ownerID string
 		req.Header.Del(h)
 	}
 	req.Header.Set(ForwardedHeader, c.self)
+	// Re-stamp the trace context with the forward span, so the peer's
+	// fragment grafts under this hop instead of under our HTTP root.
+	setTraceParent(ctx, req)
 	req.ContentLength = r.ContentLength
 
 	resp, err := c.client.Do(req)
 	if err != nil {
 		p.forwardErrors.Add(1)
 		c.observe(p.id, "forward", start, true)
-		if r.Context().Err() != nil {
+		if ctx.Err() != nil {
 			// The client went away; nothing to report and nobody to report
 			// it to — and no reason to penalize the peer.
 			return
 		}
+		span.Fail(err)
 		c.markDown(p)
 		c.logf("cluster: forwarding %s %s to %s: %v", r.Method, r.URL.Path, p.id, err)
 		unavailable(w, p, c.cooldown)
@@ -77,9 +86,11 @@ func (c *Cluster) Forward(w http.ResponseWriter, r *http.Request, ownerID string
 	c.observe(p.id, "forward", start, false)
 
 	h := w.Header()
-	// The local middleware already stamped the request ID and the upstream
-	// echoes the same value; drop ours so the client sees it exactly once.
+	// The local middleware already stamped the request ID and trace ID and
+	// the upstream echoes the same values; drop ours so the client sees
+	// each exactly once.
 	h.Del(obs.RequestIDHeader)
+	h.Del(obs.TraceIDHeader)
 	for k, vs := range resp.Header {
 		for _, v := range vs {
 			h.Add(k, v)

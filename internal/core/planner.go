@@ -41,6 +41,7 @@ import (
 	"poiesis/internal/etl"
 	"poiesis/internal/fcp"
 	"poiesis/internal/measures"
+	"poiesis/internal/obs"
 	"poiesis/internal/policy"
 	"poiesis/internal/sim"
 	"poiesis/internal/skyline"
@@ -268,6 +269,17 @@ func (p *Planner) Plan(initial *etl.Graph, bind sim.Binding) (*Result, error) {
 // flow, honouring context cancellation: when ctx is cancelled mid-run, the
 // pipeline drains its workers and returns ctx's error instead of a result.
 func (p *Planner) PlanContext(ctx context.Context, initial *etl.Graph, bind sim.Binding) (*Result, error) {
+	ctx, span := obs.StartSpan(ctx, "planner.plan")
+	defer span.End()
+	res, err := p.planContext(ctx, span, initial, bind)
+	if err != nil {
+		span.Fail(err)
+	}
+	return res, err
+}
+
+func (p *Planner) planContext(ctx context.Context, span *obs.Span, initial *etl.Graph, bind sim.Binding) (*Result, error) {
+	planStart := time.Now()
 	if err := initial.Validate(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInvalidFlow, err)
 	}
@@ -286,10 +298,20 @@ func (p *Planner) PlanContext(ctx context.Context, initial *etl.Graph, bind sim.
 	// relative changes — and, under delta evaluation, seeds the shared cache
 	// with the initial flow's cones, the common prefix of every alternative.
 	baseStart := time.Now()
-	baseProfile, baseBatch, err := ev.evaluate(initial, bind)
+	var baseES *sim.ExecStats
+	if span != nil {
+		baseES = &sim.ExecStats{}
+	}
+	baseProfile, baseBatch, err := ev.evaluate(initial, bind, baseES)
 	clock.observe(siEval, baseStart)
 	if err != nil {
 		return nil, fmt.Errorf("core: evaluating initial flow: %w", err)
+	}
+	if span != nil {
+		span.Record("planner.baseline", baseStart, time.Since(baseStart),
+			obs.Int("nodes", int64(baseES.Nodes)),
+			obs.Int("executed", int64(baseES.Executed)),
+			obs.Int("cone_hits", int64(baseES.ConeHits)))
 	}
 	est := measures.NewEstimator(measures.BaselineConfig(initial, baseProfile, baseBatch))
 	for _, cm := range p.opts.CustomMeasures {
@@ -310,6 +332,29 @@ func (p *Planner) PlanContext(ctx context.Context, initial *etl.Graph, bind sim.
 		return nil, err
 	}
 	res.Stages = clock.timings()
+	if span != nil {
+		span.SetBool("streaming", p.opts.Streaming == StreamingOn)
+		span.SetBool("delta", p.opts.DeltaEval == DeltaOn)
+		span.SetBool("columnar", p.opts.Columnar == ColumnarOn)
+		span.SetInt("candidates_seen", int64(res.Stats.CandidatesSeen))
+		span.SetInt("generated", int64(res.Stats.Generated))
+		span.SetInt("deduped", int64(res.Stats.Deduped))
+		span.SetInt("static_pruned", int64(res.Stats.StaticPruned))
+		span.SetInt("evaluated", int64(res.Stats.Evaluated))
+		span.SetInt("constraint_rejected", int64(res.Stats.ConstraintRejected))
+		span.SetInt("skyline", int64(len(res.SkylineIdx)))
+		// Stage clocks sum wall time across workers, so these spans carry
+		// the plan's start time and a summed duration — they are budget
+		// bars, not intervals (two stages can "overlap" in the rendering).
+		for _, st := range res.Stages {
+			if st.Count == 0 {
+				continue
+			}
+			span.Record("stage."+st.Stage, planStart, st.Duration(),
+				obs.Int("count", st.Count),
+				obs.String("time", "summed-across-workers"))
+		}
+	}
 	return res, nil
 }
 
@@ -331,8 +376,46 @@ func newEvaluator(engine *sim.Engine, mode DeltaMode) *evaluator {
 	return ev
 }
 
-func (ev *evaluator) evaluate(g *etl.Graph, bind sim.Binding) (*sim.Profile, *trace.Batch, error) {
-	return ev.engine.EvaluateDelta(g, bind, ev.cache)
+func (ev *evaluator) evaluate(g *etl.Graph, bind sim.Binding, stats *sim.ExecStats) (*sim.Profile, *trace.Batch, error) {
+	return ev.engine.EvaluateDeltaStats(g, bind, ev.cache, stats)
+}
+
+// recordAlternative files the tracing spans for one evaluated alternative:
+// a planner.alternative span annotated with the flow fingerprint and the
+// evaluation strategy, and the simulation itself as a sim.evaluate child
+// carrying the cone-splice accounting (how much of the flow was served from
+// the delta cache versus actually re-simulated). A nil sp is the untraced
+// path and costs nothing.
+func recordAlternative(sp *obs.Span, a *Alternative, delta bool, es *sim.ExecStats, start time.Time) {
+	if sp == nil {
+		return
+	}
+	d := time.Since(start)
+	attrs := []obs.Attr{
+		obs.String("fingerprint", shortFingerprint(a.Graph)),
+		obs.Bool("delta", delta),
+	}
+	if a.Err != nil {
+		attrs = append(attrs, obs.String("error", a.Err.Error()))
+	}
+	altID := sp.Record("planner.alternative", start, d, attrs...)
+	if es == nil {
+		es = &sim.ExecStats{}
+	}
+	sp.RecordChildOf(altID, "sim.evaluate", start, d,
+		obs.Int("nodes", int64(es.Nodes)),
+		obs.Int("executed", int64(es.Executed)),
+		obs.Int("cone_hits", int64(es.ConeHits)))
+}
+
+// shortFingerprint truncates a flow fingerprint to a span-attribute-sized
+// prefix: enough to correlate alternatives across spans and log lines.
+func shortFingerprint(g *etl.Graph) string {
+	fp := g.Fingerprint()
+	if len(fp) > 16 {
+		fp = fp[:16]
+	}
+	return fp
 }
 
 // planSequential runs the three stages strictly in order: full generation,
@@ -454,6 +537,7 @@ func (p *Planner) evaluate(ctx context.Context, alts []Alternative, bind sim.Bin
 	if workers > len(alts) && len(alts) > 0 {
 		workers = len(alts)
 	}
+	sp := obs.SpanFrom(ctx)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -464,13 +548,18 @@ func (p *Planner) evaluate(ctx context.Context, alts []Alternative, bind sim.Bin
 				}
 				a := &alts[idx]
 				start := time.Now()
-				profile, batch, err := ev.evaluate(a.Graph, bind)
+				var es *sim.ExecStats
+				if sp != nil {
+					es = &sim.ExecStats{}
+				}
+				profile, batch, err := ev.evaluate(a.Graph, bind, es)
 				if err != nil {
 					a.Err = err
 				} else {
 					a.Report = est.Estimate(a.Graph, profile, batch)
 				}
 				clock.observe(siEval, start)
+				recordAlternative(sp, a, ev.cache != nil, es, start)
 			}
 		}()
 	}

@@ -9,6 +9,7 @@ import (
 	"poiesis/internal/etl"
 	"poiesis/internal/fcp"
 	"poiesis/internal/measures"
+	"poiesis/internal/obs"
 	"poiesis/internal/policy"
 	"poiesis/internal/sim"
 	"poiesis/internal/skyline"
@@ -134,6 +135,7 @@ func (p *Planner) planStream(ctx context.Context, initial *etl.Graph, bind sim.B
 		genStats, genErr = p.streamGenerate(ctx, initial, palette, genCh, &generated, clock)
 	}()
 
+	sp := obs.SpanFrom(ctx)
 	var wgEval sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wgEval.Add(1)
@@ -144,13 +146,18 @@ func (p *Planner) planStream(ctx context.Context, initial *etl.Graph, bind sim.B
 					return
 				}
 				start := time.Now()
-				profile, batch, err := ev.evaluate(it.alt.Graph, bind)
+				var es *sim.ExecStats
+				if sp != nil {
+					es = &sim.ExecStats{}
+				}
+				profile, batch, err := ev.evaluate(it.alt.Graph, bind, es)
 				if err != nil {
 					it.alt.Err = err
 				} else {
 					it.alt.Report = est.Estimate(it.alt.Graph, profile, batch)
 				}
 				clock.observe(siEval, start)
+				recordAlternative(sp, &it.alt, ev.cache != nil, es, start)
 				select {
 				case evalCh <- it:
 				case <-ctx.Done():

@@ -60,6 +60,7 @@ func All() []*Analyzer {
 		Nodeterminism,
 		Nofmtkernel,
 		Nolockio,
+		Spanend,
 	}
 }
 

@@ -24,6 +24,8 @@ var fixtureDirs = []string{
 	"./testdata/src/nofmtkernel/ok/internal/sim",
 	"./testdata/src/nolockio/bad/pkg",
 	"./testdata/src/nolockio/ok/pkg",
+	"./testdata/src/spanend/bad/pkg",
+	"./testdata/src/spanend/ok/pkg",
 	"./testdata/src/suppress/pkg",
 }
 
@@ -67,6 +69,10 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		"nofmtkernel/bad/internal/sim/bad.go:24 nofmtkernel",
 		"nolockio/bad/pkg/bad.go:20 nolockio",
 		"nolockio/bad/pkg/bad.go:33 nolockio",
+		"spanend/bad/pkg/bad.go:13 spanend",
+		"spanend/bad/pkg/bad.go:25 spanend",
+		"spanend/bad/pkg/bad.go:31 spanend",
+		"spanend/bad/pkg/bad.go:36 spanend",
 		"suppress/pkg/suppress.go:18 lintdirective",
 		"suppress/pkg/suppress.go:19 atomictypes",
 	}

@@ -1,0 +1,231 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Spanend catches the never-ended span bug: a span minted by obs.StartSpan
+// (or the Tracer methods StartRequest/StartDetached) that is not ended on
+// every path never reaches the collector, and — when it is a local root —
+// its whole trace fragment is silently lost. The sanctioned pattern is
+// `ctx, span := obs.StartSpan(ctx, ...); defer span.End()`; also accepted
+// are an explicit span.End() reached before any return in the same block,
+// and handing the span to a helper (which is then responsible for it).
+var Spanend = &Analyzer{
+	Name: "spanend",
+	Doc:  "require defer span.End() (or End on every path) after starting a span",
+	Run:  runSpanend,
+}
+
+func runSpanend(p *Pass) {
+	for _, f := range p.Files() {
+		ast.Inspect(f, func(node ast.Node) bool {
+			block, ok := node.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			for i, s := range block.List {
+				switch st := s.(type) {
+				case *ast.ExprStmt:
+					if call, ok := st.X.(*ast.CallExpr); ok && spanStarter(p, call) {
+						p.Reportf(call.Pos(), "span discarded at start: keep the span and defer its End()")
+					}
+				case *ast.AssignStmt:
+					if len(st.Rhs) != 1 {
+						continue
+					}
+					call, ok := st.Rhs[0].(*ast.CallExpr)
+					if !ok || !spanStarter(p, call) {
+						continue
+					}
+					id := spanResultIdent(p, st)
+					if id == nil {
+						p.Reportf(call.Pos(), "span assigned to the blank identifier: a span that is never ended is lost to the collector")
+						continue
+					}
+					if !spanEndIsSafe(p, block.List[i+1:], id.Name) {
+						p.Reportf(call.Pos(), "%s is started but not ended on every path: defer %s.End() on the next line", id.Name, id.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// spanStarter reports whether the call mints a span: obs.StartSpan, or the
+// StartRequest/StartDetached Tracer methods, resolved to an internal/obs
+// package by import path.
+func spanStarter(p *Pass, call *ast.CallExpr) bool {
+	f := calleeFunc(p.Pkg.Info, call)
+	if f == nil {
+		return false
+	}
+	switch f.Name() {
+	case "StartSpan", "StartRequest", "StartDetached":
+	default:
+		return false
+	}
+	return pathHasSuffix(funcPkgPath(f), "internal/obs")
+}
+
+// spanResultIdent returns the assignment's span-typed LHS identifier, or
+// nil when the span lands in the blank identifier.
+func spanResultIdent(p *Pass, as *ast.AssignStmt) *ast.Ident {
+	for _, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		if isSpanPtr(p.Pkg.Info.TypeOf(id)) {
+			return id
+		}
+	}
+	return nil
+}
+
+// isSpanPtr reports whether t is *Span of an internal/obs package.
+func isSpanPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := ptr.Elem().(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Name() == "Span" && pathHasSuffix(n.Obj().Pkg().Path(), "internal/obs")
+}
+
+// spanEndIsSafe scans the statements following a span start in its block.
+// The span is safe when a (deferred) End call on it appears before any
+// returning statement, or when the span escapes — passed to another
+// function, returned, or stored — which hands off the End responsibility.
+// Reaching a return, or the end of the block, with the span neither ended
+// nor escaped means some path leaks it.
+func spanEndIsSafe(p *Pass, rest []ast.Stmt, name string) bool {
+	for _, s := range rest {
+		if stmtCallsEnd(s, name) {
+			return true
+		}
+		if stmtEscapesSpan(s, name) {
+			return true
+		}
+		if stmtContainsReturn(s) {
+			return false
+		}
+	}
+	return false
+}
+
+// stmtCallsEnd reports whether stmt calls (or defers, directly or inside a
+// deferred closure) name.End(). Non-deferred function literals are not
+// entered: a closure that might run later does not end the span on this
+// path.
+func stmtCallsEnd(stmt ast.Stmt, name string) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if d, ok := n.(*ast.DeferStmt); ok && deferCallsEnd(d, name) {
+			found = true
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if isEndCall(n, name) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// deferCallsEnd matches `defer name.End()` and
+// `defer func() { ...; name.End(); ... }()`.
+func deferCallsEnd(d *ast.DeferStmt, name string) bool {
+	if isEndCall(d.Call, name) {
+		return true
+	}
+	lit, ok := d.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if isEndCall(n, name) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isEndCall matches the call expression name.End().
+func isEndCall(n ast.Node, name string) bool {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == name
+}
+
+// stmtEscapesSpan reports whether stmt hands the span to other code: as a
+// call argument, a return value, or the source of an assignment. An escaped
+// span's End is the receiver's contract, which is beyond a lexical check.
+func stmtEscapesSpan(stmt ast.Stmt, name string) bool {
+	escaped := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if escaped {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			for _, a := range v.Args {
+				if exprUsesIdent(a, name) {
+					escaped = true
+					return false
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range v.Results {
+				if exprUsesIdent(r, name) {
+					escaped = true
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			for _, r := range v.Rhs {
+				if exprUsesIdent(r, name) {
+					escaped = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return escaped
+}
+
+// exprUsesIdent reports whether the identifier appears anywhere in e.
+func exprUsesIdent(e ast.Expr, name string) bool {
+	used := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			used = true
+			return false
+		}
+		return !used
+	})
+	return used
+}

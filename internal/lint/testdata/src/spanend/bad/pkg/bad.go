@@ -1,0 +1,38 @@
+// Package pkg seeds spanend violations: spans that are started but not
+// ended on every path, discarded at start, or lost to the blank identifier.
+package pkg
+
+import (
+	"context"
+
+	"poiesis/internal/lint/testdata/src/spanend/internal/obs"
+)
+
+// EarlyReturn leaks the span on the n < 0 path.
+func EarlyReturn(ctx context.Context, n int) int {
+	ctx2, span := obs.StartSpan(ctx, "work")
+	if n < 0 {
+		return -1
+	}
+	span.SetAttr("n", "ok")
+	span.End()
+	_ = ctx2
+	return n
+}
+
+// NoEnd never ends the span at all.
+func NoEnd(ctx context.Context, t *obs.Tracer) {
+	_, span := t.StartDetached(ctx, "bg")
+	span.SetAttr("k", "v")
+}
+
+// Discarded drops both return values, so nothing can ever End the span.
+func Discarded(ctx context.Context) {
+	obs.StartSpan(ctx, "lost")
+}
+
+// Blanked keeps the context but blanks the span.
+func Blanked(ctx context.Context, t *obs.Tracer) context.Context {
+	ctx2, _ := t.StartRequest(ctx, "", "req")
+	return ctx2
+}

@@ -1,0 +1,49 @@
+// Package pkg is the clean twin: every sanctioned way of ending (or handing
+// off) a started span, none of which may produce a spanend diagnostic.
+package pkg
+
+import (
+	"context"
+
+	"poiesis/internal/lint/testdata/src/spanend/internal/obs"
+)
+
+// DeferEnd is the canonical pattern: defer End on the next line.
+func DeferEnd(ctx context.Context, n int) int {
+	ctx2, span := obs.StartSpan(ctx, "work")
+	defer span.End()
+	_ = ctx2
+	if n < 0 {
+		return -1
+	}
+	return n
+}
+
+// DeferClosure ends the span inside a deferred closure.
+func DeferClosure(ctx context.Context, t *obs.Tracer) {
+	_, span := t.StartRequest(ctx, "", "req")
+	defer func() {
+		span.SetAttr("done", "true")
+		span.End()
+	}()
+}
+
+// EndBeforeReturn ends the span on the straight-line path before any
+// return can leak it.
+func EndBeforeReturn(ctx context.Context, n int) int {
+	_, span := obs.StartSpan(ctx, "work")
+	span.SetAttr("k", "v")
+	span.End()
+	if n < 0 {
+		return -1
+	}
+	return n
+}
+
+// HandOff passes the span to a helper, which owns its End.
+func HandOff(ctx context.Context, t *obs.Tracer) {
+	_, span := t.StartDetached(ctx, "bg")
+	finish(span)
+}
+
+func finish(s *obs.Span) { s.End() }

@@ -42,6 +42,15 @@ const (
 // Mix weights the traffic classes; zero-weight ops never fire.
 type Mix map[Op]int
 
+// traceIDHeader is the response header the service stamps with the root
+// span's trace ID (internal/obs.TraceIDHeader, spelled out here so loadgen
+// keeps its zero-import property). Empty on servers with tracing disabled.
+const traceIDHeader = "X-Poiesis-Trace-ID"
+
+// slowestPerOp bounds how many slow samples each op retains; the report's
+// "top-5 slowest, by trace" table is cut from their union.
+const slowestPerOp = 5
+
 // DefaultMix is read-heavy with a steady churn of plans, the profile of an
 // interactive redesign session: mostly inspection, regular replanning, some
 // session turnover.
@@ -240,11 +249,11 @@ func Run(ctx context.Context, c Config) (*Report, error) {
 	// Warm the pool synchronously so the measured window never starts
 	// against an empty store; warm requests are not recorded.
 	for i := 0; i < cfg.WarmSessions; i++ {
-		id, status, err := g.create(ctx)
+		id, status, _, err := g.create(ctx)
 		if err != nil || status != http.StatusCreated {
 			return nil, fmt.Errorf("loadgen: warm-up create failed (status %d): %v", status, err)
 		}
-		if status, err := g.plan(ctx, id, false); err != nil || status != http.StatusOK {
+		if status, _, err := g.plan(ctx, id, false); err != nil || status != http.StatusOK {
 			return nil, fmt.Errorf("loadgen: warm-up plan failed (status %d): %v", status, err)
 		}
 		g.pool.markPlanned(id)
@@ -264,22 +273,43 @@ func Run(ctx context.Context, c Config) (*Report, error) {
 type opStats struct {
 	mu        sync.Mutex
 	okNanos   []int64 // latencies of successful completions
+	slowest   []SlowRequest
 	conflicts int
 	errors    int
 }
 
-func (s *opStats) record(d time.Duration, status int, err error) {
+func (s *opStats) record(d time.Duration, status int, traceID string, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	switch {
 	case err == nil && status >= 200 && status < 300:
 		s.okNanos = append(s.okNanos, int64(d))
+		s.noteSlow(int64(d), traceID)
 	case err == nil && (status == http.StatusNotFound || status == http.StatusConflict):
 		// Expected open-loop collisions: the target was deleted or evicted
 		// between dispatch and arrival, or two plans raced on one session.
 		s.conflicts++
 	default:
 		s.errors++
+	}
+}
+
+// noteSlow keeps the op's slowest completions (descending by latency) so the
+// report can link tail latency to the server-side span tree by trace ID.
+// Called with s.mu held.
+func (s *opStats) noteSlow(nanos int64, traceID string) {
+	i := len(s.slowest)
+	for i > 0 && s.slowest[i-1].Nanos < nanos {
+		i--
+	}
+	if i >= slowestPerOp {
+		return
+	}
+	s.slowest = append(s.slowest, SlowRequest{})
+	copy(s.slowest[i+1:], s.slowest[i:])
+	s.slowest[i] = SlowRequest{Nanos: nanos, TraceID: traceID}
+	if len(s.slowest) > slowestPerOp {
+		s.slowest = s.slowest[:slowestPerOp]
 	}
 }
 
@@ -390,27 +420,28 @@ func (g *generator) issue(ctx context.Context, op Op, id string) {
 	start := time.Now()
 	var (
 		status int
+		tid    string
 		err    error
 	)
 	switch op {
 	case OpCreate:
 		var newID string
-		newID, status, err = g.create(ctx)
+		newID, status, tid, err = g.create(ctx)
 		if err == nil && status == http.StatusCreated {
 			g.pool.add(newID)
 		}
 	case OpPlan:
-		status, err = g.plan(ctx, id, false)
+		status, tid, err = g.plan(ctx, id, false)
 		if err == nil && status == http.StatusOK {
 			g.pool.markPlanned(id)
 		}
 	case OpSSE:
-		status, err = g.plan(ctx, id, true)
+		status, tid, err = g.plan(ctx, id, true)
 		if err == nil && status == http.StatusOK {
 			g.pool.markPlanned(id)
 		}
 	case OpSelect:
-		status, err = g.do(ctx, "POST", "/v1/sessions/"+id+"/select", `{"index":0}`, nil)
+		status, tid, err = g.do(ctx, "POST", "/v1/sessions/"+id+"/select", `{"index":0}`, nil)
 		if err == nil && status == http.StatusOK {
 			g.pool.clearPlanned(id)
 		}
@@ -421,70 +452,72 @@ func (g *generator) issue(ctx context.Context, op Op, id string) {
 			status = http.StatusConflict
 		}
 	case OpGet:
-		status, err = g.do(ctx, "GET", "/v1/sessions/"+id, "", nil)
+		status, tid, err = g.do(ctx, "GET", "/v1/sessions/"+id, "", nil)
 	case OpDelete:
-		status, err = g.do(ctx, "DELETE", "/v1/sessions/"+id, "", nil)
+		status, tid, err = g.do(ctx, "DELETE", "/v1/sessions/"+id, "", nil)
 		if status == http.StatusNoContent {
 			status = http.StatusOK
 		}
 	}
-	g.stats[op].record(time.Since(start), status, err)
+	g.stats[op].record(time.Since(start), status, tid, err)
 }
 
-func (g *generator) create(ctx context.Context) (string, int, error) {
+func (g *generator) create(ctx context.Context) (string, int, string, error) {
 	var out struct {
 		ID string `json:"id"`
 	}
-	status, err := g.do(ctx, "POST", "/v1/sessions", g.cfg.SessionBody, &out)
-	return out.ID, status, err
+	status, tid, err := g.do(ctx, "POST", "/v1/sessions", g.cfg.SessionBody, &out)
+	return out.ID, status, tid, err
 }
 
 // plan runs a plan request; when stream is set it subscribes to the SSE
 // progress stream and drains it to the final event, so the measured latency
 // is the full time-to-last-byte of the stream.
-func (g *generator) plan(ctx context.Context, id string, stream bool) (int, error) {
+func (g *generator) plan(ctx context.Context, id string, stream bool) (int, string, error) {
 	path := "/v1/sessions/" + id + "/plan"
 	if !stream {
 		return g.do(ctx, "POST", path, "", nil)
 	}
 	req, err := http.NewRequestWithContext(ctx, "POST", g.cfg.BaseURL+path+"?stream=sse", nil)
 	if err != nil {
-		return 0, err
+		return 0, "", err
 	}
 	req.Header.Set("Accept", "text/event-stream")
 	resp, err := g.cfg.Client.Do(req)
 	if err != nil {
-		return 0, err
+		return 0, "", err
 	}
 	defer resp.Body.Close()
+	tid := resp.Header.Get(traceIDHeader)
 	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
-		return resp.StatusCode, err
+		return resp.StatusCode, tid, err
 	}
-	return resp.StatusCode, nil
+	return resp.StatusCode, tid, nil
 }
 
-func (g *generator) do(ctx context.Context, method, path, body string, out any) (int, error) {
+func (g *generator) do(ctx context.Context, method, path, body string, out any) (int, string, error) {
 	var rdr io.Reader
 	if body != "" {
 		rdr = strings.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, g.cfg.BaseURL+path, rdr)
 	if err != nil {
-		return 0, err
+		return 0, "", err
 	}
 	if body != "" {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := g.cfg.Client.Do(req)
 	if err != nil {
-		return 0, err
+		return 0, "", err
 	}
 	defer resp.Body.Close()
+	tid := resp.Header.Get(traceIDHeader)
 	if out != nil && resp.StatusCode >= 200 && resp.StatusCode < 300 {
-		return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
+		return resp.StatusCode, tid, json.NewDecoder(resp.Body).Decode(out)
 	}
 	_, err = io.Copy(io.Discard, resp.Body)
-	return resp.StatusCode, err
+	return resp.StatusCode, tid, err
 }
 
 // report folds the per-op stats into a Report.
@@ -518,12 +551,23 @@ func (g *generator) report(elapsed time.Duration) *Report {
 			or.P50Ns = percentile(nanos, 0.50)
 			or.P95Ns = percentile(nanos, 0.95)
 			or.P99Ns = percentile(nanos, 0.99)
+			or.P999Ns = percentile(nanos, 0.999)
 			or.MaxNs = float64(nanos[len(nanos)-1])
+		}
+		for _, sl := range s.slowest {
+			sl.Op = string(op)
+			r.Slowest = append(r.Slowest, sl)
 		}
 		s.mu.Unlock()
 		if or.Count > 0 {
 			r.Ops = append(r.Ops, or)
 		}
+	}
+	// The per-op slow lists merge into one cross-op tail: the table answers
+	// "which requests hurt most", not "which hurt most per class".
+	sort.SliceStable(r.Slowest, func(i, j int) bool { return r.Slowest[i].Nanos > r.Slowest[j].Nanos })
+	if len(r.Slowest) > slowestPerOp {
+		r.Slowest = r.Slowest[:slowestPerOp]
 	}
 	return r
 }

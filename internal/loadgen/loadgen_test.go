@@ -53,8 +53,21 @@ func TestOpenLoopSmoke(t *testing.T) {
 	for _, op := range report.Ops {
 		seen[op.Op] = true
 		okTotal += op.OK
-		if op.OK > 0 && (op.P50Ns <= 0 || op.P99Ns < op.P50Ns || op.MaxNs < op.P99Ns) {
+		if op.OK > 0 && (op.P50Ns <= 0 || op.P99Ns < op.P50Ns || op.P999Ns < op.P99Ns || op.MaxNs < op.P999Ns) {
 			t.Errorf("%s percentiles incoherent: %+v", op.Op, op)
+		}
+	}
+	// The default server samples every trace, so each slow sample must link
+	// to a fetchable span tree, and the table must be sorted worst-first.
+	if len(report.Slowest) == 0 {
+		t.Error("no slow samples captured")
+	}
+	for i, sl := range report.Slowest {
+		if sl.TraceID == "" {
+			t.Errorf("slow sample %d (%s, %dns) lacks a trace ID", i, sl.Op, sl.Nanos)
+		}
+		if i > 0 && sl.Nanos > report.Slowest[i-1].Nanos {
+			t.Errorf("slow samples out of order at %d: %d > %d", i, sl.Nanos, report.Slowest[i-1].Nanos)
 		}
 	}
 	if okTotal == 0 {

@@ -21,7 +21,17 @@ type OpReport struct {
 	P50Ns     float64 `json:"p50_ns"`
 	P95Ns     float64 `json:"p95_ns"`
 	P99Ns     float64 `json:"p99_ns"`
+	P999Ns    float64 `json:"p999_ns"`
 	MaxNs     float64 `json:"max_ns"`
+}
+
+// SlowRequest links one slow completion to its server-side trace: fetch
+// GET /v1/traces/{TraceID} on the target to see where the time went.
+// TraceID is empty when the server ran with tracing disabled.
+type SlowRequest struct {
+	Op      string `json:"op"`
+	Nanos   int64  `json:"ns"`
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Report is the outcome of one Run.
@@ -32,6 +42,10 @@ type Report struct {
 	Arrivals    int        `json:"arrivals"`
 	Dropped     int        `json:"dropped"`
 	Ops         []OpReport `json:"ops"`
+	// Slowest are the slowest successful requests across all ops (descending),
+	// each carrying the trace ID the server stamped on the response, so a bad
+	// tail links straight to a span tree.
+	Slowest []SlowRequest `json:"slowest,omitempty"`
 	// Server holds the service's own counter deltas over the measured
 	// window, scraped from GET /metrics; nil when the target does not expose
 	// the endpoint (or a scrape failed).
@@ -80,6 +94,7 @@ func (r *Report) Records(prefix string) []Record {
 				"p50-ns":    op.P50Ns,
 				"p95-ns":    op.P95Ns,
 				"p99-ns":    op.P99Ns,
+				"p999-ns":   op.P999Ns,
 				"max-ns":    op.MaxNs,
 				"conflicts": float64(op.Conflicts),
 				"errors":    float64(op.Errors),
@@ -120,13 +135,23 @@ func (r *Report) Records(prefix string) []Record {
 func (r *Report) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "open-loop run: %.1f qps target, %.1f achieved over %s (%d arrivals, %d dropped)\n",
 		r.TargetQPS, r.AchievedQPS, time.Duration(r.DurationNs).Round(time.Millisecond), r.Arrivals, r.Dropped)
-	fmt.Fprintf(w, "%-8s %8s %8s %9s %9s %9s %9s %6s %6s\n",
-		"op", "ok", "mean", "p50", "p95", "p99", "max", "conf", "err")
+	fmt.Fprintf(w, "%-8s %8s %8s %9s %9s %9s %9s %9s %6s %6s\n",
+		"op", "ok", "mean", "p50", "p95", "p99", "p99.9", "max", "conf", "err")
 	for _, op := range r.Ops {
-		fmt.Fprintf(w, "%-8s %8d %8s %9s %9s %9s %9s %6d %6d\n",
+		fmt.Fprintf(w, "%-8s %8d %8s %9s %9s %9s %9s %9s %6d %6d\n",
 			op.Op, op.OK,
-			fmtNs(op.MeanNs), fmtNs(op.P50Ns), fmtNs(op.P95Ns), fmtNs(op.P99Ns), fmtNs(op.MaxNs),
+			fmtNs(op.MeanNs), fmtNs(op.P50Ns), fmtNs(op.P95Ns), fmtNs(op.P99Ns), fmtNs(op.P999Ns), fmtNs(op.MaxNs),
 			op.Conflicts, op.Errors)
+	}
+	if len(r.Slowest) > 0 {
+		fmt.Fprintf(w, "top-%d slowest, by trace:\n", len(r.Slowest))
+		for _, sl := range r.Slowest {
+			tid := sl.TraceID
+			if tid == "" {
+				tid = "(tracing disabled)"
+			}
+			fmt.Fprintf(w, "  %-8s %9s  %s\n", sl.Op, fmtNs(float64(sl.Nanos)), tid)
+		}
 	}
 	if r.Server != nil {
 		r.Server.writeText(w)

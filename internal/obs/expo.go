@@ -48,6 +48,14 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name, labelString(f.labels, ch.values, "+Inf"), cum)
 				fmt.Fprintf(bw, "%s_sum%s %s\n", f.name, base, formatFloat(h.Sum().Seconds()))
 				fmt.Fprintf(bw, "%s_count%s %d\n", f.name, base, h.Count())
+				// Exemplar comments tie buckets to the slowest trace seen
+				// since the previous scrape. Comment lines are ignored by
+				// ParseText (only # TYPE is structural), so the exposition
+				// stays parseable by strict consumers.
+				for _, ex := range h.exemplars(true) {
+					fmt.Fprintf(bw, "# exemplar %s_bucket%s trace_id=%s value=%s\n",
+						f.name, labelString(f.labels, ch.values, ex.Bucket), ex.TraceID, formatFloat(ex.Seconds))
+				}
 			}
 		}
 	}

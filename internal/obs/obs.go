@@ -70,6 +70,26 @@ type Histogram struct {
 	counts []atomic.Int64
 	sum    atomic.Int64 // nanoseconds
 	count  atomic.Int64
+
+	// Exemplars: per bucket, the trace ID of the slowest observation in
+	// the current window (a window runs from one exposition scrape to the
+	// next). Lazily allocated so histograms never fed through ObserveEx
+	// pay nothing.
+	exMu sync.Mutex
+	ex   []exemplarSlot
+}
+
+type exemplarSlot struct {
+	nanos   int64
+	traceID string
+}
+
+// Exemplar links one histogram bucket to the trace of its slowest
+// observation in the current scrape window.
+type Exemplar struct {
+	Bucket  string  `json:"bucket"` // upper bound in seconds; "+Inf" for the overflow bucket
+	TraceID string  `json:"traceId"`
+	Seconds float64 `json:"seconds"`
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -94,6 +114,61 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.counts[i].Add(1)
 	h.sum.Add(int64(d))
 	h.count.Add(1)
+}
+
+// ObserveEx records one duration and, when traceID is non-empty and this
+// observation is the slowest its bucket has seen this window, remembers
+// the trace ID as the bucket's exemplar. The exemplar path takes a short
+// mutex separate from the atomic counters, so plain Observe callers are
+// unaffected.
+func (h *Histogram) ObserveEx(d time.Duration, traceID string) {
+	h.Observe(d)
+	if traceID == "" {
+		return
+	}
+	secs := d.Seconds()
+	i := 0
+	for i < len(h.bounds) && secs > h.bounds[i] {
+		i++
+	}
+	h.exMu.Lock()
+	if h.ex == nil {
+		h.ex = make([]exemplarSlot, len(h.bounds)+1)
+	}
+	if int64(d) > h.ex[i].nanos {
+		h.ex[i] = exemplarSlot{nanos: int64(d), traceID: traceID}
+	}
+	h.exMu.Unlock()
+}
+
+// exemplars snapshots the non-empty exemplar slots; reset starts a fresh
+// window (done by the exposition writer, so a window is one scrape
+// interval).
+func (h *Histogram) exemplars(reset bool) []Exemplar {
+	h.exMu.Lock()
+	defer h.exMu.Unlock()
+	if h.ex == nil {
+		return nil
+	}
+	var out []Exemplar
+	for i := range h.ex {
+		if h.ex[i].nanos == 0 {
+			continue
+		}
+		bucket := "+Inf"
+		if i < len(h.bounds) {
+			bucket = formatFloat(h.bounds[i])
+		}
+		out = append(out, Exemplar{
+			Bucket:  bucket,
+			TraceID: h.ex[i].traceID,
+			Seconds: time.Duration(h.ex[i].nanos).Seconds(),
+		})
+		if reset {
+			h.ex[i] = exemplarSlot{}
+		}
+	}
+	return out
 }
 
 // Count returns the total number of observations.
@@ -301,6 +376,46 @@ func validMetricName(s string) bool {
 		}
 	}
 	return true
+}
+
+// ExemplarSample is one bucket exemplar with its metric identity, as
+// surfaced in /v1/stats.
+type ExemplarSample struct {
+	Metric  string  `json:"metric"`
+	Labels  string  `json:"labels,omitempty"` // rendered {k="v",...}
+	Bucket  string  `json:"bucket"`
+	TraceID string  `json:"traceId"`
+	Seconds float64 `json:"seconds"`
+}
+
+// Exemplars snapshots every histogram bucket exemplar in the current
+// scrape window without resetting it (the exposition writer owns the
+// reset).
+func (r *Registry) Exemplars() []ExemplarSample {
+	var out []ExemplarSample
+	for _, f := range r.sortedFamilies() {
+		if f.typ != typeHistogram {
+			continue
+		}
+		f.mu.RLock()
+		children := append([]*child(nil), f.order...)
+		f.mu.RUnlock()
+		sort.Slice(children, func(i, j int) bool {
+			return labelKey(children[i].values) < labelKey(children[j].values)
+		})
+		for _, ch := range children {
+			for _, ex := range ch.h.exemplars(false) {
+				out = append(out, ExemplarSample{
+					Metric:  f.name,
+					Labels:  labelString(f.labels, ch.values, ""),
+					Bucket:  ex.Bucket,
+					TraceID: ex.TraceID,
+					Seconds: ex.Seconds,
+				})
+			}
+		}
+	}
+	return out
 }
 
 // sortedFamilies snapshots the families sorted by name.

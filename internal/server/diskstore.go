@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
-	"log"
 	"os"
 	"path/filepath"
 	"sort"
@@ -74,7 +73,9 @@ func (b *DiskBackend) logf(format string, args ...any) {
 		b.Logf(format, args...)
 		return
 	}
-	log.Printf(format, args...)
+	// No configured sink: render through the shared structured fallback so
+	// backend warnings match the server's "msg key=val" line shape.
+	defaultLogf(format, args...)
 }
 
 const (

@@ -164,6 +164,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		st := s.cluster.Stats()
 		out.Cluster = &st
 	}
+	if s.tracer != nil {
+		ts := s.tracer.Stats()
+		out.Tracing = &ts
+		// Peek (no reset): scrape-window resets belong to /metrics alone.
+		out.Exemplars = s.metrics.reg.Exemplars()
+	}
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -241,7 +247,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		cfgDoc: req.Config,
 		regKey: registryKeyFromDoc(req.Config),
 	}
-	if err := s.store.add(st); err != nil {
+	if err := s.store.add(r.Context(), st); err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, errTooManySessions) {
 			status = http.StatusServiceUnavailable
@@ -294,7 +300,7 @@ func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer st.opMu.Unlock()
-	if !s.store.remove(st.id) {
+	if !s.store.remove(r.Context(), st.id) {
 		writeError(w, http.StatusNotFound, "unknown session %q", st.id)
 		return
 	}
@@ -460,6 +466,13 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	hit = hit || fetchedFromPeer
+	if sp := obs.SpanFrom(ctx); sp != nil {
+		sp.SetBool("plan.cacheable", cacheable)
+		sp.SetBool("plan.cached", hit)
+		sp.SetBool("plan.peer_fetch", fetchedFromPeer)
+		sp.SetInt("plan.evaluated", int64(res.Stats.Evaluated))
+		sp.SetInt("plan.skyline", int64(len(res.SkylineIdx)))
+	}
 	if !hit {
 		// This request computed the run locally: feed its stage spans into
 		// the service-wide stage histograms.
@@ -481,7 +494,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	// backend while opMu still excludes deletion and eviction. A failed
 	// write degrades durability only — it is counted, logged, and the
 	// response still serves the in-memory result.
-	_ = s.store.persist(st)
+	_ = s.store.persist(ctx, st)
 
 	payload := s.planPayload(key, cacheable, res)
 	payload.Cached = hit
@@ -666,7 +679,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	st.touch(s.cfg.Now())
 	// Integrating a selection rewrites the current design and history: write
 	// it through under opMu, same contract as the plan path.
-	_ = s.store.persist(st)
+	_ = s.store.persist(r.Context(), st)
 	history := st.sess.History()
 	rec := history[len(history)-1]
 	writeJSON(w, http.StatusOK, selectResponseJSON{

@@ -8,6 +8,7 @@ import (
 	"poiesis/internal/cluster"
 	"poiesis/internal/core"
 	"poiesis/internal/measures"
+	"poiesis/internal/obs"
 	"poiesis/internal/viz"
 )
 
@@ -217,6 +218,11 @@ type serverStatsJSON struct {
 	// Cluster carries the per-peer forward and cache-tier counters; absent
 	// in single-node mode.
 	Cluster *cluster.Stats `json:"cluster,omitempty"`
+	// Tracing carries the span collector's counters; absent when tracing
+	// is disabled. Exemplars maps latency histogram buckets to the trace
+	// ID of the slowest observation in the current scrape window.
+	Tracing   *obs.TracerStats     `json:"tracing,omitempty"`
+	Exemplars []obs.ExemplarSample `json:"exemplars,omitempty"`
 }
 
 // readyzJSON is the readiness probe body.

@@ -1,7 +1,6 @@
 package server
 
 import (
-	"context"
 	"net/http"
 	"time"
 
@@ -183,20 +182,6 @@ func codeClass(status int) string {
 		return "2xx"
 	default:
 		return "1xx"
-	}
-}
-
-// logfFor returns the server's log sink with the request ID prefixed, so
-// every Logf emitted while serving a request is attributable to it across
-// replicas. Without a request ID it is cfg.Logf unchanged.
-func (s *Server) logfFor(ctx context.Context) func(format string, args ...any) {
-	rid := obs.RequestIDFrom(ctx)
-	if rid == "" {
-		return s.cfg.Logf
-	}
-	logf := s.cfg.Logf
-	return func(format string, args ...any) {
-		logf("rid=%s "+format, append([]any{rid}, args...)...)
 	}
 }
 

@@ -127,12 +127,15 @@ func TestStatsGoldenKeys(t *testing.T) {
 		got = append(got, k)
 	}
 	sort.Strings(got)
-	// "cluster" is omitempty and absent in single-node mode.
+	// "cluster" is omitempty and absent in single-node mode. "exemplars"
+	// and "tracing" are omitempty too but present here: the test server
+	// traces every request, so the plan above left collector stats and a
+	// latency exemplar.
 	want := []string{
 		"backend", "cacheBytes", "cacheHits", "cacheMisses", "cacheSize",
-		"evaluations", "evictDropped", "evictQueue", "evictions",
+		"evaluations", "evictDropped", "evictQueue", "evictions", "exemplars",
 		"persistErrors", "plansCached", "plansComputed", "sessions",
-		"sessionsRestored",
+		"sessionsRestored", "tracing",
 	}
 	if strings.Join(got, ",") != strings.Join(want, ",") {
 		t.Errorf("stats keys drifted:\n got %v\nwant %v", got, want)

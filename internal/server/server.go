@@ -41,6 +41,11 @@
 // Endpoints:
 //
 //	GET    /metrics                     Prometheus text exposition
+//	GET    /v1/traces                   index of retained distributed traces
+//	GET    /v1/traces/{id}              one trace's span tree, merged across
+//	                                    replicas (?format=chrome for Chrome
+//	                                    trace-event JSON; ?local=1 for this
+//	                                    replica's fragment only)
 //	GET    /v1/healthz                  liveness + build info
 //	GET    /v1/readyz                   readiness (restored + ring configured)
 //	GET    /v1/cluster                  membership, ring and per-peer counters
@@ -65,6 +70,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"sort"
 	"sync/atomic"
@@ -118,6 +124,15 @@ type Config struct {
 	// should not drown in per-request lines; `poiesis serve` wires it to
 	// the process logger.
 	AccessLogf func(format string, args ...any)
+	// TraceSample controls head sampling for distributed traces: one in N
+	// root requests is retained (0 and 1 both mean every trace). The first
+	// root and any errored trace are always retained regardless of N.
+	// Negative disables tracing entirely: no spans are created and the
+	// request path allocates nothing for it.
+	TraceSample int
+	// TraceBuffer bounds the in-process ring of retained traces served by
+	// /v1/traces. Default 128.
+	TraceBuffer int
 	// Now is the clock; tests inject a fake. Default time.Now.
 	Now func() time.Time
 }
@@ -171,6 +186,12 @@ type Server struct {
 	mux     *http.ServeMux
 	cluster *cluster.Cluster
 	metrics *serverMetrics
+	// tracer collects distributed trace span trees; nil when Config
+	// disabled tracing (TraceSample < 0).
+	tracer *obs.Tracer
+	// logger is the structured face of Config.Logf: every server log line
+	// flows through it so request-scoped lines carry rid/trace_id/span_id.
+	logger *slog.Logger
 
 	plansComputed atomic.Int64
 	plansCached   atomic.Int64
@@ -197,13 +218,28 @@ func New(cfg Config) *Server {
 	if ttl < 0 {
 		ttl = 0 // sessionStore treats 0 as "no eviction"
 	}
+	var tracer *obs.Tracer
+	if cfg.TraceSample >= 0 {
+		service := "poiesis"
+		if cfg.Cluster != nil {
+			service = cfg.Cluster.Self()
+		}
+		sample := cfg.TraceSample
+		if sample == 0 {
+			sample = 1
+		}
+		tracer = obs.NewTracer(service, sample, cfg.TraceBuffer)
+	}
+	logger := obs.NewLogfLogger(cfg.Logf)
 	s := &Server{
 		cfg:     cfg,
-		store:   newSessionStore(ttl, cfg.MaxSessions, cfg.Now, cfg.Backend, cfg.Logf),
+		store:   newSessionStore(ttl, cfg.MaxSessions, cfg.Now, cfg.Backend, logger, tracer),
 		cache:   newPlanCache(cfg.CacheCapacity, cfg.CacheMaxBytes),
 		mux:     http.NewServeMux(),
 		cluster: cfg.Cluster,
 		metrics: metrics,
+		tracer:  tracer,
+		logger:  logger,
 	}
 	if s.cluster != nil {
 		s.cluster.SetObserver(func(peer, op string, d time.Duration, failed bool) {
@@ -215,6 +251,8 @@ func New(cfg Config) *Server {
 	}
 	s.restoreSessions(ttl)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/traces", s.handleTraceIndex)
+	s.mux.HandleFunc("GET /v1/traces/{id}", s.handleTraceGet)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
@@ -251,15 +289,15 @@ func (s *Server) restoreSessions(ttl time.Duration) {
 		// the IDs that were removed, so report both.
 		expired, err := backend.Sweep(cutoff)
 		if err != nil {
-			s.cfg.Logf("server: sweeping expired session records: %v", err)
+			s.logger.Warn("server: sweeping expired session records failed", "err", err)
 		}
 		if len(expired) > 0 {
-			s.cfg.Logf("server: dropped %d session record(s) that expired while down", len(expired))
+			s.logger.Info("server: dropped session records that expired while down", "count", len(expired))
 		}
 	}
 	recs, err := backend.List()
 	if err != nil {
-		s.cfg.Logf("server: listing session records (starting empty): %v", err)
+		s.logger.Warn("server: listing session records failed; starting empty", "err", err)
 		return
 	}
 	// If more records survive than the session cap admits, keep the most
@@ -268,7 +306,7 @@ func (s *Server) restoreSessions(ttl time.Duration) {
 	sort.SliceStable(recs, func(i, j int) bool { return recs[i].LastUsed.After(recs[j].LastUsed) })
 	for _, rec := range recs {
 		if s.cfg.MaxSessions > 0 && s.restored >= s.cfg.MaxSessions {
-			s.cfg.Logf("server: session restore stopped at the %d-session cap (most recently used kept)", s.cfg.MaxSessions)
+			s.logger.Warn("server: session restore stopped at the session cap (most recently used kept)", "cap", s.cfg.MaxSessions)
 			break
 		}
 		// In cluster mode each replica restores only the sessions the ring
@@ -281,17 +319,17 @@ func (s *Server) restoreSessions(ttl time.Duration) {
 		}
 		st, err := restoreState(rec)
 		if err != nil {
-			s.cfg.Logf("server: skipping session record %s: %v", rec.ID, err)
+			s.logger.Warn("server: skipping session record", "session", rec.ID, "err", err)
 			continue
 		}
 		s.store.adopt(st)
 		s.restored++
 	}
 	if s.restored > 0 {
-		s.cfg.Logf("server: restored %d session(s) from %s backend", s.restored, backend.Name())
+		s.logger.Info("server: restored sessions from backend", "count", s.restored, "backend", backend.Name())
 	}
 	if s.skippedForeign > 0 {
-		s.cfg.Logf("server: left %d session record(s) owned by other replicas in the backend", s.skippedForeign)
+		s.logger.Info("server: left session records owned by other replicas in the backend", "count", s.skippedForeign)
 	}
 }
 
@@ -328,10 +366,14 @@ var errNoSessionSnapshot = errors.New("server: record carries no session snapsho
 // (or minted), set back into the request headers — cluster forwards clone
 // them, so the ID rides to the owning replica — attached to the context for
 // request-scoped logging, and echoed on the response; route metrics and the
-// access log are recorded when the handler returns. In cluster mode,
-// requests for sessions another replica owns are transparently proxied there
-// before routing; everything else — and every request that already arrived
-// forwarded — is served locally.
+// access log are recorded when the handler returns. The middleware also
+// roots the request's trace: an inbound traceparent (a cluster forward, or
+// an instrumented client) is continued, anything else starts a fresh trace
+// subject to head sampling, and the trace ID is echoed in
+// X-Poiesis-Trace-ID so a slow response links straight to /v1/traces/{id}.
+// In cluster mode, requests for sessions another replica owns are
+// transparently proxied there before routing; everything else — and every
+// request that already arrived forwarded — is served locally.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	rid := r.Header.Get(obs.RequestIDHeader)
@@ -340,7 +382,16 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		r.Header.Set(obs.RequestIDHeader, rid)
 	}
 	w.Header().Set(obs.RequestIDHeader, rid)
-	r = r.WithContext(obs.ContextWithRequestID(r.Context(), rid))
+	ctx := obs.ContextWithRequestID(r.Context(), rid)
+	ctx, span := s.tracer.StartRequest(ctx, r.Header.Get(obs.TraceParentHeader), "http")
+	defer span.End()
+	if span != nil {
+		// Restamp the header so a forward (which clones request headers)
+		// parents the owner's fragment under this replica's root span.
+		r.Header.Set(obs.TraceParentHeader, span.TraceParent())
+		w.Header().Set(obs.TraceIDHeader, span.TraceIDString())
+	}
+	r = r.WithContext(ctx)
 
 	ww, sw := wrapWriter(w)
 	route := "forward"
@@ -358,10 +409,29 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	elapsed := time.Since(start)
 	s.metrics.httpRequests.With(route, r.Method, codeClass(status)).Inc()
-	s.metrics.httpLatency.With(route).Observe(elapsed)
+	if span != nil {
+		// Route patterns already carry the method ("POST /v1/..."); the
+		// fallback routes ("forward", "unmatched") get it from the attr.
+		span.SetName("http " + route)
+		span.SetAttr("method", r.Method)
+		span.SetAttr("route", route)
+		span.SetAttr("status", codeClass(status))
+		span.SetAttr("rid", rid)
+		if status >= 500 {
+			span.FailMsg("http " + codeClass(status))
+		}
+		s.metrics.httpLatency.With(route).ObserveEx(elapsed, span.TraceIDString())
+	} else {
+		s.metrics.httpLatency.With(route).Observe(elapsed)
+	}
 	if s.cfg.AccessLogf != nil {
-		s.cfg.AccessLogf("access rid=%s method=%s path=%s route=%q status=%d dur=%s bytes=%d remote=%s",
-			rid, r.Method, r.URL.Path, route, status, elapsed.Round(time.Microsecond), sw.bytes, r.RemoteAddr)
+		tid := ""
+		if span != nil {
+			// The sampled request's line links straight to /v1/traces/{id}.
+			tid = " trace_id=" + span.TraceIDString()
+		}
+		s.cfg.AccessLogf("access rid=%s%s method=%s path=%s route=%q status=%d dur=%s bytes=%d remote=%s",
+			rid, tid, r.Method, r.URL.Path, route, status, elapsed.Round(time.Microsecond), sw.bytes, r.RemoteAddr)
 	}
 }
 

@@ -4,7 +4,6 @@ import (
 	"database/sql"
 	"errors"
 	"fmt"
-	"log"
 	"time"
 
 	"poiesis/internal/sqlite"
@@ -78,7 +77,9 @@ func (b *SQLBackend) logf(format string, args ...any) {
 		b.Logf(format, args...)
 		return
 	}
-	log.Printf(format, args...)
+	// No configured sink: render through the shared structured fallback so
+	// backend warnings match the server's "msg key=val" line shape.
+	defaultLogf(format, args...)
 }
 
 func (b *SQLBackend) Put(rec *SessionRecord) error {

@@ -1,11 +1,12 @@
 package server
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -13,6 +14,7 @@ import (
 
 	"poiesis/internal/config"
 	"poiesis/internal/core"
+	"poiesis/internal/obs"
 )
 
 // sessionState is one live analyst session: the underlying core.Session plus
@@ -168,7 +170,10 @@ type sessionStore struct {
 	max     int
 	now     func() time.Time
 	backend SessionBackend
-	logf    func(format string, args ...any)
+	log     *slog.Logger
+	// tracer roots detached traces for background work (the eviction
+	// worker's backend deletes); nil when tracing is disabled.
+	tracer *obs.Tracer
 
 	// sweepEvery bounds how often the full map sweep runs on the get path;
 	// derived from the TTL (ttl/16, clamped to [1s, 30s]). Tests override.
@@ -200,12 +205,12 @@ type sessionStore struct {
 // evictQueueCap bounds the eviction worker's backlog.
 const evictQueueCap = 1024
 
-func newSessionStore(ttl time.Duration, max int, now func() time.Time, backend SessionBackend, logf func(string, ...any)) *sessionStore {
+func newSessionStore(ttl time.Duration, max int, now func() time.Time, backend SessionBackend, log *slog.Logger, tracer *obs.Tracer) *sessionStore {
 	if backend == nil {
 		backend = NewMemoryBackend()
 	}
-	if logf == nil {
-		logf = log.Printf
+	if log == nil {
+		log = defaultLogger
 	}
 	sweepEvery := ttl / 16
 	if sweepEvery < time.Second {
@@ -215,7 +220,7 @@ func newSessionStore(ttl time.Duration, max int, now func() time.Time, backend S
 		sweepEvery = 30 * time.Second
 	}
 	s := &sessionStore{
-		ttl: ttl, max: max, now: now, backend: backend, logf: logf,
+		ttl: ttl, max: max, now: now, backend: backend, log: log, tracer: tracer,
 		sweepEvery: sweepEvery,
 		evictCh:    make(chan string, evictQueueCap),
 		workerDone: make(chan struct{}),
@@ -227,16 +232,38 @@ func newSessionStore(ttl time.Duration, max int, now func() time.Time, backend S
 
 // evictWorker drains TTL-evicted session IDs and deletes their backend
 // records off the request path. One worker keeps backend deletes serialized,
-// mirroring the old synchronous order.
+// mirroring the old synchronous order. Each delete runs under a detached
+// trace (there is no originating request to parent it on), so slow
+// eviction I/O shows up in /v1/traces like any other backend work.
 func (s *sessionStore) evictWorker() {
 	defer close(s.workerDone)
 	for id := range s.evictCh {
-		if err := s.backend.Delete(id); err != nil {
-			s.persistErrs.Add(1)
-			s.logf("server: evicting session %s from %s backend: %v", id, s.backend.Name(), err)
-		}
+		s.evictOne(id)
 		s.evictDepth.Add(-1)
 		s.evictsDone.Add(1)
+	}
+}
+
+// evictOne deletes one evicted session's backend record under its own
+// detached trace.
+func (s *sessionStore) evictOne(id string) {
+	// The eviction worker legitimately outlives every request: its deletes
+	// were queued by requests that have long since returned.
+	//lint:ignore ctxpropagate background eviction worker, no request to inherit from
+	ctx, span := s.tracer.StartDetached(context.Background(), "evict.session")
+	defer span.End()
+	span.SetAttr("session", id)
+	start := time.Now()
+	err := s.backend.Delete(id)
+	if obs.Traced(ctx) {
+		obs.RecordSpan(ctx, "backend.delete", start, time.Since(start),
+			obs.String("backend", s.backend.Name()))
+	}
+	if err != nil {
+		s.persistErrs.Add(1)
+		span.Fail(err)
+		s.log.Warn("server: evicting session from backend failed",
+			"session", id, "backend", s.backend.Name(), "err", err)
 	}
 }
 
@@ -309,7 +336,7 @@ func (s *sessionStore) queueEvictions(ids []string) {
 		default:
 			s.evictDepth.Add(-1)
 			s.evictDropped.Add(1)
-			s.logf("server: eviction queue full; leaving session %s record for the startup sweep", id)
+			s.log.Warn("server: eviction queue full; leaving session record for the startup sweep", "session", id)
 		}
 	}
 }
@@ -322,7 +349,7 @@ func (s *sessionStore) queueEvictions(ids []string) {
 // rejects creates cheaply instead of paying a snapshot plus durable write
 // per 503. The insert re-checks capacity authoritatively; in the rare race
 // where the store filled in between, the just-written record is rolled back.
-func (s *sessionStore) add(st *sessionState) error {
+func (s *sessionStore) add(ctx context.Context, st *sessionState) error {
 	now := s.now()
 	if s.atCapacity(now) {
 		return errTooManySessions
@@ -331,7 +358,7 @@ func (s *sessionStore) add(st *sessionState) error {
 	st.touch(now)
 	rec, err := st.record()
 	if err == nil {
-		err = s.backend.Put(rec)
+		err = s.backendPut(ctx, rec)
 	}
 	if err != nil {
 		s.persistErrs.Add(1)
@@ -347,11 +374,23 @@ func (s *sessionStore) add(st *sessionState) error {
 	if full {
 		if err := s.backend.Delete(st.id); err != nil {
 			s.persistErrs.Add(1)
-			s.logf("server: rolling back record of rejected session %s: %v", st.id, err)
+			s.log.Warn("server: rolling back record of rejected session failed", "session", st.id, "err", err)
 		}
 		return errTooManySessions
 	}
 	return nil
+}
+
+// backendPut writes one record, recording a backend.put span on the
+// request's trace (attribute construction is skipped entirely untraced).
+func (s *sessionStore) backendPut(ctx context.Context, rec *SessionRecord) error {
+	start := time.Now()
+	err := s.backend.Put(rec)
+	if obs.Traced(ctx) {
+		obs.RecordSpan(ctx, "backend.put", start, time.Since(start),
+			obs.String("backend", s.backend.Name()), obs.String("session", rec.ID))
+	}
+	return err
 }
 
 // atCapacity sweeps and reports whether the store is full. The sweep here is
@@ -402,7 +441,7 @@ func (s *sessionStore) get(id string) (*sessionState, bool) {
 	return st, ok
 }
 
-func (s *sessionStore) remove(id string) bool {
+func (s *sessionStore) remove(ctx context.Context, id string) bool {
 	s.mu.Lock()
 	_, ok := s.m[id]
 	if ok {
@@ -414,9 +453,16 @@ func (s *sessionStore) remove(id string) bool {
 	}
 	// Backend delete outside s.mu; the caller holds the session's opMu, so
 	// no plan/select can re-persist the record concurrently.
-	if err := s.backend.Delete(id); err != nil {
+	start := time.Now()
+	err := s.backend.Delete(id)
+	if obs.Traced(ctx) {
+		obs.RecordSpan(ctx, "backend.delete", start, time.Since(start),
+			obs.String("backend", s.backend.Name()), obs.String("session", id))
+	}
+	if err != nil {
 		s.persistErrs.Add(1)
-		s.logf("server: deleting session %s from %s backend: %v", id, s.backend.Name(), err)
+		s.log.Warn("server: deleting session from backend failed",
+			"session", id, "backend", s.backend.Name(), "err", err)
 	}
 	return true
 }
@@ -428,14 +474,15 @@ func (s *sessionStore) remove(id string) bool {
 // resurrect a session that was just removed. Write-through failures degrade
 // durability, not availability: the error is counted and logged, and the
 // in-memory session keeps serving.
-func (s *sessionStore) persist(st *sessionState) error {
+func (s *sessionStore) persist(ctx context.Context, st *sessionState) error {
 	rec, err := st.record()
 	if err == nil {
-		err = s.backend.Put(rec)
+		err = s.backendPut(ctx, rec)
 	}
 	if err != nil {
 		s.persistErrs.Add(1)
-		s.logf("server: persisting session %s to %s backend: %v", st.id, s.backend.Name(), err)
+		withCtx(s.log, ctx).Warn("server: persisting session to backend failed",
+			"session", st.id, "backend", s.backend.Name(), "err", err)
 	}
 	return err
 }

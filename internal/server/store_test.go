@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -12,6 +13,9 @@ import (
 	"poiesis/internal/tpcds"
 )
 
+// bg saves the tests from threading a context through every store call.
+var bg = context.Background()
+
 func testState(id string) *sessionState {
 	g := tpcds.PurchasesFlow()
 	return &sessionState{
@@ -21,7 +25,7 @@ func testState(id string) *sessionState {
 }
 
 func testStore(ttl time.Duration, max int, now func() time.Time) *sessionStore {
-	return newSessionStore(ttl, max, now, NewMemoryBackend(), func(string, ...any) {})
+	return newSessionStore(ttl, max, now, NewMemoryBackend(), nil, nil)
 }
 
 func TestStoreTTLEviction(t *testing.T) {
@@ -29,10 +33,10 @@ func TestStoreTTLEviction(t *testing.T) {
 	clock := func() time.Time { return now }
 	store := testStore(time.Minute, 10, clock)
 
-	if err := store.add(testState("a")); err != nil {
+	if err := store.add(bg, testState("a")); err != nil {
 		t.Fatal(err)
 	}
-	if err := store.add(testState("b")); err != nil {
+	if err := store.add(bg, testState("b")); err != nil {
 		t.Fatal(err)
 	}
 
@@ -80,7 +84,7 @@ func waitBackendDeleted(t *testing.T, store *sessionStore, id string) {
 func TestStoreNoTTL(t *testing.T) {
 	now := time.Unix(1000, 0)
 	store := testStore(0, 10, func() time.Time { return now })
-	if err := store.add(testState("a")); err != nil {
+	if err := store.add(bg, testState("a")); err != nil {
 		t.Fatal(err)
 	}
 	now = now.Add(1000 * time.Hour)
@@ -92,18 +96,18 @@ func TestStoreNoTTL(t *testing.T) {
 func TestStoreCapacity(t *testing.T) {
 	now := time.Unix(1000, 0)
 	store := testStore(time.Minute, 2, func() time.Time { return now })
-	if err := store.add(testState("a")); err != nil {
+	if err := store.add(bg, testState("a")); err != nil {
 		t.Fatal(err)
 	}
-	if err := store.add(testState("b")); err != nil {
+	if err := store.add(bg, testState("b")); err != nil {
 		t.Fatal(err)
 	}
-	if err := store.add(testState("c")); err == nil {
+	if err := store.add(bg, testState("c")); err == nil {
 		t.Fatal("third session admitted past the cap")
 	}
 	// Capacity frees up when an idle session expires.
 	now = now.Add(2 * time.Minute)
-	if err := store.add(testState("c")); err != nil {
+	if err := store.add(bg, testState("c")); err != nil {
 		t.Errorf("add after expiry: %v", err)
 	}
 }
@@ -112,7 +116,7 @@ func TestStoreListOrder(t *testing.T) {
 	now := time.Unix(1000, 0)
 	store := testStore(time.Hour, 10, func() time.Time { return now })
 	for _, id := range []string{"z", "m", "a"} {
-		if err := store.add(testState(id)); err != nil {
+		if err := store.add(bg, testState(id)); err != nil {
 			t.Fatal(err)
 		}
 		now = now.Add(time.Second)
@@ -121,10 +125,10 @@ func TestStoreListOrder(t *testing.T) {
 	if len(got) != 3 || got[0].id != "z" || got[1].id != "m" || got[2].id != "a" {
 		t.Errorf("list order wrong: %v", ids(got))
 	}
-	if !store.remove("m") {
+	if !store.remove(bg, "m") {
 		t.Error("remove existing failed")
 	}
-	if store.remove("m") {
+	if store.remove(bg, "m") {
 		t.Error("double remove succeeded")
 	}
 	if _, err := store.backend.Get("m"); err == nil {
@@ -149,7 +153,7 @@ func TestStoreGetTouchNotRacedBySweep(t *testing.T) {
 
 	for iter := 0; iter < 300; iter++ {
 		st := testState("s")
-		if err := store.add(st); err != nil {
+		if err := store.add(bg, st); err != nil {
 			t.Fatal(err)
 		}
 		// Make the session exactly TTL-stale, so the next sweep evicts it
@@ -180,7 +184,7 @@ func TestStoreGetTouchNotRacedBySweep(t *testing.T) {
 				t.Fatalf("iter %d: get returned a session the sweep evicted", iter)
 			}
 		}
-		store.remove("s")
+		store.remove(bg, "s")
 		// Advance the clock between rounds so records never collide in time.
 		nowNanos.Add(int64(time.Second))
 	}
@@ -195,10 +199,10 @@ func TestStoreExpiryExactBetweenSweeps(t *testing.T) {
 	store := testStore(time.Minute, 0, func() time.Time { return now })
 	store.sweepEvery = time.Hour // park the full sweep far in the future
 
-	if err := store.add(testState("a")); err != nil {
+	if err := store.add(bg, testState("a")); err != nil {
 		t.Fatal(err)
 	}
-	if err := store.add(testState("b")); err != nil {
+	if err := store.add(bg, testState("b")); err != nil {
 		t.Fatal(err)
 	}
 	now = now.Add(2 * time.Minute) // both sessions are now past the TTL
@@ -237,7 +241,7 @@ func TestStoreBusySessionSurvivesExpiry(t *testing.T) {
 	now := time.Unix(1000, 0)
 	store := testStore(time.Minute, 0, func() time.Time { return now })
 	st := testState("s")
-	if err := store.add(st); err != nil {
+	if err := store.add(bg, st); err != nil {
 		t.Fatal(err)
 	}
 	st.opMu.Lock()
@@ -276,7 +280,7 @@ func TestStoreEvictionWorkerBounded(t *testing.T) {
 	const sessions = evictQueueCap + 80
 	now := time.Unix(1000, 0)
 	gated := &gatedBackend{SessionBackend: NewMemoryBackend(), gate: make(chan struct{})}
-	store := newSessionStore(time.Minute, 0, func() time.Time { return now }, gated, func(string, ...any) {})
+	store := newSessionStore(time.Minute, 0, func() time.Time { return now }, gated, nil, nil)
 	defer store.close()
 
 	for i := 0; i < sessions; i++ {

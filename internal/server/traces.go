@@ -1,0 +1,194 @@
+// Trace export: the collector's ring is served over HTTP so an analyst (or
+// the CI smoke test) can pull the span tree of a recent request. In cluster
+// mode the handler assembles the full distributed tree: the local fragment
+// plus every peer's fragment of the same trace ID, merged into one document,
+// so any replica can answer for a request that hopped through several.
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"poiesis/internal/obs"
+)
+
+// traceIndexJSON is the GET /v1/traces body: newest-first summaries of the
+// locally retained traces plus collector counters.
+type traceIndexJSON struct {
+	Service string          `json:"service"`
+	Stats   obs.TracerStats `json:"stats"`
+	Traces  []obs.Trace     `json:"traces"`
+}
+
+// traceDocJSON is the GET /v1/traces/{id} body: the flat span list (the
+// embedded Trace) plus the same spans nested as a tree and the set of
+// replica services that contributed spans.
+type traceDocJSON struct {
+	obs.Trace
+	Services []string        `json:"services"`
+	Tree     []*spanNodeJSON `json:"tree"`
+}
+
+// spanNodeJSON is one span with its children nested, for consumers that
+// want the tree shape without re-linking parent IDs.
+type spanNodeJSON struct {
+	obs.SpanData
+	Children []*spanNodeJSON `json:"children,omitempty"`
+}
+
+func (s *Server) handleTraceIndex(w http.ResponseWriter, r *http.Request) {
+	if s.tracer == nil {
+		writeError(w, http.StatusNotFound, "tracing is disabled on this replica")
+		return
+	}
+	writeJSON(w, http.StatusOK, traceIndexJSON{
+		Service: s.tracer.Service(),
+		Stats:   s.tracer.Stats(),
+		Traces:  s.tracer.Traces(),
+	})
+}
+
+func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	if s.tracer == nil {
+		writeError(w, http.StatusNotFound, "tracing is disabled on this replica")
+		return
+	}
+	id := r.PathValue("id")
+	if !obs.ValidTraceID(id) {
+		writeError(w, http.StatusBadRequest, "malformed trace id %q: want 32 lowercase hex digits", id)
+		return
+	}
+	// ?local=1 answers from the local ring only; it is also how peers ask
+	// each other for fragments, so assembly never recurses.
+	localOnly := s.cluster == nil || r.URL.Query().Get("local") != ""
+
+	frags := make([]obs.Trace, 0, 2)
+	if tr, ok := s.tracer.Trace(id); ok {
+		frags = append(frags, tr)
+	}
+	if !localOnly {
+		for _, m := range s.cluster.Members() {
+			if m.ID == s.cluster.Self() {
+				continue
+			}
+			payload, ok := s.cluster.FetchTrace(r.Context(), m.ID, id)
+			if !ok {
+				continue
+			}
+			var frag obs.Trace
+			if err := json.Unmarshal(payload, &frag); err != nil || frag.ID != id {
+				s.logCtx(r.Context()).Warn("discarding malformed trace fragment",
+					"peer", m.ID, "trace_id", id)
+				continue
+			}
+			frags = append(frags, frag)
+		}
+	}
+	if len(frags) == 0 {
+		writeError(w, http.StatusNotFound,
+			"trace %s not found: never collected, sampled out, or already evicted", id)
+		return
+	}
+	merged := obs.MergeTraces(frags...)
+
+	switch r.URL.Query().Get("format") {
+	case "", "json":
+		writeJSON(w, http.StatusOK, traceDocJSON{
+			Trace:    merged,
+			Services: spanServices(merged.Spans),
+			Tree:     buildSpanTree(merged.Spans),
+		})
+	case "chrome":
+		writeChromeTrace(w, merged)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown format %q: want json or chrome", r.URL.Query().Get("format"))
+	}
+}
+
+// spanServices lists the distinct replica services contributing spans, in
+// first-appearance order (the local root's replica first for merged traces,
+// since spans arrive sorted by start time).
+func spanServices(spans []obs.SpanData) []string {
+	seen := make(map[string]bool, 2)
+	out := make([]string, 0, 2)
+	for i := range spans {
+		if svc := spans[i].Service; svc != "" && !seen[svc] {
+			seen[svc] = true
+			out = append(out, svc)
+		}
+	}
+	return out
+}
+
+// buildSpanTree nests spans under their parents. Spans whose parent is not
+// in the document (true roots, and orphans whose parent was dropped or lives
+// on an unreachable replica) become top-level nodes. Input order (start
+// time) is preserved among siblings.
+func buildSpanTree(spans []obs.SpanData) []*spanNodeJSON {
+	nodes := make(map[string]*spanNodeJSON, len(spans))
+	ordered := make([]*spanNodeJSON, len(spans))
+	for i := range spans {
+		n := &spanNodeJSON{SpanData: spans[i]}
+		ordered[i] = n
+		nodes[spans[i].SpanID] = n
+	}
+	var roots []*spanNodeJSON
+	for _, n := range ordered {
+		if parent := nodes[n.ParentID]; n.ParentID != "" && parent != nil && parent != n {
+			parent.Children = append(parent.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	return roots
+}
+
+// writeChromeTrace renders the trace in Chrome trace-event JSON, loadable in
+// about:tracing or Perfetto. Each span is an "X" (complete) event; each
+// contributing replica becomes a process row via a process_name metadata
+// event, so cluster hops render as parallel swimlanes.
+func writeChromeTrace(w http.ResponseWriter, tr obs.Trace) {
+	type chromeEvent map[string]any
+	events := make([]chromeEvent, 0, len(tr.Spans)+2)
+	pids := make(map[string]int, 2)
+	pidOf := func(service string) int {
+		if service == "" {
+			service = "poiesis"
+		}
+		if pid, ok := pids[service]; ok {
+			return pid
+		}
+		pid := len(pids) + 1
+		pids[service] = pid
+		events = append(events, chromeEvent{
+			"name": "process_name", "ph": "M", "pid": pid, "tid": 1,
+			"args": map[string]any{"name": service},
+		})
+		return pid
+	}
+	for i := range tr.Spans {
+		sp := &tr.Spans[i]
+		args := make(map[string]any, len(sp.Attrs)+3)
+		args["spanId"] = sp.SpanID
+		if sp.ParentID != "" {
+			args["parentId"] = sp.ParentID
+		}
+		for _, a := range sp.Attrs {
+			args[a.Key] = a.Value
+		}
+		if sp.Err != "" {
+			args["error"] = sp.Err
+		}
+		events = append(events, chromeEvent{
+			"name": sp.Name, "cat": "poiesis", "ph": "X",
+			"ts":  float64(sp.Start.UnixNano()) / 1e3,
+			"dur": float64(sp.Duration.Nanoseconds()) / 1e3,
+			"pid": pidOf(sp.Service), "tid": 1,
+			"args": args,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"traceEvents":     events,
+		"displayTimeUnit": "ms",
+	})
+}

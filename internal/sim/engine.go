@@ -314,12 +314,24 @@ func scratchFor(ar *batchArena, rows []etl.Row) []etl.Row {
 	return rows[:0:0]
 }
 
+// ExecStats reports how one execution's data path was served: ConeHits
+// nodes were spliced from the cone cache, Executed nodes were actually
+// simulated. It lives outside Profile on purpose — profiles from delta and
+// full evaluations must stay byte-identical, so bookkeeping about *how* a
+// profile was obtained is returned out-of-band to callers that ask (the
+// planner's tracing instrumentation).
+type ExecStats struct {
+	Nodes    int // nodes in the flow
+	ConeHits int // nodes served from the cone cache
+	Executed int // nodes simulated this run
+}
+
 // Execute runs the data path of the flow once and returns its profile.
 func (e *Engine) Execute(g *etl.Graph, bind Binding) (*Profile, error) {
 	if e.row {
-		return e.execute(g, bind, nil)
+		return e.execute(g, bind, nil, nil)
 	}
-	return e.executeCols(g, bind, nil)
+	return e.executeCols(g, bind, nil, nil)
 }
 
 // ExecuteDelta runs the data path reusing (and populating) the per-node
@@ -333,13 +345,20 @@ func (e *Engine) Execute(g *etl.Graph, bind Binding) (*Profile, error) {
 // configuration and the same binding (the planner scopes one cache per
 // planning run). Sharing a cache across concurrent goroutines is safe.
 func (e *Engine) ExecuteDelta(g *etl.Graph, bind Binding, cache *EvalCache) (*Profile, error) {
-	if e.row {
-		return e.execute(g, bind, cache)
-	}
-	return e.executeCols(g, bind, cache)
+	return e.ExecuteDeltaStats(g, bind, cache, nil)
 }
 
-func (e *Engine) execute(g *etl.Graph, bind Binding, cache *EvalCache) (*Profile, error) {
+// ExecuteDeltaStats is ExecuteDelta reporting splice accounting into stats
+// (ignored when nil). Collection is a few integer increments; callers that
+// do not need the numbers pass nil and pay nothing.
+func (e *Engine) ExecuteDeltaStats(g *etl.Graph, bind Binding, cache *EvalCache, stats *ExecStats) (*Profile, error) {
+	if e.row {
+		return e.execute(g, bind, cache, stats)
+	}
+	return e.executeCols(g, bind, cache, stats)
+}
+
+func (e *Engine) execute(g *etl.Graph, bind Binding, cache *EvalCache, stats *ExecStats) (*Profile, error) {
 	order, err := g.TopoOrder()
 	if err != nil {
 		return nil, err
@@ -375,17 +394,26 @@ func (e *Engine) execute(g *etl.Graph, bind Binding, cache *EvalCache) (*Profile
 		return routed[i]
 	}
 
+	if stats != nil {
+		stats.Nodes += nn
+	}
 	for i, id := range order {
 		n := g.Node(id)
 		nsucc := len(g.SuccView(id))
 		if cache != nil {
 			if rec := cache.lookup(keys[i]); rec != nil {
+				if stats != nil {
+					stats.ConeHits++
+				}
 				recs[i] = rec
 				outs[i], flat[i] = rec.rowBatches(), rec.flat
 				p.RowsIn[i] = rec.rowsIn
 				e.finishNode(p, n, i, flat[i], nsucc)
 				continue
 			}
+		}
+		if stats != nil {
+			stats.Executed++
 		}
 
 		var in [][]etl.Row
@@ -806,7 +834,7 @@ func describe(batches [][]etl.Row) string {
 // instead of row slices. Both paths go through finishNode, computeSchedule
 // and computeRecovery, and the data kernels are value-equivalent, so the
 // resulting profile is byte-identical to the row oracle's.
-func (e *Engine) executeCols(g *etl.Graph, bind Binding, cache *EvalCache) (*Profile, error) {
+func (e *Engine) executeCols(g *etl.Graph, bind Binding, cache *EvalCache, stats *ExecStats) (*Profile, error) {
 	order, err := g.TopoOrder()
 	if err != nil {
 		return nil, err
@@ -842,17 +870,26 @@ func (e *Engine) executeCols(g *etl.Graph, bind Binding, cache *EvalCache) (*Pro
 		return routed[i]
 	}
 
+	if stats != nil {
+		stats.Nodes += nn
+	}
 	for i, id := range order {
 		n := g.Node(id)
 		nsucc := len(g.SuccView(id))
 		if cache != nil {
 			if rec := cache.lookup(keys[i]); rec != nil {
+				if stats != nil {
+					stats.ConeHits++
+				}
 				recs[i] = rec
 				outs[i], flat[i] = rec.colBatches(), rec.flat
 				p.RowsIn[i] = rec.rowsIn
 				e.finishNode(p, n, i, flat[i], nsucc)
 				continue
 			}
+		}
+		if stats != nil {
+			stats.Executed++
 		}
 
 		var in []*colBatch

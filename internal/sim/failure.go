@@ -117,7 +117,13 @@ func (e *Engine) Evaluate(g *etl.Graph, bind Binding) (*Profile, *trace.Batch, e
 // cache is a full evaluation. Results are identical to Evaluate; see
 // ExecuteDelta for the cache-sharing contract.
 func (e *Engine) EvaluateDelta(g *etl.Graph, bind Binding, cache *EvalCache) (*Profile, *trace.Batch, error) {
-	p, err := e.ExecuteDelta(g, bind, cache)
+	return e.EvaluateDeltaStats(g, bind, cache, nil)
+}
+
+// EvaluateDeltaStats is EvaluateDelta reporting splice accounting into stats
+// (ignored when nil) — see ExecuteDeltaStats.
+func (e *Engine) EvaluateDeltaStats(g *etl.Graph, bind Binding, cache *EvalCache, stats *ExecStats) (*Profile, *trace.Batch, error) {
+	p, err := e.ExecuteDeltaStats(g, bind, cache, stats)
 	if err != nil {
 		return nil, nil, err
 	}
